@@ -1,0 +1,17 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables or figures.  Run:
+
+    pytest benchmarks/ --benchmark-only
+
+Scaled-down by default; set REPRO_FULL=1 for paper-scale runs.
+"""
+
+import pytest
+
+from repro.bench import BenchConfig
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    return BenchConfig.from_env()

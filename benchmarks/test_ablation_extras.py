@@ -1,0 +1,37 @@
+"""Design-choice ablations beyond the paper's Table V.
+
+Covers the knobs DESIGN.md §5 calls out: the beta trade-off and the
+soft-vs-hard occlusion penalty spectrum.
+"""
+
+from repro.bench.ablations import run_alpha_sensitivity, run_beta_sensitivity
+
+BETAS = (0.25, 0.75)
+ALPHA0S = (0.1, 2.0)
+
+
+def test_beta_tradeoff(benchmark, bench_config):
+    table = benchmark.pedantic(run_beta_sensitivity,
+                               args=(bench_config, BETAS),
+                               rounds=1, iterations=1)
+    print()
+    print(table.render())
+    # Weighting presence more must not *reduce* realised presence
+    # relative to preference.
+    low = table.get(f"beta = {BETAS[0]}", "presence") \
+        / max(table.get(f"beta = {BETAS[0]}", "preference"), 1e-9)
+    high = table.get(f"beta = {BETAS[1]}", "presence") \
+        / max(table.get(f"beta = {BETAS[1]}", "preference"), 1e-9)
+    assert high >= low * 0.9
+
+
+def test_alpha_soft_to_hard_spectrum(benchmark, bench_config):
+    table = benchmark.pedantic(run_alpha_sensitivity,
+                               args=(bench_config, ALPHA0S),
+                               rounds=1, iterations=1)
+    print()
+    print(table.render())
+    # A stronger penalty yields (weakly) cleaner views.
+    soft = table.get(f"alpha0 = {ALPHA0S[0]}", "occlusion")
+    hard = table.get(f"alpha0 = {ALPHA0S[1]}", "occlusion")
+    assert hard <= soft + 0.05

@@ -1,0 +1,25 @@
+"""Paper Table II — POSHGNN vs baselines on the Timik dataset.
+
+Regenerates the full comparison (AFTER utility, preference, social
+presence, view occlusion, running time) on a Timik-style room.  Expected
+shape: POSHGNN best overall with DCRNN the strongest baseline; COMURNet
+at 0% occlusion but low utility and orders-of-magnitude slower.
+"""
+
+from repro.bench import run_dataset_comparison
+
+
+def test_table2_timik(benchmark, bench_config):
+    table = benchmark.pedantic(
+        run_dataset_comparison, args=("timik", bench_config),
+        rounds=1, iterations=1)
+    print()
+    print(table.render())
+
+    assert table.best_method("after_utility") == "POSHGNN"
+    assert table.get("COMURNet", "occlusion") == 0.0
+    # COMURNet is the slow outlier (paper: seconds vs milliseconds).
+    assert table.get("COMURNet", "runtime_ms") > \
+        5 * table.get("POSHGNN", "runtime_ms")
+    # Render-quality shape: POSHGNN's occlusion is far below Random's.
+    assert table.get("POSHGNN", "occlusion") < table.get("Random", "occlusion")

@@ -1,0 +1,22 @@
+"""Paper Table III — POSHGNN vs baselines on the SMM dataset.
+
+Same protocol as Table II on the denser, more homophilous SMM-style
+rooms.  Expected shape: POSHGNN best; COMURNet occlusion-free but with
+collapsed social presence (paper: 13.0 vs >120 for everyone else).
+"""
+
+from repro.bench import run_dataset_comparison
+
+
+def test_table3_smm(benchmark, bench_config):
+    table = benchmark.pedantic(
+        run_dataset_comparison, args=("smm", bench_config),
+        rounds=1, iterations=1)
+    print()
+    print(table.render())
+
+    assert table.best_method("after_utility") == "POSHGNN"
+    assert table.get("COMURNet", "occlusion") == 0.0
+    # COMURNet's independent-per-step policy destroys social presence.
+    assert table.get("COMURNet", "presence") < \
+        0.5 * table.get("POSHGNN", "presence")

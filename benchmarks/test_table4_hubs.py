@@ -1,0 +1,22 @@
+"""Paper Table IV — POSHGNN vs baselines on the Hubs dataset.
+
+Small workshop rooms ("only dozens of candidates").  Expected shape:
+POSHGNN best but by a modest margin (paper: +0.3% over TGCN, the
+second-best method on Hubs), with a very low POSHGNN occlusion rate
+(paper: 0.7%).
+"""
+
+from repro.bench import run_dataset_comparison
+
+
+def test_table4_hubs(benchmark, bench_config):
+    table = benchmark.pedantic(
+        run_dataset_comparison, args=("hubs", bench_config),
+        rounds=1, iterations=1)
+    print()
+    print(table.render())
+
+    assert table.best_method("after_utility") == "POSHGNN"
+    # POSHGNN achieves near-zero occlusion on sparse workshop rooms.
+    assert table.get("POSHGNN", "occlusion") < 0.15
+    assert table.get("COMURNet", "occlusion") == 0.0

@@ -1,0 +1,26 @@
+"""Paper Table VI — sensitivity to the user number N (SMM, half MR).
+
+Expected shape: total AFTER utility peaks at a small-but-not-tiny N
+(paper: N = 20) — too few users starve friend discovery, while excessive
+in-person participants occlude good candidates — and decays as N grows.
+"""
+
+from repro.bench import run_sensitivity_n
+
+USER_COUNTS = (10, 20, 50, 100)
+
+
+def test_table6_sensitivity_n(benchmark, bench_config):
+    table = benchmark.pedantic(
+        run_sensitivity_n, args=(bench_config, USER_COUNTS),
+        rounds=1, iterations=1)
+    print()
+    print(table.render())
+
+    utilities = {count: table.get(f"N = {count}", "after_utility")
+                 for count in USER_COUNTS}
+    peak = max(utilities, key=utilities.get)
+    # The peak is at moderate crowding, not at the largest N.
+    assert peak < USER_COUNTS[-1]
+    # Large-N crowding decays utility from the peak.
+    assert utilities[USER_COUNTS[-1]] < utilities[peak]

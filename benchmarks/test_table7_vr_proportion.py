@@ -1,0 +1,22 @@
+"""Paper Table VII — sensitivity to the proportion of VR (remote) users.
+
+Expected shape: AFTER utility grows with the VR proportion — fewer
+physical participants means fewer forced occluders and more freedom for
+the recommender (paper: 250.2 / 229.8 / 214.9 at 75% / 50% / 25%).
+"""
+
+from repro.bench import run_vr_proportion
+
+PROPORTIONS = (0.75, 0.5, 0.25)
+
+
+def test_table7_vr_proportion(benchmark, bench_config):
+    table = benchmark.pedantic(
+        run_vr_proportion, args=(bench_config, PROPORTIONS),
+        rounds=1, iterations=1)
+    print()
+    print(table.render())
+
+    high = table.get("VR = 75%", "after_utility")
+    low = table.get("VR = 25%", "after_utility")
+    assert high > low

@@ -1,0 +1,116 @@
+"""Fig. 2 walkthrough: one target user's display under each approach.
+
+Reconstructs the paper's motivating example (Fig. 2) on a small scripted
+scene: a target user A, her close friends, a personally preferred
+celebrity, and an irrelevant co-located MR participant.  Prints, step by
+step, who each family of approaches would render and what A actually
+sees, illustrating:
+
+* personalised ranking shows preferred users but loses friends,
+* grouping keeps friends but ignores occlusion,
+* the AFTER-style recommender adapts: de-occludes, preserves continuity,
+  and covers the irrelevant co-located participant.
+
+Run:  python examples/adaptive_display_walkthrough.py
+"""
+
+import numpy as np
+
+from repro.core import AfterProblem, evaluate_episode
+from repro.datasets import ConferenceRoom
+from repro.crowd import Trajectory
+from repro.geometry import Room, resolve_visibility
+from repro.models import (
+    GraFrankRecommender,
+    MvAGCRecommender,
+    OracleStepRecommender,
+    POSHGNN,
+)
+from repro.social import SocialGraph
+
+NAMES = ["A (target, MR)", "B (celebrity)", "C (liked)", "D (co-located)",
+         "E (friend)", "F (friend)"]
+
+
+def scripted_room() -> ConferenceRoom:
+    """Six users over four steps; E starts occluded and becomes clear."""
+    steps = []
+    base = np.array([
+        [2.0, 2.0],    # A: target, MR, centre
+        [3.6, 2.0],    # B: celebrity, east
+        [2.0, 3.6],    # C: liked user, north
+        [2.8, 2.8],    # D: irrelevant co-located MR participant
+        [0.6, 2.0],    # E: friend, west — initially behind F
+        [1.2, 2.0],    # F: friend, west nearer
+    ])
+    for t in range(4):
+        frame = base.copy()
+        frame[4, 1] += 0.28 * t       # E sidesteps north, clearing F
+        steps.append(frame)
+    trajectory = Trajectory(np.stack(steps))
+
+    adjacency = np.zeros((6, 6), dtype=bool)
+    for a, b in [(0, 4), (0, 5), (4, 5), (0, 2)]:   # friendships
+        adjacency[a, b] = adjacency[b, a] = True
+    social = SocialGraph(adjacency, np.zeros(6, dtype=np.int64))
+
+    preference = np.zeros((6, 6))
+    preference[0] = [0.0, 0.95, 0.7, 0.05, 0.6, 0.55]   # A's tastes
+    presence = np.zeros((6, 6))
+    presence[0] = [0.0, 0.1, 0.5, 0.05, 0.95, 0.9]      # A's bonds
+    # Make the matrices valid for every viewer (symmetric-ish filler).
+    preference = np.maximum(preference, preference.T)
+    presence = np.maximum(presence, presence.T)
+
+    return ConferenceRoom(
+        name="fig2-walkthrough",
+        trajectory=trajectory,
+        social=social,
+        preference=preference,
+        presence=presence,
+        interfaces_mr=np.array([True, False, False, True, False, False]),
+        room=Room.square(4.0),
+    )
+
+
+def describe(rendered, visible):
+    parts = []
+    for i in range(1, 6):
+        if rendered[i] and visible[i]:
+            parts.append(NAMES[i].split()[0])
+        elif rendered[i]:
+            parts.append(NAMES[i].split()[0] + "(occluded)")
+    return ", ".join(parts) if parts else "(nobody)"
+
+
+def walkthrough(recommender, problem):
+    print(f"\n--- {recommender.name} ---")
+    recommender.reset(problem)
+    for t in range(problem.horizon + 1):
+        frame = problem.frame_at(t)
+        rendered = recommender.recommend(frame)
+        visible = resolve_visibility(frame.graph, rendered, frame.forced)
+        print(f"  t={t}: renders {describe(rendered, visible)}")
+    result = evaluate_episode(problem, recommender)
+    print(f"  total AFTER utility: {result.after_utility:.2f} "
+          f"(occlusion {100 * result.occlusion_rate:.0f}%)")
+
+
+def main():
+    room = scripted_room()
+    problem = AfterProblem(room, target=0, max_render=3)
+    print("Scene:", ", ".join(NAMES))
+    print("A and D are co-located MR users; everyone else is remote VR.")
+    print("E starts directly behind F and gradually steps clear.")
+
+    poshgnn = POSHGNN(seed=0)
+    poshgnn.fit([problem], epochs=80)
+    for recommender in (GraFrankRecommender(epochs=40),
+                        MvAGCRecommender(num_clusters=2),
+                        OracleStepRecommender(),
+                        poshgnn):
+        walkthrough(recommender, problem)
+
+
+if __name__ == "__main__":
+    main()

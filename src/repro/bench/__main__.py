@@ -1,0 +1,80 @@
+"""Command-line experiment runner.
+
+Regenerate any paper table/figure without pytest:
+
+    python -m repro.bench table2          # Timik comparison
+    python -m repro.bench table5 table6   # several at once
+    python -m repro.bench all             # everything
+    python -m repro.bench --full table4   # paper-scale config
+
+Tables print in the paper's layout; the user study prints the Fig. 4
+panels plus Table VIII correlations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from .config import BenchConfig
+from .experiments import (
+    render_user_study,
+    run_ablation,
+    run_dataset_comparison,
+    run_sensitivity_n,
+    run_user_study,
+    run_vr_proportion,
+)
+
+EXPERIMENTS = {
+    "table2": ("Table II  — Timik comparison",
+               lambda cfg: run_dataset_comparison("timik", cfg).render()),
+    "table3": ("Table III — SMM comparison",
+               lambda cfg: run_dataset_comparison("smm", cfg).render()),
+    "table4": ("Table IV  — Hubs comparison",
+               lambda cfg: run_dataset_comparison("hubs", cfg).render()),
+    "table5": ("Table V   — POSHGNN ablation",
+               lambda cfg: run_ablation(cfg).render()),
+    "table6": ("Table VI  — sensitivity to N",
+               lambda cfg: run_sensitivity_n(cfg).render()),
+    "table7": ("Table VII — sensitivity to VR proportion",
+               lambda cfg: run_vr_proportion(cfg).render()),
+    "study": ("Fig. 4 + Table VIII — user study",
+              lambda cfg: render_user_study(run_user_study(cfg))),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiments", nargs="+",
+                        choices=sorted(EXPERIMENTS) + ["all"],
+                        help="which artifacts to regenerate")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale configuration (slow)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the bench seed")
+    args = parser.parse_args(argv)
+
+    if args.full:
+        os.environ["REPRO_FULL"] = "1"
+    config = BenchConfig.from_env()
+    if args.seed is not None:
+        config = config.scaled(seed=args.seed)
+
+    chosen = sorted(EXPERIMENTS) if "all" in args.experiments \
+        else list(dict.fromkeys(args.experiments))
+    for name in chosen:
+        title, runner = EXPERIMENTS[name]
+        print(f"\n### {title}")
+        start = time.perf_counter()
+        print(runner(config))
+        print(f"(regenerated in {time.perf_counter() - start:.1f} s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

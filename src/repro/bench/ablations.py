@@ -1,0 +1,120 @@
+"""Extra ablation drivers for design choices flagged in DESIGN.md §5.
+
+Beyond the paper's own Table V: sensitivity to the preference/presence
+trade-off ``beta``, to the occlusion-penalty scale ``alpha0``, and the
+runtime scaling of POSHGNN inference with the room size (the paper's
+~150 Hz practicality claim).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core import AfterProblem, evaluate_targets
+from ..models import POSHGNN
+from ..models.poshgnn.loss import resolve_alpha
+from .config import TRAIN_ALPHA0, BenchConfig
+from .experiments import prepare_room
+from .tables import ResultTable
+
+__all__ = ["run_beta_sensitivity", "run_alpha_sensitivity",
+           "run_runtime_scaling"]
+
+UTILITY_ROWS = (
+    ("after_utility", "AFTER Utility", "up"),
+    ("preference", "Preference", "up"),
+    ("presence", "Social Presence", "up"),
+    ("occlusion", "View Occlusion (%)", "down"),
+)
+
+
+def run_beta_sensitivity(config: BenchConfig | None = None,
+                         betas=(0.25, 0.5, 0.75)) -> ResultTable:
+    """How the preference/presence trade-off shifts POSHGNN's behaviour.
+
+    Higher ``beta`` weights social presence more: the preference
+    component should fall and the presence component rise as beta grows.
+    """
+    config = config or BenchConfig.from_env()
+    room, train_targets, eval_targets = prepare_room("timik", config)
+    table = ResultTable("Sensitivity to beta (preference vs presence)",
+                        metric_rows=UTILITY_ROWS)
+    for beta in betas:
+        train_problems = [AfterProblem(room, t, beta=beta,
+                                       max_render=config.max_render)
+                          for t in train_targets]
+        alpha = resolve_alpha(train_problems, "auto",
+                              alpha0=TRAIN_ALPHA0["timik"])
+        model = POSHGNN(seed=config.seed)
+        model.fit(train_problems, epochs=config.train_epochs, alpha=alpha)
+        result = evaluate_targets(room, model, eval_targets, beta=beta,
+                                  max_render=config.max_render)
+        table.add_column(f"beta = {beta}", {
+            "after_utility": result.after_utility,
+            "preference": result.preference,
+            "presence": result.presence,
+            "occlusion": result.occlusion_rate,
+        })
+    return table
+
+
+def run_alpha_sensitivity(config: BenchConfig | None = None,
+                          alpha0s=(0.1, 0.5, 2.0)) -> ResultTable:
+    """The soft-vs-hard occlusion spectrum.
+
+    Larger ``alpha0`` pushes POSHGNN toward COMURNet's occlusion-free
+    regime: the measured view-occlusion rate should fall monotonically
+    as ``alpha0`` grows.
+    """
+    config = config or BenchConfig.from_env()
+    room, train_targets, eval_targets = prepare_room("timik", config)
+    train_problems = [AfterProblem(room, t, beta=config.beta,
+                                   max_render=config.max_render)
+                      for t in train_targets]
+    table = ResultTable("Sensitivity to the occlusion penalty alpha0",
+                        metric_rows=UTILITY_ROWS)
+    for alpha0 in alpha0s:
+        alpha = resolve_alpha(train_problems, "auto", alpha0=alpha0)
+        model = POSHGNN(seed=config.seed)
+        model.fit(train_problems, epochs=config.train_epochs, alpha=alpha)
+        result = evaluate_targets(room, model, eval_targets,
+                                  beta=config.beta,
+                                  max_render=config.max_render)
+        table.add_column(f"alpha0 = {alpha0}", {
+            "after_utility": result.after_utility,
+            "preference": result.preference,
+            "presence": result.presence,
+            "occlusion": result.occlusion_rate,
+        })
+    return table
+
+
+def run_runtime_scaling(config: BenchConfig | None = None,
+                        user_counts=(25, 50, 100, 200)) -> dict:
+    """POSHGNN inference latency per step as the room grows.
+
+    Returns ``{N: milliseconds}``.  The paper reports 5-8 ms per step at
+    N = 200 (a ~150 Hz update rate); the shape to reproduce is
+    low-millisecond latency growing roughly quadratically in N (dense
+    adjacency propagation).
+    """
+    config = config or BenchConfig.from_env()
+    latencies: dict[int, float] = {}
+    for count in user_counts:
+        sub = config.scaled(num_users=int(count), num_steps=10,
+                            train_targets=1, eval_targets=1,
+                            train_epochs=3)
+        room, train_targets, _eval = prepare_room("timik", sub)
+        problem = AfterProblem(room, train_targets[0])
+        model = POSHGNN(seed=config.seed)
+        model.fit([problem], epochs=3, restarts=1)
+        model.reset(problem)
+        frames = [problem.frame_at(t) for t in range(problem.horizon + 1)]
+        start = time.perf_counter()
+        for frame in frames:
+            model.recommend(frame)
+        elapsed = time.perf_counter() - start
+        latencies[int(count)] = 1000.0 * elapsed / len(frames)
+    return latencies

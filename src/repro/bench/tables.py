@@ -1,0 +1,95 @@
+"""Result-table containers and plain-text rendering.
+
+Each experiment driver returns a :class:`ResultTable` whose rows are the
+paper's metrics and whose columns are methods — printed in the same
+layout as the paper's Tables II-VII so shapes can be compared by eye.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["ResultTable", "METRIC_ROWS", "format_number"]
+
+#: Paper row order: (key, label, direction) — direction is cosmetic.
+METRIC_ROWS = (
+    ("after_utility", "AFTER Utility", "up"),
+    ("preference", "Preference", "up"),
+    ("presence", "Social Presence", "up"),
+    ("occlusion", "View Occlusion (%)", "down"),
+    ("runtime_ms", "Running Time (ms)", "down"),
+)
+
+
+def format_number(key: str, value: float) -> str:
+    """Render one cell the way the paper's tables do."""
+    if key == "occlusion":
+        return f"{100.0 * value:.1f}%"
+    if key == "runtime_ms":
+        return f"{value:.3f}" if value < 1 else f"{value:.1f}"
+    return f"{value:.1f}"
+
+
+class ResultTable:
+    """Metrics-by-method table with text rendering."""
+
+    def __init__(self, title: str, metric_rows=METRIC_ROWS):
+        self.title = title
+        self.metric_rows = tuple(metric_rows)
+        self.columns: "OrderedDict[str, dict]" = OrderedDict()
+        self.notes: list[str] = []
+
+    def add_column(self, method: str, metrics: dict) -> None:
+        """Add one method's metric dict (keys from ``metric_rows``)."""
+        missing = {key for key, _label, _d in self.metric_rows} - set(metrics)
+        if missing:
+            raise KeyError(f"metrics missing for {method!r}: {sorted(missing)}")
+        self.columns[method] = dict(metrics)
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-form footnote to the table."""
+        self.notes.append(note)
+
+    def get(self, method: str, key: str) -> float:
+        """Return one cell's raw value."""
+        return self.columns[method][key]
+
+    def best_method(self, key: str = "after_utility",
+                    higher_is_better: bool = True) -> str:
+        """Method with the best value for ``key``."""
+        chooser = max if higher_is_better else min
+        return chooser(self.columns, key=lambda m: self.columns[m][key])
+
+    def improvement_over_second(self, key: str = "after_utility") -> float:
+        """Relative margin of the best method over the runner-up."""
+        values = sorted((col[key] for col in self.columns.values()),
+                        reverse=True)
+        if len(values) < 2 or values[1] == 0:
+            return 0.0
+        return (values[0] - values[1]) / abs(values[1])
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Fixed-width text rendering (paper layout)."""
+        methods = list(self.columns)
+        label_width = max(len(label) for _k, label, _d in self.metric_rows) + 2
+        col_widths = [max(len(m), 9) + 2 for m in methods]
+
+        def row(cells, widths):
+            return "".join(str(c).ljust(w) for c, w in zip(cells, widths))
+
+        lines = [self.title, "=" * len(self.title)]
+        arrows = {"up": "↑", "down": "↓"}
+        lines.append(row(["Metric"] + methods, [label_width] + col_widths))
+        lines.append("-" * (label_width + sum(col_widths)))
+        for key, label, direction in self.metric_rows:
+            cells = [f"{label} {arrows[direction]}"]
+            for method in methods:
+                cells.append(format_number(key, self.columns[method][key]))
+            lines.append(row(cells, [label_width] + col_widths))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,131 @@
+"""Episode evaluation harness.
+
+Walks an :class:`AfterProblem` step by step, timing each ``recommend``
+call, resolving visibility (including forced MR presence), and
+accumulating the paper's five reported metrics: AFTER utility, preference,
+social presence, view-occlusion rate, and running time per step.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geometry import occlusion_rate, resolve_visibility
+from .problem import AfterProblem
+from .recommender import Recommender
+from .utility import StepUtility, UtilityAccumulator, step_utility
+
+__all__ = ["EpisodeResult", "AggregateResult", "evaluate_episode",
+           "evaluate_targets"]
+
+
+@dataclass
+class EpisodeResult:
+    """Metrics for one (recommender, problem) episode."""
+
+    after_utility: float
+    preference: float
+    presence: float
+    occlusion_rate: float       # mean over steps, in [0, 1]
+    runtime_ms: float           # mean per step
+    per_step_after: np.ndarray = field(repr=False)
+    recommendations: np.ndarray = field(repr=False)   # (T+1, N) bool
+
+    def continuity(self) -> float:
+        """Mean Jaccard overlap of consecutive recommendation sets.
+
+        1.0 = perfectly stable display, 0.0 = total flicker.  Not a paper
+        table metric, but the quantity LWP is designed to protect.
+        """
+        if self.recommendations.shape[0] < 2:
+            return 1.0
+        overlaps = []
+        for t in range(1, self.recommendations.shape[0]):
+            a = self.recommendations[t - 1]
+            b = self.recommendations[t]
+            union = int((a | b).sum())
+            overlaps.append(1.0 if union == 0 else int((a & b).sum()) / union)
+        return float(np.mean(overlaps))
+
+
+@dataclass
+class AggregateResult:
+    """Metrics averaged over several episodes/targets."""
+
+    after_utility: float
+    preference: float
+    presence: float
+    occlusion_rate: float
+    runtime_ms: float
+    episodes: list = field(default_factory=list, repr=False)
+
+    @classmethod
+    def from_episodes(cls, episodes: list) -> "AggregateResult":
+        if not episodes:
+            raise ValueError("no episodes to aggregate")
+        return cls(
+            after_utility=float(np.mean([e.after_utility for e in episodes])),
+            preference=float(np.mean([e.preference for e in episodes])),
+            presence=float(np.mean([e.presence for e in episodes])),
+            occlusion_rate=float(np.mean([e.occlusion_rate for e in episodes])),
+            runtime_ms=float(np.mean([e.runtime_ms for e in episodes])),
+            episodes=list(episodes),
+        )
+
+    def after_utilities(self) -> np.ndarray:
+        """Per-episode AFTER utilities (for significance tests)."""
+        return np.array([e.after_utility for e in self.episodes])
+
+
+def evaluate_episode(problem: AfterProblem,
+                     recommender: Recommender) -> EpisodeResult:
+    """Run ``recommender`` over the full episode of ``problem``."""
+    recommender.reset(problem)
+    accumulator = UtilityAccumulator(problem.beta)
+    occlusion_rates: list[float] = []
+    runtimes: list[float] = []
+    recommendations = np.zeros((problem.horizon + 1, problem.num_users),
+                               dtype=bool)
+    visible_previous = np.zeros(problem.num_users, dtype=bool)
+
+    for t in range(problem.horizon + 1):
+        frame = problem.frame_at(t)
+        start = time.perf_counter()
+        rendered = np.asarray(recommender.recommend(frame), dtype=bool)
+        runtimes.append(time.perf_counter() - start)
+
+        rendered = rendered.copy()
+        rendered[problem.target] = False
+        recommendations[t] = rendered
+
+        visible = resolve_visibility(frame.graph, rendered, frame.forced)
+        accumulator.add(step_utility(frame.preference, frame.presence,
+                                     visible, visible_previous, rendered))
+        occlusion_rates.append(occlusion_rate(frame.graph, rendered,
+                                              frame.forced))
+        visible_previous = visible
+
+    return EpisodeResult(
+        after_utility=accumulator.total_after,
+        preference=accumulator.total_preference,
+        presence=accumulator.total_presence,
+        occlusion_rate=float(np.mean(occlusion_rates)),
+        runtime_ms=float(np.mean(runtimes) * 1000.0),
+        per_step_after=accumulator.per_step_after(),
+        recommendations=recommendations,
+    )
+
+
+def evaluate_targets(room, recommender: Recommender, targets,
+                     beta: float = 0.5, max_render: int = 8
+                     ) -> AggregateResult:
+    """Evaluate one recommender for several target users of a room."""
+    episodes = []
+    for target in targets:
+        problem = AfterProblem(room, int(target), beta=beta,
+                               max_render=max_render)
+        episodes.append(evaluate_episode(problem, recommender))
+    return AggregateResult.from_episodes(episodes)

@@ -1,0 +1,56 @@
+"""Statistical helpers for result reporting.
+
+Provides the paired significance test the paper quotes ("differences ...
+statistically significant with a p-value less than 0.05") and correlation
+coefficients for Table VIII.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["paired_p_value", "pearson", "spearman", "mean_and_std"]
+
+
+def paired_p_value(a, b) -> float:
+    """Two-sided paired t-test p-value between per-episode metric arrays.
+
+    Degenerate inputs (length < 2 or zero variance of differences) return
+    1.0 when identical and 0.0 when one strictly dominates, keeping bench
+    code branch-free.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError("paired arrays must have equal length")
+    if a.size < 2:
+        return 1.0
+    diff = a - b
+    if np.allclose(diff.std(), 0.0):
+        return 1.0 if np.allclose(diff, 0.0) else 0.0
+    return float(stats.ttest_rel(a, b).pvalue)
+
+
+def pearson(x, y) -> float:
+    """Pearson correlation coefficient (nan-safe: 0 for constant input)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.std() == 0.0 or y.std() == 0.0:
+        return 0.0
+    return float(stats.pearsonr(x, y).statistic)
+
+
+def spearman(x, y) -> float:
+    """Spearman rank correlation (nan-safe: 0 for constant input)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if np.unique(x).size < 2 or np.unique(y).size < 2:
+        return 0.0
+    return float(stats.spearmanr(x, y).statistic)
+
+
+def mean_and_std(values) -> tuple[float, float]:
+    """Mean and (population) standard deviation of a metric list."""
+    values = np.asarray(values, dtype=np.float64)
+    return float(values.mean()), float(values.std())

@@ -1,0 +1,76 @@
+"""The AFTER recommender interface (paper Definition 1).
+
+A recommender is a per-step function from the target-centric frame to the
+set of users rendered for the target.  Stateful recommenders (POSHGNN,
+recurrent baselines) carry hidden state across steps; ``reset`` is called
+once before each episode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .problem import AfterProblem
+from .scene import Frame
+
+__all__ = ["Recommender", "top_k_mask", "scores_to_recommendation"]
+
+
+def top_k_mask(scores: np.ndarray, k: int,
+               eligible: np.ndarray | None = None) -> np.ndarray:
+    """Boolean mask of the top-``k`` positive-score eligible users."""
+    scores = np.asarray(scores, dtype=np.float64).copy()
+    if eligible is not None:
+        scores[~np.asarray(eligible, dtype=bool)] = -np.inf
+    mask = np.zeros(scores.shape[0], dtype=bool)
+    if k <= 0:
+        return mask
+    order = np.argsort(-scores)[:k]
+    for idx in order:
+        if np.isfinite(scores[idx]) and scores[idx] > 0:
+            mask[idx] = True
+    return mask
+
+
+def scores_to_recommendation(scores: np.ndarray, frame: Frame,
+                             max_render: int,
+                             threshold: float = 0.0) -> np.ndarray:
+    """Standard post-processing: mask ineligible users, take top-k.
+
+    ``threshold`` filters out low-confidence entries (used with
+    probability outputs, e.g. POSHGNN's 0.5).
+    """
+    scores = np.asarray(scores, dtype=np.float64).copy()
+    scores[frame.mask <= 0] = -np.inf
+    scores[scores <= threshold] = -np.inf
+    eligible = np.isfinite(scores)
+    return top_k_mask(np.where(eligible, scores, -np.inf), max_render,
+                      eligible)
+
+
+class Recommender:
+    """Base class for AFTER recommenders."""
+
+    #: Human-readable name used in result tables.
+    name: str = "base"
+
+    def reset(self, problem: AfterProblem) -> None:
+        """Prepare for a new episode (clear recurrent state, bind target).
+
+        The default implementation stores the problem.
+        """
+        self.problem = problem
+
+    def recommend(self, frame: Frame) -> np.ndarray:
+        """Return the boolean render mask for this step."""
+        raise NotImplementedError
+
+    def fit(self, problems: list, **kwargs) -> dict:
+        """Train on a list of problems; returns a history dict.
+
+        Non-learned recommenders are no-ops.
+        """
+        return {}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,165 @@
+"""Per-step frames: everything a recommender sees at time ``t``.
+
+A :class:`Frame` is the assembled, target-centric view of the room at one
+time step — the occlusion graph, the target's utility rows, distances,
+interfaces, the forced-presence mask and the physically-blocked mask.
+Frame assembly implements the *input side* of MIA (paper Sec. IV-A): the
+distance-normalised utilities ``p_hat``/``s_hat`` and the hybrid-
+participation mask ``m_t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry import StaticOcclusionGraph, forced_presence_mask, \
+    physically_blocked_mask
+
+__all__ = ["Frame", "build_frame", "distance_normalise"]
+
+
+def distance_normalise(utilities: np.ndarray, distances: np.ndarray,
+                       scale: float | None = None) -> np.ndarray:
+    """Normalise a utility row by squared *relative* distance.
+
+    The paper's MIA normalises utilities "with the square of the current
+    distance" so the model is not dominated by proximity.  We use
+    ``u / (1 + (d / scale)^2)`` with ``scale`` the frame's maximal
+    distance: unit-invariant (the paper's rooms are metres, ours may not
+    be) and bounded — a far user keeps at least half its utility, with
+    hard de-occlusion left to the loss's occlusion penalty rather than
+    double-counted through distance.
+    """
+    utilities = np.asarray(utilities, dtype=np.float64)
+    distances = np.asarray(distances, dtype=np.float64)
+    if scale is None:
+        scale = float(distances.max())
+    scale = max(scale, 1e-9)
+    return utilities / (1.0 + (distances / scale) ** 2)
+
+
+@dataclass
+class Frame:
+    """The target-centric scene at one time step.
+
+    Attributes
+    ----------
+    t:
+        Time step index.
+    target:
+        Target user ``v``.
+    graph:
+        Static occlusion graph ``O_t^v``.
+    preference / presence:
+        Raw utility rows ``p(v, .)`` and ``s(v, .)`` in [0, 1].
+    preference_hat / presence_hat:
+        Distance-normalised utilities (the loss operands).
+    distances:
+        Distance from the target to each user.
+    interfaces_mr:
+        True where a user is an in-person MR participant.
+    forced:
+        Users physically present in the target's view regardless of
+        recommendation.
+    blocked:
+        Users that can never be seen (physically occluded by a nearer MR
+        participant) — MIA's pruning set.
+    mask:
+        MIA's hybrid-participation mask ``m_t``: 1 for valid candidates,
+        0 for the target and blocked users.
+    """
+
+    t: int
+    target: int
+    graph: StaticOcclusionGraph
+    preference: np.ndarray
+    presence: np.ndarray
+    preference_hat: np.ndarray
+    presence_hat: np.ndarray
+    distances: np.ndarray
+    interfaces_mr: np.ndarray
+    forced: np.ndarray
+    blocked: np.ndarray
+    mask: np.ndarray
+    raw_preference: np.ndarray = None
+    raw_presence: np.ndarray = None
+
+    @property
+    def num_users(self) -> int:
+        """Number of users in the scene."""
+        return self.distances.shape[0]
+
+    def candidates(self) -> np.ndarray:
+        """Indices of users the recommender may usefully render."""
+        return np.nonzero(self.mask > 0)[0]
+
+    def features(self) -> np.ndarray:
+        """MIA's node features ``x_hat_t``: ``[p_hat, s_hat, dist, MR]``.
+
+        Distance is scaled by its frame maximum so all four channels are
+        in [0, 1].
+        """
+        scale = max(float(self.distances.max()), 1e-9)
+        return np.column_stack([
+            self.preference_hat,
+            self.presence_hat,
+            self.distances / scale,
+            self.interfaces_mr.astype(np.float64),
+        ])
+
+    def raw_features(self) -> np.ndarray:
+        """Node features *without* MIA's normalisation and pruning.
+
+        Used by ablation variants and baselines that lack the MIA module:
+        ``[p, s, dist, MR]`` with the unpruned utility rows.
+        """
+        scale = max(float(self.distances.max()), 1e-9)
+        return np.column_stack([
+            self.raw_preference,
+            self.raw_presence,
+            self.distances / scale,
+            self.interfaces_mr.astype(np.float64),
+        ])
+
+
+def build_frame(t: int, target: int, graph: StaticOcclusionGraph,
+                preference_row: np.ndarray, presence_row: np.ndarray,
+                interfaces_mr: np.ndarray) -> Frame:
+    """Assemble a frame from raw scenario data (MIA preprocessing)."""
+    interfaces_mr = np.asarray(interfaces_mr, dtype=bool)
+    forced = forced_presence_mask(interfaces_mr, target)
+    blocked = physically_blocked_mask(graph, forced)
+
+    mask = np.ones(graph.num_users, dtype=np.float64)
+    mask[target] = 0.0
+    mask[blocked] = 0.0
+
+    raw_preference = np.asarray(preference_row, dtype=np.float64).copy()
+    raw_presence = np.asarray(presence_row, dtype=np.float64).copy()
+    raw_preference[target] = 0.0
+    raw_presence[target] = 0.0
+
+    preference_row = raw_preference.copy()
+    presence_row = raw_presence.copy()
+    # MIA prunes physically occluded users by zeroing their utilities.
+    preference_row[blocked] = 0.0
+    presence_row[blocked] = 0.0
+
+    return Frame(
+        t=t,
+        target=target,
+        graph=graph,
+        preference=preference_row,
+        presence=presence_row,
+        preference_hat=distance_normalise(preference_row, graph.distances),
+        presence_hat=distance_normalise(presence_row, graph.distances),
+        distances=graph.distances,
+        interfaces_mr=interfaces_mr,
+        forced=forced,
+        blocked=blocked,
+        mask=mask,
+        raw_preference=raw_preference,
+        raw_presence=raw_presence,
+    )

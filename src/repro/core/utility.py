@@ -1,0 +1,86 @@
+"""AFTER utility (paper Definition 2) and its episode accumulation.
+
+``u_t(v, w) = (1 - beta) * 1[v =t=> w] * p(v, w)
+            + beta * 1[v =t-1=> w] * 1[v =t=> w] * s(v, w)``
+
+The result tables report the two components *unweighted* — "Preference"
+is ``sum 1[v=>w] p`` and "Social Presence" is ``sum 1[t-1]1[t] s`` — with
+"AFTER Utility" their beta-weighted combination (verifiable from Table II:
+0.5 * 183.6 + 0.5 * 201.2 = 192.4 ~= 192.5).  We follow that convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["StepUtility", "step_utility", "UtilityAccumulator"]
+
+
+@dataclass(frozen=True)
+class StepUtility:
+    """Utility components realised at one time step."""
+
+    preference: float       # sum of visible users' p(v, w)
+    presence: float         # sum of consecutively-visible users' s(v, w)
+
+    def after(self, beta: float) -> float:
+        """The beta-weighted AFTER utility of this step."""
+        return (1.0 - beta) * self.preference + beta * self.presence
+
+
+def step_utility(preference_row: np.ndarray, presence_row: np.ndarray,
+                 visible_now: np.ndarray, visible_previous: np.ndarray,
+                 rendered: np.ndarray) -> StepUtility:
+    """Utility realised by a recommendation at one step.
+
+    Only *recommended* users count toward the objective (Definition 3
+    sums over ``w in F_t(v)``); forced-but-unrecommended MR participants
+    contribute nothing.
+    """
+    rendered = np.asarray(rendered, dtype=bool)
+    now = np.asarray(visible_now, dtype=bool) & rendered
+    consecutive = now & np.asarray(visible_previous, dtype=bool)
+    preference = float(np.asarray(preference_row)[now].sum())
+    presence = float(np.asarray(presence_row)[consecutive].sum())
+    return StepUtility(preference=preference, presence=presence)
+
+
+class UtilityAccumulator:
+    """Accumulates per-step utilities over an episode."""
+
+    def __init__(self, beta: float):
+        if not 0.0 <= beta <= 1.0:
+            raise ValueError("beta must be in [0, 1]")
+        self.beta = beta
+        self.steps: list[StepUtility] = []
+
+    def add(self, step: StepUtility) -> None:
+        """Record one step's realised utility."""
+        self.steps.append(step)
+
+    @property
+    def num_steps(self) -> int:
+        """Number of recorded steps."""
+        return len(self.steps)
+
+    @property
+    def total_preference(self) -> float:
+        """Episode sum of the preference component."""
+        return sum(s.preference for s in self.steps)
+
+    @property
+    def total_presence(self) -> float:
+        """Episode sum of the social-presence component."""
+        return sum(s.presence for s in self.steps)
+
+    @property
+    def total_after(self) -> float:
+        """Episode AFTER utility (beta-weighted combination)."""
+        return ((1.0 - self.beta) * self.total_preference
+                + self.beta * self.total_presence)
+
+    def per_step_after(self) -> np.ndarray:
+        """AFTER utility per step (for continuity/flicker analysis)."""
+        return np.array([s.after(self.beta) for s in self.steps])

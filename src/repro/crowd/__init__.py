@@ -1,0 +1,24 @@
+"""``repro.crowd`` — crowd trajectory simulation (RVO2 substitute).
+
+The paper simulates conference trajectories with the RVO2 library; this
+package provides the same capability: reciprocal collision avoidance
+(:class:`RVOModel`), a vectorised social-force model for large rooms
+(:class:`SocialForceModel`), waypoint wandering and F-formation
+conversation groups, orchestrated by :class:`CrowdSimulator`.
+"""
+
+from .agents import AgentStates
+from .rvo import RVOModel
+from .simulator import CrowdSimulator, Trajectory
+from .social_force import SocialForceModel
+from .waypoints import ConversationGroups, WaypointBehavior
+
+__all__ = [
+    "AgentStates",
+    "RVOModel",
+    "SocialForceModel",
+    "WaypointBehavior",
+    "ConversationGroups",
+    "CrowdSimulator",
+    "Trajectory",
+]

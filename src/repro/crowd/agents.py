@@ -1,0 +1,84 @@
+"""Agent state containers for crowd simulation.
+
+The paper simulates conference-room trajectories with the RVO2 library;
+this package re-implements the same family of reciprocal collision
+avoidance on top of a struct-of-arrays agent state that every motion model
+shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["AgentStates"]
+
+
+@dataclass
+class AgentStates:
+    """Struct-of-arrays state for ``N`` agents on the floor plane."""
+
+    positions: np.ndarray          # (N, 2) metres
+    velocities: np.ndarray         # (N, 2) metres/second
+    goals: np.ndarray              # (N, 2) current waypoint
+    max_speeds: np.ndarray         # (N,) metres/second
+    radii: np.ndarray              # (N,) body radius, metres
+    group_ids: np.ndarray = field(default=None)  # (N,) -1 = ungrouped
+
+    def __post_init__(self):
+        self.positions = np.asarray(self.positions, dtype=np.float64)
+        count = self.positions.shape[0]
+        self.velocities = np.asarray(self.velocities, dtype=np.float64)
+        self.goals = np.asarray(self.goals, dtype=np.float64)
+        self.max_speeds = np.asarray(self.max_speeds, dtype=np.float64)
+        self.radii = np.asarray(self.radii, dtype=np.float64)
+        if self.group_ids is None:
+            self.group_ids = np.full(count, -1, dtype=np.int64)
+        self.group_ids = np.asarray(self.group_ids, dtype=np.int64)
+        for name in ("velocities", "goals"):
+            if getattr(self, name).shape != (count, 2):
+                raise ValueError(f"{name} must have shape ({count}, 2)")
+        for name in ("max_speeds", "radii", "group_ids"):
+            if getattr(self, name).shape != (count,):
+                raise ValueError(f"{name} must have shape ({count},)")
+
+    @classmethod
+    def spawn(cls, positions: np.ndarray, rng: np.random.Generator,
+              speed_range: tuple = (0.2, 0.8), body_radius: float = 0.25
+              ) -> "AgentStates":
+        """Create stationary agents at ``positions`` with random speeds.
+
+        Speeds follow the slow-shuffle range of a packed conference room;
+        occlusion graphs must change *gradually* between recommendation
+        steps (the paper's intertemporal-optimisation premise).
+        """
+        positions = np.asarray(positions, dtype=np.float64)
+        count = positions.shape[0]
+        return cls(
+            positions=positions.copy(),
+            velocities=np.zeros((count, 2)),
+            goals=positions.copy(),
+            max_speeds=rng.uniform(*speed_range, size=count),
+            radii=np.full(count, body_radius),
+        )
+
+    @property
+    def count(self) -> int:
+        """Number of agents."""
+        return self.positions.shape[0]
+
+    def preferred_velocities(self) -> np.ndarray:
+        """Unit-capped velocities pointing at each agent's goal."""
+        to_goal = self.goals - self.positions
+        distance = np.linalg.norm(to_goal, axis=1, keepdims=True)
+        direction = np.divide(to_goal, distance, out=np.zeros_like(to_goal),
+                              where=distance > 1e-9)
+        # Slow down when close to the goal to avoid orbiting.
+        speed = np.minimum(self.max_speeds, distance[:, 0] / 0.5)
+        return direction * speed[:, None]
+
+    def at_goal(self, tolerance: float = 0.2) -> np.ndarray:
+        """Boolean mask of agents within ``tolerance`` of their waypoint."""
+        distance = np.linalg.norm(self.goals - self.positions, axis=1)
+        return distance <= tolerance

@@ -1,0 +1,127 @@
+"""Sampled reciprocal velocity obstacles (RVO).
+
+A faithful-in-spirit replacement for the RVO2 library the paper uses to
+simulate crowd trajectories: each agent samples candidate velocities and
+picks the one minimising a penalty of (deviation from the preferred
+velocity) + (reciprocal time-to-collision against its neighbours).  This
+is the classic sampling formulation of van den Berg et al.'s RVO, which
+RVO2's ORCA linear programs approximate.
+
+Quadratic in neighbours per agent, so the fast
+:class:`~repro.crowd.social_force.SocialForceModel` is preferred for
+hundreds of agents; this model is the default for the small Hubs-style
+rooms where trajectory realism matters most.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry.space import Room
+from .agents import AgentStates
+
+__all__ = ["RVOModel"]
+
+
+class RVOModel:
+    """Sampling-based reciprocal velocity obstacle integrator."""
+
+    def __init__(self, num_samples: int = 48, time_horizon: float = 2.0,
+                 neighbor_distance: float = 3.0, collision_weight: float = 2.0,
+                 seed: int = 0):
+        if num_samples < 4:
+            raise ValueError("need at least 4 velocity samples")
+        self.num_samples = num_samples
+        self.time_horizon = time_horizon
+        self.neighbor_distance = neighbor_distance
+        self.collision_weight = collision_weight
+        self._rng = np.random.default_rng(seed)
+
+    def step(self, agents: AgentStates, room: Room, dt: float) -> None:
+        """Advance all agents by ``dt`` seconds in-place."""
+        preferred = agents.preferred_velocities()
+        new_velocities = np.empty_like(agents.velocities)
+        for i in range(agents.count):
+            new_velocities[i] = self._best_velocity(agents, i, preferred[i])
+        agents.velocities = new_velocities
+        agents.positions = room.clamp(agents.positions + agents.velocities * dt)
+
+    # ------------------------------------------------------------------
+    def _best_velocity(self, agents: AgentStates, index: int,
+                       preferred: np.ndarray) -> np.ndarray:
+        deltas = agents.positions - agents.positions[index]
+        distance = np.linalg.norm(deltas, axis=1)
+        distance[index] = np.inf
+        neighbors = np.nonzero(distance < self.neighbor_distance)[0]
+
+        candidates = self._sample_velocities(preferred,
+                                             agents.max_speeds[index])
+        if neighbors.size == 0:
+            return candidates[0]  # preferred velocity itself
+
+        best_penalty = np.inf
+        best = candidates[0]
+        for candidate in candidates:
+            deviation = float(np.linalg.norm(candidate - preferred))
+            ttc = self._min_time_to_collision(agents, index, neighbors,
+                                              candidate)
+            penalty = deviation + (self.collision_weight / ttc
+                                   if np.isfinite(ttc) else 0.0)
+            if penalty < best_penalty:
+                best_penalty = penalty
+                best = candidate
+        return best
+
+    def _sample_velocities(self, preferred: np.ndarray,
+                           max_speed: float) -> np.ndarray:
+        """Preferred velocity first, then random velocities in the disk."""
+        angles = self._rng.uniform(0, 2 * np.pi, self.num_samples - 1)
+        speeds = max_speed * np.sqrt(self._rng.random(self.num_samples - 1))
+        random_velocities = np.column_stack(
+            [speeds * np.cos(angles), speeds * np.sin(angles)])
+        return np.vstack([preferred[None, :], random_velocities])
+
+    def _min_time_to_collision(self, agents: AgentStates, index: int,
+                               neighbors: np.ndarray,
+                               candidate: np.ndarray) -> float:
+        """Earliest collision time against neighbours under RVO reciprocity.
+
+        The *reciprocal* assumption: the neighbour keeps half the
+        responsibility, so the test velocity is
+        ``2 * candidate - v_current`` relative to the neighbour's current
+        velocity.
+        """
+        rel_velocity = (2.0 * candidate - agents.velocities[index]
+                        ) - agents.velocities[neighbors]
+        rel_position = agents.positions[neighbors] - agents.positions[index]
+        combined_radius = agents.radii[index] + agents.radii[neighbors]
+
+        min_ttc = np.inf
+        for dv, dp, radius in zip(rel_velocity, rel_position, combined_radius):
+            ttc = _ray_disk_time(dp, dv, radius)
+            if ttc is not None and ttc < min_ttc:
+                min_ttc = ttc
+        if min_ttc > self.time_horizon:
+            return np.inf
+        return max(min_ttc, 1e-3)
+
+
+def _ray_disk_time(rel_position: np.ndarray, rel_velocity: np.ndarray,
+                   radius: float) -> float | None:
+    """Time until a point moving at ``rel_velocity`` enters the disk of
+    ``radius`` centred at ``rel_position``; ``None`` if it never does."""
+    # Solve |rel_position - t * rel_velocity| = radius  (note the sign:
+    # rel_position points agent -> neighbour while rel_velocity is the
+    # closing velocity of the agent toward the neighbour).
+    a = float(rel_velocity @ rel_velocity)
+    if a < 1e-12:
+        return 0.0 if float(rel_position @ rel_position) < radius ** 2 else None
+    b = -2.0 * float(rel_position @ rel_velocity)
+    c = float(rel_position @ rel_position) - radius ** 2
+    if c <= 0.0:
+        return 0.0  # already overlapping
+    disc = b * b - 4 * a * c
+    if disc <= 0.0:
+        return None
+    t = (-b - np.sqrt(disc)) / (2 * a)
+    return t if t >= 0.0 else None

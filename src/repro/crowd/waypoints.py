@@ -1,0 +1,123 @@
+"""Waypoint and conversation-group behaviours.
+
+Conference crowds do not wander uniformly: people drift between points of
+interest and cluster into F-formation conversation circles.  These
+behaviours assign and refresh agent goals; the motion models do the
+steering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry.space import Room
+from .agents import AgentStates
+
+__all__ = ["WaypointBehavior", "ConversationGroups"]
+
+
+class WaypointBehavior:
+    """Random-waypoint goal refresh with per-agent dwell times.
+
+    When an agent reaches its waypoint it lingers for a sampled dwell
+    period before receiving a new uniform goal — matching how conference
+    attendees pause at posters/booths.
+    """
+
+    def __init__(self, room: Room, rng: np.random.Generator,
+                 dwell_range: tuple = (1.0, 6.0), tolerance: float = 0.25):
+        self.room = room
+        self.rng = rng
+        self.dwell_range = dwell_range
+        self.tolerance = tolerance
+        self._dwell_left: np.ndarray | None = None
+
+    def initialise(self, agents: AgentStates) -> None:
+        """Assign initial goals and dwell timers."""
+        agents.goals = self.room.sample_positions(agents.count, self.rng)
+        self._dwell_left = np.zeros(agents.count)
+
+    def update(self, agents: AgentStates, dt: float) -> None:
+        """Refresh goals of agents that reached theirs and dwelt enough."""
+        if self._dwell_left is None:
+            self.initialise(agents)
+        arrived = agents.at_goal(self.tolerance)
+        self._dwell_left[arrived] -= dt
+        refresh = arrived & (self._dwell_left <= 0.0)
+        if refresh.any():
+            count = int(refresh.sum())
+            agents.goals[refresh] = self.room.sample_positions(count, self.rng)
+            self._dwell_left[refresh] = self.rng.uniform(
+                *self.dwell_range, size=count)
+
+
+class ConversationGroups:
+    """F-formation conversation circles layered over waypoint wandering.
+
+    A fraction of agents is assigned to groups; each group has an anchor
+    point and members' goals are placed on a circle around it, so grouped
+    agents face each other at social distance while ungrouped agents keep
+    wandering.  Groups occasionally migrate to a new anchor.
+    """
+
+    def __init__(self, room: Room, rng: np.random.Generator,
+                 group_fraction: float = 0.5, group_size_range: tuple = (2, 5),
+                 circle_radius: float = 0.8, migrate_probability: float = 0.01):
+        if not 0.0 <= group_fraction <= 1.0:
+            raise ValueError("group_fraction must be within [0, 1]")
+        self.room = room
+        self.rng = rng
+        self.group_fraction = group_fraction
+        self.group_size_range = group_size_range
+        self.circle_radius = circle_radius
+        self.migrate_probability = migrate_probability
+        self._anchors: np.ndarray | None = None
+
+    def initialise(self, agents: AgentStates) -> None:
+        """Partition agents into groups and set circular goals."""
+        count = agents.count
+        grouped_count = int(round(count * self.group_fraction))
+        order = self.rng.permutation(count)
+        agents.group_ids[:] = -1
+
+        group_id = 0
+        cursor = 0
+        anchors = []
+        while cursor < grouped_count:
+            size = int(self.rng.integers(self.group_size_range[0],
+                                         self.group_size_range[1] + 1))
+            members = order[cursor:min(cursor + size, grouped_count)]
+            if members.size < 2:
+                break
+            agents.group_ids[members] = group_id
+            anchors.append(self.room.sample_positions(1, self.rng,
+                                                      margin=1.0)[0])
+            group_id += 1
+            cursor += members.size
+        self._anchors = (np.array(anchors) if anchors
+                         else np.zeros((0, 2)))
+        self._assign_circle_goals(agents)
+
+    def update(self, agents: AgentStates, dt: float) -> None:
+        """Occasionally migrate group anchors; keep members on circles."""
+        if self._anchors is None:
+            self.initialise(agents)
+        if self._anchors.shape[0] == 0:
+            return
+        migrate = self.rng.random(self._anchors.shape[0]) \
+            < self.migrate_probability
+        if migrate.any():
+            self._anchors[migrate] = self.room.sample_positions(
+                int(migrate.sum()), self.rng, margin=1.0)
+        self._assign_circle_goals(agents)
+
+    def _assign_circle_goals(self, agents: AgentStates) -> None:
+        for group_id in range(self._anchors.shape[0]):
+            members = np.nonzero(agents.group_ids == group_id)[0]
+            if members.size == 0:
+                continue
+            angles = 2 * np.pi * np.arange(members.size) / members.size
+            offsets = self.circle_radius * np.column_stack(
+                [np.cos(angles), np.sin(angles)])
+            agents.goals[members] = self.room.clamp(
+                self._anchors[group_id] + offsets)

@@ -1,0 +1,39 @@
+"""``repro.datasets`` — synthetic conference-room episodes.
+
+Generators match the sampled-room statistics of the paper's three
+datasets (Timik, SMM, Mozilla Hubs); see DESIGN.md §2 for the
+substitution rationale.
+"""
+
+from .base import ConferenceRoom, RoomConfig, assign_interfaces
+from .hubs import HUBS_DEFAULTS, generate_hubs_room, hubs_config
+from .io import load_room, save_room
+from .registry import (
+    DATASET_GENERATORS,
+    default_config,
+    generate_episodes,
+    generate_room,
+    train_test_split,
+)
+from .smm import SMM_DEFAULTS, generate_smm_room
+from .timik import TIMIK_DEFAULTS, generate_timik_room
+
+__all__ = [
+    "ConferenceRoom",
+    "RoomConfig",
+    "assign_interfaces",
+    "generate_timik_room",
+    "generate_smm_room",
+    "generate_hubs_room",
+    "hubs_config",
+    "TIMIK_DEFAULTS",
+    "SMM_DEFAULTS",
+    "HUBS_DEFAULTS",
+    "DATASET_GENERATORS",
+    "generate_room",
+    "generate_episodes",
+    "save_room",
+    "load_room",
+    "default_config",
+    "train_test_split",
+]

@@ -1,0 +1,66 @@
+"""Saving and loading conference-room episodes.
+
+Rooms are plain ``.npz`` archives so an episode generated once (e.g. the
+exact rooms behind a result table) can be archived and re-evaluated
+bit-for-bit later, or shared without shipping generator code versions.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..crowd import Trajectory
+from ..geometry import Room
+from ..social import SocialGraph
+from .base import ConferenceRoom
+
+__all__ = ["save_room", "load_room"]
+
+_FORMAT_VERSION = 1
+
+
+def save_room(room: ConferenceRoom, path: str | os.PathLike) -> None:
+    """Write a :class:`ConferenceRoom` to ``path`` as ``.npz``."""
+    np.savez_compressed(
+        path,
+        format_version=np.array(_FORMAT_VERSION),
+        name=np.array(room.name),
+        positions=room.trajectory.positions,
+        adjacency=room.social.adjacency,
+        communities=room.social.communities,
+        tie_strengths=room.social.tie_strengths,
+        preference=room.preference,
+        presence=room.presence,
+        interfaces_mr=room.interfaces_mr,
+        room_width=np.array(room.room.width),
+        room_depth=np.array(room.room.depth),
+        body_radius=np.array(room.body_radius),
+        seed=np.array(room.seed),
+    )
+
+
+def load_room(path: str | os.PathLike) -> ConferenceRoom:
+    """Load a room saved by :func:`save_room`."""
+    with np.load(path, allow_pickle=False) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported room format version {version}")
+        social = SocialGraph(
+            adjacency=archive["adjacency"],
+            communities=archive["communities"],
+            tie_strengths=archive["tie_strengths"],
+        )
+        return ConferenceRoom(
+            name=str(archive["name"]),
+            trajectory=Trajectory(archive["positions"]),
+            social=social,
+            preference=archive["preference"],
+            presence=archive["presence"],
+            interfaces_mr=archive["interfaces_mr"].astype(bool),
+            room=Room(width=float(archive["room_width"]),
+                      depth=float(archive["room_depth"])),
+            body_radius=float(archive["body_radius"]),
+            seed=int(archive["seed"]),
+        )

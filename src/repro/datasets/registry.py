@@ -1,0 +1,61 @@
+"""Dataset registry: name -> generator dispatch and episode splits."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ConferenceRoom, RoomConfig
+from .hubs import generate_hubs_room, hubs_config
+from .smm import generate_smm_room
+from .timik import generate_timik_room
+
+__all__ = ["DATASET_GENERATORS", "generate_room", "generate_episodes",
+           "default_config", "train_test_split"]
+
+DATASET_GENERATORS = {
+    "timik": generate_timik_room,
+    "smm": generate_smm_room,
+    "hubs": generate_hubs_room,
+}
+
+
+def default_config(dataset: str) -> RoomConfig:
+    """The paper's default parameters for each dataset."""
+    if dataset == "hubs":
+        return hubs_config()
+    return RoomConfig()
+
+
+def generate_room(dataset: str, config: RoomConfig | None = None,
+                  seed: int = 0) -> ConferenceRoom:
+    """Generate one episode of the named dataset."""
+    if dataset not in DATASET_GENERATORS:
+        raise KeyError(
+            f"unknown dataset {dataset!r}; available: "
+            f"{sorted(DATASET_GENERATORS)}")
+    return DATASET_GENERATORS[dataset](config, seed=seed)
+
+
+def generate_episodes(dataset: str, count: int,
+                      config: RoomConfig | None = None, base_seed: int = 0
+                      ) -> list[ConferenceRoom]:
+    """Generate ``count`` independent episodes with derived seeds."""
+    if count < 1:
+        raise ValueError("count must be positive")
+    return [generate_room(dataset, config, seed=base_seed + 1000 * i)
+            for i in range(count)]
+
+
+def train_test_split(episodes: list, train_fraction: float = 0.8,
+                     rng: np.random.Generator | None = None
+                     ) -> tuple[list, list]:
+    """Split episodes 80/20 (paper Sec. V-A5) without shuffling bias."""
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    episodes = list(episodes)
+    if rng is not None:
+        order = rng.permutation(len(episodes))
+        episodes = [episodes[i] for i in order]
+    cut = max(1, int(round(len(episodes) * train_fraction)))
+    cut = min(cut, len(episodes) - 1) if len(episodes) > 1 else 1
+    return episodes[:cut], episodes[cut:]

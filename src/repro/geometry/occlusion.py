@@ -1,0 +1,176 @@
+"""Occlusion graph converter (paper Sec. III-B).
+
+Given a single time instance of user trajectories, the converter places the
+target user ``v`` at the centre of a circle, computes the arc each
+surrounding user occupies in ``v``'s 360-degree view, and connects two
+users whenever their arcs intersect.  The result — a circular-arc graph
+plus the isolated node ``v`` — is the *static occlusion graph*
+``O_t^v = (V, E_t^v)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .arcs import arcs_intersect
+from .space import project_to_floor
+
+__all__ = ["StaticOcclusionGraph", "OcclusionGraphConverter"]
+
+DEFAULT_BODY_RADIUS = 0.25  # metres; adult shoulder half-width
+
+
+@dataclass
+class StaticOcclusionGraph:
+    """A static occlusion graph for one target user at one time step.
+
+    Attributes
+    ----------
+    target:
+        Index of the target user ``v``; isolated by construction.
+    adjacency:
+        Boolean ``(N, N)`` arc-intersection matrix (diagonal and target
+        row/column all False).
+    distances:
+        Distance from the target to each user (0 for the target itself).
+    centers, half_widths:
+        Per-user arc parameters in the target's view (0 for the target).
+    """
+
+    target: int
+    adjacency: np.ndarray
+    distances: np.ndarray
+    centers: np.ndarray
+    half_widths: np.ndarray
+    body_radius: float = DEFAULT_BODY_RADIUS
+
+    _edge_set: frozenset = field(default=None, repr=False, compare=False)
+
+    @property
+    def num_users(self) -> int:
+        """Number of users (including the target)."""
+        return self.adjacency.shape[0]
+
+    @property
+    def num_edges(self) -> int:
+        """Number of occlusion edges."""
+        return int(self.adjacency.sum()) // 2
+
+    def edges(self) -> frozenset:
+        """Edge set as a frozenset of sorted index pairs."""
+        if self._edge_set is None:
+            rows, cols = np.nonzero(np.triu(self.adjacency, k=1))
+            self._edge_set = frozenset(zip(rows.tolist(), cols.tolist()))
+        return self._edge_set
+
+    def degree(self) -> np.ndarray:
+        """Per-node degree vector."""
+        return self.adjacency.sum(axis=1).astype(np.int64)
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Indices adjacent to ``node``."""
+        return np.nonzero(self.adjacency[node])[0]
+
+    def adjacency_float(self) -> np.ndarray:
+        """Float adjacency matrix ``A_t`` for GNN propagation."""
+        return self.adjacency.astype(np.float64)
+
+    def subgraph_adjacency(self, mask: np.ndarray) -> np.ndarray:
+        """Adjacency restricted to nodes where ``mask`` is True."""
+        keep = np.asarray(mask, dtype=bool)
+        out = self.adjacency.copy()
+        out[~keep, :] = False
+        out[:, ~keep] = False
+        return out
+
+
+class OcclusionGraphConverter:
+    """Builds static occlusion graphs from floor positions.
+
+    Parameters
+    ----------
+    body_radius:
+        Radius of the disk each user's body projects onto the floor.
+    view_limit:
+        Optional maximum distance beyond which users do not take part in
+        the view (users outside never occlude nor get occluded).  ``None``
+        means unlimited (paper's 360-degree panoramic model).
+    """
+
+    def __init__(self, body_radius: float = DEFAULT_BODY_RADIUS,
+                 view_limit: float | None = None,
+                 fov: float | None = None):
+        if body_radius <= 0:
+            raise ValueError("body_radius must be positive")
+        if view_limit is not None and view_limit <= 0:
+            raise ValueError("view_limit must be positive when given")
+        if fov is not None and not 0.0 < fov <= 2.0 * math.pi:
+            raise ValueError("fov must be in (0, 2*pi] when given")
+        self.body_radius = body_radius
+        self.view_limit = view_limit
+        self.fov = fov
+
+    def convert(self, positions: np.ndarray, target: int,
+                facing: float = 0.0) -> StaticOcclusionGraph:
+        """Build the static occlusion graph for ``target`` at one instant.
+
+        ``facing`` (radians) only matters with a finite field of view
+        (``fov``): users outside the viewing cone neither occlude nor
+        get occluded — an extension beyond the paper's 360-degree
+        panoramic model, for headset-realistic viewports.
+        """
+        floor = project_to_floor(positions)
+        count = floor.shape[0]
+        if not 0 <= target < count:
+            raise IndexError(f"target {target} out of range for {count} users")
+
+        deltas = floor - floor[target]
+        distances = np.hypot(deltas[:, 0], deltas[:, 1])
+        centers = np.arctan2(deltas[:, 1], deltas[:, 0])
+        centers[target] = 0.0
+
+        ratio = np.ones(count)
+        np.divide(self.body_radius, distances, out=ratio,
+                  where=distances > self.body_radius)
+        half_widths = np.where(distances <= self.body_radius,
+                               math.pi / 2.0, np.arcsin(np.clip(ratio, 0.0, 1.0)))
+        half_widths[target] = 0.0
+
+        adjacency = arcs_intersect(centers, half_widths)
+        adjacency[target, :] = False
+        adjacency[:, target] = False
+
+        if self.view_limit is not None:
+            visible = distances <= self.view_limit
+            visible[target] = True
+            adjacency[~visible, :] = False
+            adjacency[:, ~visible] = False
+
+        if self.fov is not None:
+            from .arcs import angular_separation
+            in_cone = angular_separation(centers, facing) \
+                <= self.fov / 2.0 + half_widths
+            in_cone[target] = True
+            adjacency[~in_cone, :] = False
+            adjacency[:, ~in_cone] = False
+
+        return StaticOcclusionGraph(
+            target=target,
+            adjacency=adjacency,
+            distances=distances,
+            centers=centers,
+            half_widths=half_widths,
+            body_radius=self.body_radius,
+        )
+
+    def convert_trajectory(self, trajectory: np.ndarray,
+                           target: int) -> list[StaticOcclusionGraph]:
+        """Convert a ``(T, N, 2)`` trajectory into per-step static graphs."""
+        trajectory = np.asarray(trajectory, dtype=np.float64)
+        if trajectory.ndim != 3:
+            raise ValueError(f"expected (T,N,2) trajectory, got {trajectory.shape}")
+        return [self.convert(trajectory[t], target)
+                for t in range(trajectory.shape[0])]

@@ -1,0 +1,106 @@
+"""Social XR space primitives.
+
+The paper models the shared environment **W** as 3-D Euclidean space but its
+occlusion-graph converter (Sec. III-B) assumes a flat room — every user at
+``(x, 0, z)`` — and reasons about the target user's 360-degree panoramic
+view.  We follow the same convention: positions are 2-D floor coordinates,
+and a helper projects 3-D input down when callers provide it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Room", "project_to_floor", "pairwise_distances", "relative_angles"]
+
+
+@dataclass(frozen=True)
+class Room:
+    """An axis-aligned rectangular conference room on the floor plane.
+
+    The paper's quantitative experiments use a "10 square meter virtual
+    conferencing room"; :meth:`square` builds that default.
+    """
+
+    width: float
+    depth: float
+
+    @classmethod
+    def square(cls, side: float = 10.0) -> "Room":
+        """A ``side x side`` metre room (paper default: 10 m)."""
+        return cls(width=side, depth=side)
+
+    @property
+    def area(self) -> float:
+        """Floor area in square metres."""
+        return self.width * self.depth
+
+    @property
+    def center(self) -> np.ndarray:
+        """Centre point of the room."""
+        return np.array([self.width / 2.0, self.depth / 2.0])
+
+    @property
+    def diagonal(self) -> float:
+        """Length of the room's diagonal."""
+        return float(np.hypot(self.width, self.depth))
+
+    def contains(self, positions: np.ndarray) -> np.ndarray:
+        """Boolean mask of which positions lie inside the room."""
+        positions = np.atleast_2d(positions)
+        return (
+            (positions[:, 0] >= 0.0)
+            & (positions[:, 0] <= self.width)
+            & (positions[:, 1] >= 0.0)
+            & (positions[:, 1] <= self.depth)
+        )
+
+    def clamp(self, positions: np.ndarray) -> np.ndarray:
+        """Clamp positions into the room (used by crowd integrators)."""
+        out = np.array(positions, dtype=np.float64, copy=True)
+        out[..., 0] = np.clip(out[..., 0], 0.0, self.width)
+        out[..., 1] = np.clip(out[..., 1], 0.0, self.depth)
+        return out
+
+    def sample_positions(self, count: int, rng: np.random.Generator,
+                         margin: float = 0.3) -> np.ndarray:
+        """Sample ``count`` uniform positions, keeping a wall margin."""
+        xs = rng.uniform(margin, self.width - margin, size=count)
+        ys = rng.uniform(margin, self.depth - margin, size=count)
+        return np.column_stack([xs, ys])
+
+
+def project_to_floor(positions: np.ndarray) -> np.ndarray:
+    """Project positions to the floor plane.
+
+    Accepts ``(N, 2)`` (returned as float64 copy) or ``(N, 3)`` where the
+    vertical axis is ``y`` (paper convention ``(x, 0, z)``), returning
+    ``(N, 2)`` arrays of ``(x, z)``.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    if positions.ndim != 2 or positions.shape[1] not in (2, 3):
+        raise ValueError(f"expected (N,2) or (N,3) positions, got {positions.shape}")
+    if positions.shape[1] == 2:
+        return positions.copy()
+    return positions[:, [0, 2]].copy()
+
+
+def pairwise_distances(positions: np.ndarray) -> np.ndarray:
+    """Dense ``(N, N)`` Euclidean distance matrix."""
+    positions = np.asarray(positions, dtype=np.float64)
+    deltas = positions[:, None, :] - positions[None, :, :]
+    return np.sqrt((deltas ** 2).sum(axis=-1))
+
+
+def relative_angles(positions: np.ndarray, target: int) -> np.ndarray:
+    """Bearing of every user as seen from ``target`` (radians in [-pi, pi]).
+
+    The target's own entry is 0 by convention.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    deltas = positions - positions[target]
+    angles = np.arctan2(deltas[:, 1], deltas[:, 0])
+    angles[target] = 0.0
+    return angles

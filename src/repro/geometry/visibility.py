@@ -1,0 +1,155 @@
+"""Visibility resolution: the indicator function ``1[v =t=> w]``.
+
+A rendered user ``w`` is *clearly seen* by the target ``v`` at time ``t``
+iff no **nearer** present user's arc overlaps ``w``'s arc.  "Present" means
+either rendered by the recommender or physically forced — a co-located MR
+participant is in the target's view whether recommended or not (paper
+Sec. III-A, hybrid participation).
+
+Virtual avatars can be drawn over physical people (Fig. 2b: AFTER
+"recommends user C to occlude the irrelevant co-located user D"), so the
+depth ordering treats rendered and forced users uniformly: whoever is
+nearer occludes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .occlusion import StaticOcclusionGraph
+
+__all__ = ["resolve_visibility", "occlusion_rate", "forced_presence_mask",
+           "physically_blocked_mask"]
+
+
+def forced_presence_mask(interfaces_mr: np.ndarray, target: int) -> np.ndarray:
+    """Users whose presence in ``target``'s view is physically forced.
+
+    If the target uses MR, every co-located MR participant is visible in
+    the pass-through view regardless of recommendations.  A VR target sees
+    a fully virtual scene, so nothing is forced.
+    """
+    interfaces_mr = np.asarray(interfaces_mr, dtype=bool)
+    forced = np.zeros_like(interfaces_mr)
+    if interfaces_mr[target]:
+        forced = interfaces_mr.copy()
+    forced[target] = False
+    return forced
+
+
+def resolve_visibility(graph: StaticOcclusionGraph, rendered: np.ndarray,
+                       forced: np.ndarray | None = None,
+                       depth_margin: float | None = None) -> np.ndarray:
+    """Compute ``1[v => w]`` for every present user ``w``.
+
+    Semantics (derived from the paper's Theorem 1, whose utility equals
+    the weight of an *independent set* in the occlusion graph, plus its
+    hybrid-participation anecdotes):
+
+    * **avatar vs avatar** — symmetric and depth-free: two rendered
+      virtual users whose arcs overlap clutter each other, and *neither*
+      is clearly seen.  (This is exactly why "render everyone" fails in
+      a crowded room.)
+    * **avatar vs physical person** — depth compositing: a meaningfully
+      nearer avatar is drawn over a physical participant (Fig. 2b:
+      "recommends user C to occlude the irrelevant co-located user D"),
+      while a meaningfully nearer physical person hides an avatar behind
+      them.
+    * **physical vs physical** — real optics: the meaningfully nearer
+      person occludes.
+
+    "Meaningfully nearer" means nearer by at least ``depth_margin``
+    (default: one body radius) — two people shoulder to shoulder both
+    stay recognisable.
+
+    Parameters
+    ----------
+    graph:
+        The static occlusion graph at the current step.
+    rendered:
+        Boolean mask of users returned by the recommender.
+    forced:
+        Boolean mask of physically present users (may overlap rendered).
+
+    Returns
+    -------
+    Boolean array: True where ``w`` is present and clearly seen.  The
+    target's own entry is always False.
+    """
+    rendered = np.asarray(rendered, dtype=bool)
+    if forced is None:
+        forced = np.zeros_like(rendered)
+    forced = np.asarray(forced, dtype=bool).copy()
+    if depth_margin is None:
+        depth_margin = graph.body_radius
+
+    forced[graph.target] = False
+    virtual = rendered.copy()
+    virtual[graph.target] = False
+    virtual &= ~forced
+    present = virtual | forced
+
+    visible = present.copy()
+    idx = np.nonzero(present)[0]
+    if idx.size == 0:
+        return visible
+
+    adjacency = graph.adjacency
+    distances = graph.distances
+    nearer = distances[None, :] < distances[:, None] - depth_margin
+
+    # Avatar cluttered by any other rendered avatar (symmetric).
+    clutter = (adjacency & virtual[None, :]).any(axis=1) & virtual
+    # Avatar hidden behind a meaningfully nearer physical person.
+    behind_physical = (adjacency & forced[None, :] & nearer).any(axis=1) \
+        & virtual
+    # Physical person occluded by a nearer physical person or covered by
+    # a nearer rendered avatar.
+    covered = (adjacency & (forced | virtual)[None, :] & nearer).any(axis=1) \
+        & forced
+
+    visible &= ~(clutter | behind_physical | covered)
+    return visible
+
+
+def physically_blocked_mask(graph: StaticOcclusionGraph,
+                            forced: np.ndarray,
+                            depth_margin: float | None = None) -> np.ndarray:
+    """Users that can never be seen because a physical user blocks them.
+
+    MIA prunes these candidates: rendering a user whose arc is covered by a
+    *nearer co-located MR participant* is ineffective, since the physical
+    person cannot be derendered.  Forced users themselves are not marked.
+    """
+    forced = np.asarray(forced, dtype=bool)
+    if depth_margin is None:
+        depth_margin = graph.body_radius
+    count = graph.num_users
+    blocked = np.zeros(count, dtype=bool)
+    forced_idx = np.nonzero(forced)[0]
+    if forced_idx.size == 0:
+        return blocked
+    overlap = graph.adjacency[:, forced_idx]
+    nearer = graph.distances[forced_idx][None, :] \
+        < graph.distances[:, None] - depth_margin
+    blocked = (overlap & nearer).any(axis=1)
+    blocked[forced_idx] = False
+    blocked[graph.target] = False
+    return blocked
+
+
+def occlusion_rate(graph: StaticOcclusionGraph, rendered: np.ndarray,
+                   forced: np.ndarray | None = None) -> float:
+    """Fraction of *recommended* users that end up occluded at this step.
+
+    This is the per-step "View Occlusion (%)" metric from the paper's
+    result tables; an empty recommendation contributes 0.
+    """
+    rendered = np.asarray(rendered, dtype=bool).copy()
+    rendered[graph.target] = False
+    total = int(rendered.sum())
+    if total == 0:
+        return 0.0
+    visible = resolve_visibility(graph, rendered, forced)
+    occluded = int((rendered & ~visible).sum())
+    return occluded / total

@@ -1,0 +1,41 @@
+"""``repro.models`` — POSHGNN and all baselines."""
+
+from .baselines import (
+    COMURNetRecommender,
+    DCRNNRecommender,
+    GraFrankRecommender,
+    MvAGCRecommender,
+    NearestRecommender,
+    OracleStepRecommender,
+    RandomRecommender,
+    RenderAllRecommender,
+    TGCNRecommender,
+)
+from .poshgnn import (
+    LWP,
+    MIA,
+    PDR,
+    POSHGNN,
+    POSHGNNLoss,
+    POSHGNNTrainer,
+    preservation_gate,
+)
+
+__all__ = [
+    "POSHGNN",
+    "POSHGNNLoss",
+    "POSHGNNTrainer",
+    "MIA",
+    "PDR",
+    "LWP",
+    "preservation_gate",
+    "RandomRecommender",
+    "NearestRecommender",
+    "RenderAllRecommender",
+    "MvAGCRecommender",
+    "GraFrankRecommender",
+    "DCRNNRecommender",
+    "TGCNRecommender",
+    "COMURNetRecommender",
+    "OracleStepRecommender",
+]

@@ -1,0 +1,31 @@
+"""``repro.models.baselines`` — the paper's seven comparison methods.
+
+Simple: :class:`RandomRecommender`, :class:`NearestRecommender` (plus
+:class:`RenderAllRecommender`, the user study's "Original").
+Static: :class:`MvAGCRecommender` (grouping), :class:`GraFrankRecommender`
+(personalised ranking).
+Dynamic: :class:`DCRNNRecommender`, :class:`TGCNRecommender` (recurrent
+GNNs trained with the POSHGNN loss).
+RL: :class:`COMURNetRecommender` (hard occlusion constraint).
+Extra: :class:`OracleStepRecommender` (per-step optimum, for bounds).
+"""
+
+from .comurnet import COMURNetRecommender
+from .grafrank import GraFrankRecommender
+from .mvagc import MvAGCRecommender
+from .oracle import OracleStepRecommender
+from .recurrent import DCRNNRecommender, TGCNRecommender
+from .simple import NearestRecommender, RandomRecommender, \
+    RenderAllRecommender
+
+__all__ = [
+    "RandomRecommender",
+    "NearestRecommender",
+    "RenderAllRecommender",
+    "MvAGCRecommender",
+    "GraFrankRecommender",
+    "DCRNNRecommender",
+    "TGCNRecommender",
+    "COMURNetRecommender",
+    "OracleStepRecommender",
+]

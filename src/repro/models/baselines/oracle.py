@@ -1,0 +1,55 @@
+"""Oracle single-step recommender (not a paper baseline).
+
+Solves each step's de-occlusion problem *optimally* via the
+polynomial-time circular-arc MWIS solver, maximising the step's expected
+AFTER gain ``(1-beta) p + beta s`` under a strict no-mutual-occlusion
+constraint.  It is myopic (no continuity reasoning) and unboundedly slow
+relative to a GNN, but provides an upper-bound reference for tests and
+ablation benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.problem import AfterProblem
+from ...core.recommender import Recommender, top_k_mask
+from ...core.scene import Frame
+from ...mwis import arcs_from_occlusion_graph, solve_circular_arc_mwis
+
+__all__ = ["OracleStepRecommender"]
+
+
+class OracleStepRecommender(Recommender):
+    """Per-step optimal de-occlusion selection (myopic oracle)."""
+
+    name = "Oracle(step)"
+
+    def reset(self, problem: AfterProblem) -> None:
+        super().reset(problem)
+        self._previous = np.zeros(problem.num_users, dtype=bool)
+
+    def recommend(self, frame: Frame) -> np.ndarray:
+        beta = self.problem.beta
+        weights = ((1.0 - beta) * frame.preference
+                   + beta * frame.presence * self._previous)
+        weights = weights * (frame.mask > 0)
+
+        arcs, eligible = arcs_from_occlusion_graph(frame.graph)
+        eligible &= frame.mask > 0
+        candidate_idx = np.nonzero(eligible)[0]
+        if candidate_idx.size == 0:
+            self._previous = np.zeros(frame.num_users, dtype=bool)
+            return self._previous.copy()
+
+        _value, chosen = solve_circular_arc_mwis(
+            [arcs[i] for i in candidate_idx], weights[candidate_idx])
+        mask = np.zeros(frame.num_users, dtype=bool)
+        mask[candidate_idx[chosen]] = True
+
+        if int(mask.sum()) > self.problem.max_render:
+            mask = top_k_mask(np.where(mask, weights, -np.inf),
+                              self.problem.max_render,
+                              eligible=mask)
+        self._previous = mask
+        return mask.copy()

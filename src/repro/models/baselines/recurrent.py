@@ -1,0 +1,232 @@
+"""Recurrent GNN baselines: DCRNN and T-GCN (paper Sec. V-A2).
+
+Both perform dynamic recommendation like POSHGNN and, "for a fair
+comparison, share similar parameters with POSHGNN and are also trained by
+POSHGNN loss".  They consume the same per-frame features but lack MIA's
+pruning mask, structural deltas, and the LWP preservation gate.
+
+* **DCRNN** [72]: diffusion convolution (bidirectional K-hop random
+  walks on the occlusion graph) feeding a GRU.
+* **T-GCN** [73]: a GRU whose gates are graph convolutions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.problem import AfterProblem
+from ...core.recommender import Recommender, top_k_mask
+from ...core.scene import Frame
+from ...nn import (
+    Adam,
+    DiffusionConv,
+    GraphGRUCell,
+    GRUCell,
+    Linear,
+    Module,
+    Tensor,
+    clip_grad_norm,
+    no_grad,
+)
+from ...nn import functional as F
+from ..poshgnn.loss import POSHGNNLoss, resolve_alpha
+from ..poshgnn.mia import row_normalise
+
+__all__ = ["DCRNNRecommender", "TGCNRecommender"]
+
+FEATURE_DIM = 4
+
+
+class _RecurrentGNNRecommender(Module, Recommender):
+    """Shared plumbing for the two recurrent baselines."""
+
+    threshold = 0.5
+
+    def __init__(self):
+        Module.__init__(self)
+        self._hidden: Tensor | None = None
+
+    # Subclasses implement one unrolled step.
+    def step(self, features: Tensor, hidden: Tensor,
+             adjacency: np.ndarray) -> tuple[Tensor, Tensor]:
+        raise NotImplementedError
+
+    def initial_state(self, num_users: int) -> Tensor:
+        raise NotImplementedError
+
+    def _frame_inputs(self, frame: Frame) -> tuple[Tensor, np.ndarray]:
+        # Raw features: the MIA preprocessing (utility pruning, distance
+        # normalisation, hybrid-participation mask) is POSHGNN's
+        # contribution — the baselines see the unprocessed scene.
+        return Tensor(frame.raw_features()), frame.graph.adjacency_float()
+
+    # ------------------------------------------------------------------
+    # Recommender interface
+    # ------------------------------------------------------------------
+    def reset(self, problem: AfterProblem) -> None:
+        Recommender.reset(self, problem)
+        self._hidden = self.initial_state(problem.num_users)
+
+    def recommend(self, frame: Frame) -> np.ndarray:
+        features, adjacency = self._frame_inputs(frame)
+        with no_grad():
+            probabilities, hidden = self.step(features, self._hidden,
+                                              adjacency)
+        self._hidden = hidden.detach()
+        # No MIA mask here either: only the target is excluded.
+        scores = probabilities.data.copy()
+        scores[frame.target] = -np.inf
+        scores[scores <= self.threshold] = -np.inf
+        eligible = np.isfinite(scores)
+        return top_k_mask(np.where(eligible, scores, -np.inf),
+                          self.problem.max_render, eligible)
+
+    def fit(self, problems: list, lr: float = 1e-2, alpha="auto",
+            epochs: int = 20, bptt_window: int = 10,
+            grad_clip: float = 5.0, restarts: int = 2, **_ignored) -> dict:
+        """Train with the POSHGNN loss (paper's fair-comparison setup).
+
+        Uses the same multi-restart protocol as POSHGNN: each restart is
+        scored by its *training-episode* AFTER utility and the best model
+        kept (recurrent models are initialisation-sensitive).
+        """
+        from ...core.evaluation import evaluate_episode
+
+        if not problems:
+            raise ValueError("no training problems")
+        if restarts < 1:
+            raise ValueError("restarts must be positive")
+        alpha = resolve_alpha(problems, alpha)
+        best_utility = -np.inf
+        best_state = None
+        best_history: list[float] = []
+        for attempt in range(restarts):
+            if attempt > 0:
+                self.reinitialize(self.seed + 1000 * attempt)
+            history = self._fit_once(problems, lr, alpha, epochs,
+                                     bptt_window, grad_clip)
+            utility = float(np.mean([
+                evaluate_episode(problem, self).after_utility
+                for problem in problems]))
+            if utility > best_utility:
+                best_utility = utility
+                best_state = self.state_dict()
+                best_history = history
+        if best_state is not None:
+            self.load_state_dict(best_state)
+        return {"loss": best_history, "best_loss": min(best_history),
+                "train_utility": best_utility}
+
+    def _fit_once(self, problems: list, lr: float, alpha: float,
+                  epochs: int, bptt_window: int,
+                  grad_clip: float) -> list:
+        optimizer = Adam(self.parameters(), lr=lr)
+        history: list[float] = []
+        best_loss = np.inf
+        best_state = None
+        for _ in range(epochs):
+            epoch_loss = 0.0
+            for problem in problems:
+                epoch_loss += self._train_episode(
+                    problem, optimizer, alpha, bptt_window, grad_clip)
+            history.append(epoch_loss / len(problems))
+            if history[-1] < best_loss:
+                best_loss = history[-1]
+                best_state = self.state_dict()
+        if best_state is not None:
+            self.load_state_dict(best_state)
+        return history
+
+    def _train_episode(self, problem: AfterProblem, optimizer: Adam,
+                       alpha: float, bptt_window: int,
+                       grad_clip: float) -> float:
+        loss_fn = POSHGNNLoss(beta=problem.beta, alpha=alpha)
+        hidden = self.initial_state(problem.num_users)
+        previous = Tensor(np.zeros(problem.num_users))
+        total_loss = 0.0
+        window_loss = None
+        steps = 0
+        for t in range(problem.horizon + 1):
+            frame = problem.frame_at(t)
+            features, adjacency = self._frame_inputs(frame)
+            probabilities, hidden = self.step(features, hidden, adjacency)
+            step_loss = loss_fn.step_loss(
+                probabilities, previous, frame.preference_hat,
+                frame.presence_hat, adjacency)
+            window_loss = step_loss if window_loss is None \
+                else window_loss + step_loss
+            previous = probabilities
+            steps += 1
+            if steps >= bptt_window or t == problem.horizon:
+                optimizer.zero_grad()
+                window_loss.backward()
+                clip_grad_norm(self.parameters(), grad_clip)
+                optimizer.step()
+                total_loss += window_loss.item()
+                window_loss = None
+                steps = 0
+                hidden = hidden.detach()
+                previous = previous.detach()
+        return total_loss
+
+
+class DCRNNRecommender(_RecurrentGNNRecommender):
+    """Diffusion-convolutional recurrent network on occlusion graphs."""
+
+    name = "DCRNN"
+
+    def __init__(self, hidden_dim: int = 8, k_hops: int = 2, seed: int = 0):
+        super().__init__()
+        self.hidden_dim = hidden_dim
+        self.k_hops = k_hops
+        self.seed = seed
+        self.reinitialize(seed)
+
+    def reinitialize(self, seed: int) -> None:
+        """(Re)draw all network parameters from the given seed."""
+        rng = np.random.default_rng(seed)
+        self.encoder = DiffusionConv(FEATURE_DIM, self.hidden_dim,
+                                     self.k_hops, rng)
+        self.cell = GRUCell(self.hidden_dim, self.hidden_dim, rng)
+        self.readout = Linear(self.hidden_dim, 1, rng)
+
+    def initial_state(self, num_users: int) -> Tensor:
+        """Zero GRU state for ``num_users`` nodes."""
+        return self.cell.initial_state(num_users)
+
+    def step(self, features: Tensor, hidden: Tensor,
+             adjacency: np.ndarray) -> tuple[Tensor, Tensor]:
+        """One unrolled step: diffusion conv -> GRU -> sigmoid head."""
+        encoded = F.relu(self.encoder(features, adjacency))
+        hidden = self.cell(encoded, hidden)
+        probabilities = F.sigmoid(self.readout(hidden)).reshape(-1)
+        return probabilities, hidden
+
+
+class TGCNRecommender(_RecurrentGNNRecommender):
+    """Temporal GCN: graph-convolutional GRU over occlusion graphs."""
+
+    name = "TGCN"
+
+    def __init__(self, hidden_dim: int = 8, seed: int = 0):
+        super().__init__()
+        self.hidden_dim = hidden_dim
+        self.seed = seed
+        self.reinitialize(seed)
+
+    def reinitialize(self, seed: int) -> None:
+        """(Re)draw all network parameters from the given seed."""
+        rng = np.random.default_rng(seed)
+        self.cell = GraphGRUCell(FEATURE_DIM, self.hidden_dim, rng)
+        self.readout = Linear(self.hidden_dim, 1, rng)
+
+    def initial_state(self, num_users: int) -> Tensor:
+        """Zero GRU state for ``num_users`` nodes."""
+        return self.cell.initial_state(num_users)
+
+    def step(self, features: Tensor, hidden: Tensor,
+             adjacency: np.ndarray) -> tuple[Tensor, Tensor]:
+        """One unrolled step: graph-gated GRU -> sigmoid head."""
+        hidden = self.cell(features, hidden, row_normalise(adjacency))
+        probabilities = F.sigmoid(self.readout(hidden)).reshape(-1)
+        return probabilities, hidden

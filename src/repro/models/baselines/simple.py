@@ -1,0 +1,82 @@
+"""The two cost-free baselines: Random and Nearest (paper Sec. V-A2).
+
+Both ignore social features entirely; Nearest is the strong cheap
+baseline ("the nearer the surrounded players, the more attractive and
+easier to socialize they usually are").  Also provides RenderAll — the
+"Original" condition of the user study (render every surrounding user).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.problem import AfterProblem
+from ...core.recommender import Recommender, top_k_mask
+from ...core.scene import Frame
+
+__all__ = ["RandomRecommender", "NearestRecommender", "RenderAllRecommender"]
+
+
+class RandomRecommender(Recommender):
+    """Uniformly random static selection of ``max_render`` users.
+
+    The set is sampled once per episode and kept — matching the paper,
+    whose Random baseline still accrues substantial social-presence
+    utility (impossible under per-step resampling).  Pass
+    ``resample_each_step=True`` for the fully chaotic variant.
+    """
+
+    name = "Random"
+
+    def __init__(self, seed: int = 0, resample_each_step: bool = False):
+        self.seed = seed
+        self.resample_each_step = resample_each_step
+        self._rng = np.random.default_rng(seed)
+        self._static_mask: np.ndarray | None = None
+
+    def reset(self, problem: AfterProblem) -> None:
+        super().reset(problem)
+        self._rng = np.random.default_rng(self.seed + problem.target)
+        self._static_mask = self._sample(problem.num_users, problem.target)
+
+    def _sample(self, num_users: int, target: int) -> np.ndarray:
+        mask = np.zeros(num_users, dtype=bool)
+        others = np.setdiff1d(np.arange(num_users), [target])
+        k = min(self.problem.max_render, others.size)
+        if k > 0:
+            mask[self._rng.choice(others, size=k, replace=False)] = True
+        return mask
+
+    def recommend(self, frame: Frame) -> np.ndarray:
+        if self.resample_each_step:
+            return self._sample(frame.num_users, frame.target)
+        return self._static_mask.copy()
+
+
+class NearestRecommender(Recommender):
+    """Top-k nearest surrounding users at time ``t``."""
+
+    name = "Nearest"
+
+    def recommend(self, frame: Frame) -> np.ndarray:
+        scores = -frame.distances
+        eligible = np.ones(frame.num_users, dtype=bool)
+        eligible[frame.target] = False
+        # Shift scores positive so top_k_mask's positivity filter passes.
+        scores = scores - scores.min() + 1.0
+        return top_k_mask(scores, self.problem.max_render, eligible)
+
+
+class RenderAllRecommender(Recommender):
+    """Render every surrounding user — today's default social XR view.
+
+    The user study's "Original" condition; unbounded by the display
+    budget by design.
+    """
+
+    name = "Original"
+
+    def recommend(self, frame: Frame) -> np.ndarray:
+        mask = np.ones(frame.num_users, dtype=bool)
+        mask[frame.target] = False
+        return mask

@@ -1,0 +1,28 @@
+"""``repro.models.poshgnn`` — the paper's proposed framework.
+
+* :class:`MIA` — multi-modal information aggregation (Sec. IV-A),
+* :class:`PDR` — partial-view de-occlusion recommender (Sec. IV-B),
+* :class:`LWP` + :func:`preservation_gate` — continuity learning
+  (Sec. IV-C),
+* :class:`POSHGNNLoss` — Definition 7,
+* :class:`POSHGNN` — the composed recommender with ablation switches,
+* :class:`POSHGNNTrainer` — truncated-BPTT Adam training.
+"""
+
+from .loss import POSHGNNLoss
+from .lwp import LWP, preservation_gate
+from .mia import MIA, MIAOutput
+from .model import POSHGNN
+from .pdr import PDR
+from .trainer import POSHGNNTrainer
+
+__all__ = [
+    "MIA",
+    "MIAOutput",
+    "PDR",
+    "LWP",
+    "preservation_gate",
+    "POSHGNNLoss",
+    "POSHGNN",
+    "POSHGNNTrainer",
+]

@@ -1,0 +1,58 @@
+"""LWP — Learning Which to Preserve (paper Sec. IV-C).
+
+A three-layer GNN deciding, per user, how much of the previous
+recommendation to inherit.  Its input concatenates:
+
+* ``x_hat_t`` — current normalised features (from MIA),
+* ``Delta_t`` — structural change of the occlusion graph,
+* ``h_{t-1}`` — PDR's previous hidden state (recommendation uncertainty),
+* ``r_{t-1}`` — the previous final recommendation.
+
+The output ``sigma in [0, 1]^N`` drives the preservation gate
+
+``r_t = m_t (x) [(1 - sigma) * r_tilde_t + sigma * r_{t-1}]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...nn import GraphConv, Module, Tensor
+from ...nn import functional as F
+
+__all__ = ["LWP", "preservation_gate"]
+
+
+class LWP(Module):
+    """Three-layer preservation network."""
+
+    def __init__(self, feature_dim: int, delta_dim: int, hidden_dim: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        in_features = feature_dim + delta_dim + hidden_dim + 1
+        self.conv1 = GraphConv(in_features, hidden_dim, rng,
+                               activation="relu")
+        self.conv2 = GraphConv(hidden_dim, hidden_dim, rng,
+                               activation="relu")
+        self.conv3 = GraphConv(hidden_dim, 1, rng, activation="sigmoid")
+
+    def forward(self, features, delta, previous_hidden,
+                previous_recommendation, adjacency: np.ndarray) -> Tensor:
+        """Return the preservation vector ``sigma`` of shape (N,)."""
+        prev_rec = previous_recommendation
+        if prev_rec.ndim == 1:
+            prev_rec = prev_rec.reshape(-1, 1)
+        joint = F.concatenate(
+            [features, delta, previous_hidden, prev_rec], axis=1)
+        hidden = self.conv1(joint, adjacency)
+        hidden = self.conv2(hidden, adjacency)
+        return self.conv3(hidden, adjacency).reshape(-1)
+
+
+def preservation_gate(mask, sigma, prototype, previous) -> Tensor:
+    """The POSHGNN preservation gate (paper Sec. IV-C).
+
+    ``r_t = m_t (x) [(1 - sigma) * r_tilde_t + sigma * r_{t-1}]``
+    """
+    mask = mask if isinstance(mask, Tensor) else Tensor(np.asarray(mask))
+    return mask * ((1.0 - sigma) * prototype + sigma * previous)

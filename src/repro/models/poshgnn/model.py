@@ -1,0 +1,189 @@
+"""The full POSHGNN recommender (paper Sec. IV).
+
+Composes MIA -> PDR -> LWP -> preservation gate, exposes both the
+training-time unrolled forward pass and the :class:`~repro.core.Recommender`
+inference interface.
+
+Ablation variants (paper Table V) are selected by flags:
+
+* ``use_lwp=False``  -> "PDR w/ MIA": the gate is bypassed
+  (``r_t = m_t (x) r_tilde_t``).
+* ``use_mia=False``  -> "Only PDR": raw un-normalised features, no
+  pruning mask, no structural deltas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.problem import AfterProblem
+from ...core.recommender import Recommender, scores_to_recommendation
+from ...core.scene import Frame
+from ...nn import Module, Tensor, no_grad
+from .lwp import LWP, preservation_gate
+from .mia import MIA
+from .pdr import PDR
+
+__all__ = ["POSHGNN"]
+
+FEATURE_DIM = 4   # [p_hat, s_hat, distance, interface]
+DELTA_DIM = 3     # [e^0, e^1, e^2]
+
+
+class POSHGNN(Module, Recommender):
+    """PP/OP/SP/HP-aware graph neural network.
+
+    Parameters
+    ----------
+    hidden_dim:
+        GNN hidden width (paper: 8).
+    use_mia / use_lwp:
+        Ablation switches (see module docstring).
+    threshold:
+        Probability cut-off at inference; users above it compete for the
+        ``max_render`` display slots.
+    """
+
+    name = "POSHGNN"
+
+    def __init__(self, hidden_dim: int = 8, use_mia: bool = True,
+                 use_lwp: bool = True, threshold: float = 0.5,
+                 seed: int = 0):
+        Module.__init__(self)
+        self.hidden_dim = hidden_dim
+        self.use_mia = use_mia
+        self.use_lwp = use_lwp
+        self.threshold = threshold
+        self.seed = seed
+        self.mia = MIA(use_normalised=use_mia, use_delta=use_mia)
+        self.reinitialize(seed)
+
+        if not use_lwp and not use_mia:
+            self.name = "Only PDR"
+        elif not use_lwp:
+            self.name = "PDR w/ MIA"
+
+        self._hidden: Tensor | None = None
+        self._recommendation: Tensor | None = None
+
+    def reinitialize(self, seed: int) -> None:
+        """(Re)draw all network parameters from the given seed."""
+        rng = np.random.default_rng(seed)
+        self.pdr = PDR(FEATURE_DIM, self.hidden_dim, rng)
+        if self.use_lwp:
+            self.lwp = LWP(FEATURE_DIM, DELTA_DIM, self.hidden_dim, rng)
+
+    # ------------------------------------------------------------------
+    # Shared step logic
+    # ------------------------------------------------------------------
+    def initial_state(self, num_users: int) -> tuple[Tensor, Tensor]:
+        """Zero hidden state and zero previous recommendation."""
+        return (Tensor(np.zeros((num_users, self.hidden_dim))),
+                Tensor(np.zeros(num_users)))
+
+    def step(self, frame: Frame, previous_hidden: Tensor,
+             previous_recommendation: Tensor
+             ) -> tuple[Tensor, Tensor, "np.ndarray"]:
+        """One unrolled POSHGNN step.
+
+        Returns ``(r_t, h_t, mia_output)`` where ``r_t`` and ``h_t``
+        participate in the autograd graph.
+        """
+        aggregated = self.mia.process(frame)
+        features = Tensor(aggregated.features)
+        prototype, hidden = self.pdr(features, aggregated.propagation)
+
+        if self.use_lwp:
+            sigma = self.lwp(features, Tensor(aggregated.delta),
+                             previous_hidden, previous_recommendation,
+                             aggregated.propagation)
+            # Never fully freeze: a slice of PDR's fresh solution is
+            # always blended in so stale recommendations get re-examined
+            # (the paper's "re-examine parts where ... the recommendation
+            # results are inferior").
+            recommendation = preservation_gate(
+                aggregated.mask, sigma * self.max_preserve, prototype,
+                previous_recommendation)
+        else:
+            recommendation = Tensor(aggregated.mask) * prototype
+        return recommendation, hidden, aggregated
+
+    # ------------------------------------------------------------------
+    # Recommender interface
+    # ------------------------------------------------------------------
+    #: Score bonus for users already on the display.  LWP preserves
+    #: continuity at the probability level; this makes the preservation
+    #: effective at the *set* level too — without it, ranking noise among
+    #: near-tied probabilities churns the top-k and destroys the
+    #: consecutive visibility that social presence requires.
+    incumbent_bonus = 0.1
+
+    #: Upper bound on the preservation coefficient (see ``step``).
+    max_preserve = 0.85
+
+    def reset(self, problem: AfterProblem) -> None:
+        Recommender.reset(self, problem)
+        self.mia.reset()
+        self._hidden, self._recommendation = self.initial_state(
+            problem.num_users)
+        self._rendered = np.zeros(problem.num_users, dtype=bool)
+
+    def recommend(self, frame: Frame) -> np.ndarray:
+        with no_grad():
+            recommendation, hidden, _ = self.step(
+                frame, self._hidden, self._recommendation)
+        self._hidden = hidden.detach()
+        self._recommendation = recommendation.detach()
+        scores = recommendation.data.copy()
+        if self.use_lwp:
+            scores = scores + self.incumbent_bonus * self._rendered
+        rendered = scores_to_recommendation(
+            scores, frame, self.problem.max_render,
+            threshold=self.threshold)
+        self._rendered = rendered
+        return rendered
+
+    #: Preservation-cap candidates explored during fitting (with LWP).
+    preserve_grid = (1.0, 0.85)
+
+    def fit(self, problems: list, restarts: int = 2, **kwargs) -> dict:
+        """Train with multi-restart model selection.
+
+        Gated recurrences are initialisation-sensitive, and the best
+        preservation strength depends on how fast the scene changes.
+        ``restarts`` seeds x the ``preserve_grid`` caps are each trained,
+        and the model achieving the highest *training-episode* AFTER
+        utility (the true objective — no test data involved) is kept.
+        Remaining kwargs go to
+        :class:`~repro.models.poshgnn.trainer.POSHGNNTrainer`.
+        """
+        from ...core.evaluation import evaluate_episode
+        from .trainer import POSHGNNTrainer
+
+        if restarts < 1:
+            raise ValueError("restarts must be positive")
+        caps = self.preserve_grid if self.use_lwp else (1.0,)
+        best_utility = -np.inf
+        best_state = None
+        best_cap = self.max_preserve
+        best_history: dict = {}
+        for attempt in range(restarts):
+            seed = self.seed + 1000 * attempt
+            for cap in caps:
+                self.reinitialize(seed)
+                self.max_preserve = cap
+                trainer = POSHGNNTrainer(self, **kwargs)
+                history = trainer.train(problems)
+                utility = float(np.mean([
+                    evaluate_episode(problem, self).after_utility
+                    for problem in problems]))
+                if utility > best_utility:
+                    best_utility = utility
+                    best_state = self.state_dict()
+                    best_cap = cap
+                    best_history = history
+        if best_state is not None:
+            self.max_preserve = best_cap
+            self.load_state_dict(best_state)
+        best_history["train_utility"] = best_utility
+        return best_history

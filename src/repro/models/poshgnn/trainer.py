@@ -1,0 +1,97 @@
+"""POSHGNN training loop: truncated BPTT on the POSHGNN loss.
+
+The paper trains with Adam at lr 1e-2 (Sec. V-A5).  Episodes are unrolled
+in windows; the recurrent carries (``h_{t-1}``, ``r_{t-1}``) are detached
+at window boundaries so the autograd graph stays bounded on long horizons
+(T = 100).
+"""
+
+from __future__ import annotations
+
+import numpy as np  # noqa: F401  (used for best-epoch tracking)
+
+from ...core.problem import AfterProblem
+from ...nn import Adam, clip_grad_norm
+from .loss import POSHGNNLoss, resolve_alpha
+from .model import POSHGNN
+
+__all__ = ["POSHGNNTrainer"]
+
+
+class POSHGNNTrainer:
+    """Trains a :class:`POSHGNN` on a set of problems (target episodes)."""
+
+    def __init__(self, model: POSHGNN, lr: float = 1e-2, alpha="auto",
+                 epochs: int = 20, bptt_window: int = 10,
+                 grad_clip: float = 5.0, verbose: bool = False):
+        if epochs < 1:
+            raise ValueError("epochs must be positive")
+        if bptt_window < 1:
+            raise ValueError("bptt_window must be positive")
+        self.model = model
+        self.alpha = alpha
+        self.epochs = epochs
+        self.bptt_window = bptt_window
+        self.grad_clip = grad_clip
+        self.verbose = verbose
+        self.optimizer = Adam(model.parameters(), lr=lr)
+
+    def train(self, problems: list) -> dict:
+        """Run the full training loop; returns a loss history dict."""
+        if not problems:
+            raise ValueError("no training problems")
+        self.alpha = resolve_alpha(problems, self.alpha)
+        history: list[float] = []
+        best_loss = np.inf
+        best_state = None
+        for epoch in range(self.epochs):
+            epoch_loss = 0.0
+            for problem in problems:
+                epoch_loss += self._train_episode(problem)
+            history.append(epoch_loss / len(problems))
+            if history[-1] < best_loss:
+                best_loss = history[-1]
+                best_state = self.model.state_dict()
+            if self.verbose:
+                print(f"epoch {epoch + 1}/{self.epochs}: "
+                      f"loss {history[-1]:.4f}")
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        return {"loss": history, "best_loss": best_loss}
+
+    def _train_episode(self, problem: AfterProblem) -> float:
+        loss_fn = POSHGNNLoss(beta=problem.beta, alpha=self.alpha)
+        self.model.mia.reset()
+        hidden, recommendation = self.model.initial_state(problem.num_users)
+
+        total_loss = 0.0
+        window_loss = None
+        steps_in_window = 0
+
+        for t in range(problem.horizon + 1):
+            frame = problem.frame_at(t)
+            new_recommendation, new_hidden, aggregated = self.model.step(
+                frame, hidden, recommendation)
+            step_loss = loss_fn.step_loss(
+                new_recommendation, recommendation,
+                frame.preference_hat, frame.presence_hat,
+                aggregated.adjacency)
+            window_loss = step_loss if window_loss is None \
+                else window_loss + step_loss
+            steps_in_window += 1
+            hidden, recommendation = new_hidden, new_recommendation
+
+            end_of_window = steps_in_window >= self.bptt_window
+            end_of_episode = t == problem.horizon
+            if end_of_window or end_of_episode:
+                self.optimizer.zero_grad()
+                window_loss.backward()
+                clip_grad_norm(self.model.parameters(), self.grad_clip)
+                self.optimizer.step()
+                total_loss += window_loss.item()
+                window_loss = None
+                steps_in_window = 0
+                hidden = hidden.detach()
+                recommendation = recommendation.detach()
+
+        return total_loss

@@ -1,0 +1,32 @@
+"""``repro.mwis`` — Maximum Weighted Independent Set solvers.
+
+The AFTER problem's hardness comes from MWIS on geometric intersection
+graphs (paper Theorem 1).  This package provides:
+
+* :func:`solve_mwis_exact` — branch-and-bound, optimal on small graphs;
+* :func:`solve_mwis_greedy` / :func:`improve_local_search` — fast
+  heuristics for conference-scale graphs;
+* :func:`solve_circular_arc_mwis` — polynomial-time optimum on the
+  circular-arc graphs produced by the occlusion converter;
+* :func:`solve_mwis` — dispatching front door.
+"""
+
+from .circular_arc import (
+    arcs_from_occlusion_graph,
+    solve_circular_arc_mwis,
+    solve_interval_mwis,
+)
+from .exact import is_independent_set, set_weight, solve_mwis_exact
+from .greedy import improve_local_search, solve_mwis, solve_mwis_greedy
+
+__all__ = [
+    "solve_mwis_exact",
+    "solve_mwis_greedy",
+    "improve_local_search",
+    "solve_mwis",
+    "solve_interval_mwis",
+    "solve_circular_arc_mwis",
+    "arcs_from_occlusion_graph",
+    "is_independent_set",
+    "set_weight",
+]

@@ -1,0 +1,145 @@
+"""Polynomial-time MWIS on interval and circular-arc graphs.
+
+Static occlusion graphs are circular-arc graphs (paper Sec. III-B), where
+MWIS is solvable in polynomial time even though it is NP-hard on general
+geometric intersection graphs.  This solver gives an *optimal single-step*
+de-occlusion oracle used for measuring approximation quality of learned
+recommenders in tests and ablation benches.
+
+Representation: each arc is ``(start, end)`` in radians; ``end < start``
+denotes a wraparound arc crossing the +/- pi seam.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["solve_interval_mwis", "solve_circular_arc_mwis",
+           "arcs_from_occlusion_graph"]
+
+TWO_PI = 2.0 * math.pi
+
+
+def solve_interval_mwis(intervals: list, weights: np.ndarray
+                        ) -> tuple[float, list]:
+    """Weighted interval scheduling on the line.
+
+    ``intervals`` are ``(start, end)`` closed intervals with
+    ``start <= end``.  Returns ``(best_weight, chosen_indices)``; only
+    positive-weight intervals are ever chosen.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    items = [(s, e, w, i) for (s, e), w, i in
+             zip(intervals, weights, range(len(intervals))) if w > 0]
+    if not items:
+        return 0.0, []
+    items.sort(key=lambda item: item[1])  # by end
+    ends = [item[1] for item in items]
+
+    # predecessor[j]: last interval ending strictly before items[j] starts.
+    import bisect
+    best = [0.0] * (len(items) + 1)
+    choice: list = [None] * (len(items) + 1)
+    for j, (start, _end, weight, _orig) in enumerate(items, start=1):
+        # Closed intervals touching at an endpoint intersect, so require
+        # predecessor end < start strictly.
+        pred = bisect.bisect_left(ends, start, 0, j - 1)
+        take = best[pred] + weight
+        skip = best[j - 1]
+        if take > skip:
+            best[j] = take
+            choice[j] = ("take", pred)
+        else:
+            best[j] = skip
+            choice[j] = ("skip", j - 1)
+
+    chosen = []
+    j = len(items)
+    while j > 0:
+        action, prev = choice[j]
+        if action == "take":
+            chosen.append(items[j - 1][3])
+        j = prev if action == "take" else j - 1
+    chosen.reverse()
+    return best[len(items)], chosen
+
+
+def _normalise(angle: float) -> float:
+    return angle % TWO_PI
+
+
+def solve_circular_arc_mwis(arcs: list, weights: np.ndarray
+                            ) -> tuple[float, list]:
+    """MWIS on a circular-arc graph.
+
+    Standard reduction: pick a cut point (the start of an arbitrary arc).
+    Either no chosen arc crosses the cut — an interval instance on the
+    unrolled circle — or exactly one crossing arc is chosen, in which case
+    the remainder is an interval instance on the gap left by that arc.
+
+    Arcs are ``(start, end)`` pairs in radians; ``end < start`` (after
+    normalisation to ``[0, 2 pi)``) marks a wraparound arc.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if len(arcs) == 0:
+        return 0.0, []
+    norm = [(_normalise(s), _normalise(e)) for s, e in arcs]
+    cut = norm[0][0] - 1e-9  # just before the first arc's start
+
+    def unroll(angle: float) -> float:
+        """Map angle to [0, 2 pi) measured from the cut point."""
+        return (angle - cut) % TWO_PI
+
+    crossing: list[int] = []
+    linear: list[tuple] = []  # (start', end', original index)
+    for i, (s, e) in enumerate(norm):
+        s2, e2 = unroll(s), unroll(e)
+        if s2 <= e2:
+            linear.append((s2, e2, i))
+        else:
+            crossing.append(i)
+
+    def interval_solution(allowed: list) -> tuple[float, list]:
+        intervals = [(s, e) for s, e, _i in allowed]
+        ws = np.array([weights[i] for _s, _e, i in allowed])
+        value, picked = solve_interval_mwis(intervals, ws)
+        return value, [allowed[j][2] for j in picked]
+
+    best_value, best_set = interval_solution(linear)
+
+    # Try forcing each wraparound arc into the solution.
+    for c in crossing:
+        if weights[c] <= 0:
+            continue
+        s_c, e_c = unroll(norm[c][0]), unroll(norm[c][1])
+        # The chosen arc occupies [s_c, 2 pi) and [0, e_c]; remaining arcs
+        # must fit strictly inside (e_c, s_c).
+        allowed = [(s, e, i) for s, e, i in linear if s > e_c and e < s_c]
+        value, chosen = interval_solution(allowed)
+        value += weights[c]
+        if value > best_value:
+            best_value = value
+            best_set = chosen + [c]
+
+    return best_value, sorted(best_set)
+
+
+def arcs_from_occlusion_graph(graph) -> tuple[list, np.ndarray]:
+    """Extract ``(start, end)`` arcs and a keep-mask from a static graph.
+
+    The target's degenerate zero-width arc is excluded; returns the arc
+    list (indexed by user id) and the boolean mask of participating users.
+    """
+    mask = np.ones(graph.num_users, dtype=bool)
+    mask[graph.target] = False
+    arcs = []
+    for i in range(graph.num_users):
+        if not mask[i]:
+            arcs.append((0.0, 0.0))
+            continue
+        start = graph.centers[i] - graph.half_widths[i]
+        end = graph.centers[i] + graph.half_widths[i]
+        arcs.append((start, end))
+    return arcs, mask

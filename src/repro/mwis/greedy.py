@@ -1,0 +1,113 @@
+"""Greedy and local-search MWIS heuristics.
+
+These run in (near-)linear time on conference-scale occlusion graphs and
+back two things: COMURNet's hard occlusion-free constraint (which needs a
+fast independent-set construction each step) and quality baselines in the
+solver test-suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .exact import is_independent_set, set_weight
+
+__all__ = ["solve_mwis_greedy", "improve_local_search", "solve_mwis"]
+
+
+def solve_mwis_greedy(adjacency: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Greedy MWIS: repeatedly take the best weight/(degree+1) vertex.
+
+    The classic GWMIN rule — it guarantees a ``sum w(v)/(deg(v)+1)`` lower
+    bound and is exact on empty graphs.
+    """
+    adjacency = np.asarray(adjacency, dtype=bool).copy()
+    weights = np.asarray(weights, dtype=np.float64)
+    count = adjacency.shape[0]
+    alive = weights > 0
+    selected = np.zeros(count, dtype=bool)
+
+    degrees = adjacency.sum(axis=1).astype(np.float64)
+    while alive.any():
+        score = np.where(alive, weights / (degrees + 1.0), -np.inf)
+        pick = int(np.argmax(score))
+        if not np.isfinite(score[pick]) or score[pick] <= 0:
+            break
+        selected[pick] = True
+        neighbourhood = adjacency[pick] | (np.arange(count) == pick)
+        removed = alive & neighbourhood
+        alive &= ~neighbourhood
+        # Update degrees of remaining vertices.
+        if removed.any():
+            degrees -= adjacency[:, removed].sum(axis=1)
+    return selected
+
+
+def improve_local_search(adjacency: np.ndarray, weights: np.ndarray,
+                         selection: np.ndarray, max_rounds: int = 10) -> np.ndarray:
+    """(1,2)-swap local search on an independent set.
+
+    Repeatedly tries to remove one selected vertex and insert a heavier
+    independent pair (or single) from its neighbourhood; also inserts any
+    free vertex.  Preserves independence by construction.
+    """
+    adjacency = np.asarray(adjacency, dtype=bool)
+    weights = np.asarray(weights, dtype=np.float64)
+    selection = np.asarray(selection, dtype=bool).copy()
+    count = adjacency.shape[0]
+
+    for _ in range(max_rounds):
+        improved = False
+        # Insert any vertex with no selected neighbour (free vertex).
+        conflict = adjacency @ selection
+        free = (~selection) & (~conflict) & (weights > 0)
+        if free.any():
+            selection |= _greedy_free_insertion(adjacency, weights, free)
+            improved = True
+
+        # (1,2)-swaps: drop u, add two independent neighbours heavier than u.
+        for u in np.nonzero(selection)[0]:
+            selection[u] = False
+            conflict = adjacency @ selection
+            candidates = np.nonzero((~selection) & (~conflict) & (weights > 0))[0]
+            best_gain = weights[u]
+            best_add: tuple = (u,)
+            for i, a in enumerate(candidates):
+                if weights[a] > best_gain:
+                    best_gain = weights[a]
+                    best_add = (a,)
+                for b in candidates[i + 1:]:
+                    if not adjacency[a, b] and weights[a] + weights[b] > best_gain:
+                        best_gain = weights[a] + weights[b]
+                        best_add = (a, b)
+            for v in best_add:
+                selection[v] = True
+            if best_add != (u,):
+                improved = True
+        if not improved:
+            break
+    assert is_independent_set(adjacency, selection)
+    return selection
+
+
+def _greedy_free_insertion(adjacency: np.ndarray, weights: np.ndarray,
+                           free: np.ndarray) -> np.ndarray:
+    """Greedily insert free vertices, keeping mutual independence."""
+    added = np.zeros_like(free)
+    order = np.argsort(-weights)
+    for v in order:
+        if free[v] and not (adjacency[v] & added).any():
+            added[v] = True
+    return added
+
+
+def solve_mwis(adjacency: np.ndarray, weights: np.ndarray,
+               exact_threshold: int = 24) -> np.ndarray:
+    """Best-available MWIS: exact for small graphs, greedy+LS otherwise."""
+    from .exact import solve_mwis_exact
+
+    count = np.asarray(adjacency).shape[0]
+    if count <= exact_threshold:
+        return solve_mwis_exact(adjacency, weights)
+    greedy = solve_mwis_greedy(adjacency, weights)
+    return improve_local_search(adjacency, weights, greedy, max_rounds=3)

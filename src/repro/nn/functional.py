@@ -1,0 +1,151 @@
+"""Functional operations on :class:`~repro.nn.tensor.Tensor` objects.
+
+Thin, composable wrappers used across model code.  Every function accepts
+tensors or array-likes and returns a tensor participating in the autograd
+graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "relu",
+    "sigmoid",
+    "tanh",
+    "exp",
+    "log",
+    "softmax",
+    "log_softmax",
+    "concatenate",
+    "stack",
+    "dot",
+    "matmul",
+    "sum",
+    "mean",
+    "binary_cross_entropy",
+    "mse_loss",
+    "softplus",
+    "dropout",
+]
+
+
+def relu(x) -> Tensor:
+    """Rectified linear unit."""
+    return as_tensor(x).relu()
+
+
+def sigmoid(x) -> Tensor:
+    """Logistic sigmoid."""
+    return as_tensor(x).sigmoid()
+
+
+def tanh(x) -> Tensor:
+    """Hyperbolic tangent."""
+    return as_tensor(x).tanh()
+
+
+def exp(x) -> Tensor:
+    """Elementwise exponential (input clipped for stability)."""
+    return as_tensor(x).exp()
+
+
+def log(x, eps: float = 1e-12) -> Tensor:
+    """Elementwise natural log with an epsilon floor."""
+    return as_tensor(x).log(eps)
+
+
+def softplus(x) -> Tensor:
+    """Numerically-stable ``log(1 + exp(x))``."""
+    x = as_tensor(x)
+    return relu(x) + log(exp(-x.abs()) + 1.0)
+
+
+def softmax(x, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` with max-subtraction for stability."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    e = shifted.exp()
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis``."""
+    return softmax(x, axis=axis).log()
+
+
+def concatenate(tensors, axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with full gradient routing."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad):
+        for t, lo, hi in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                index = [slice(None)] * grad.ndim
+                index[axis] = slice(lo, hi)
+                t._accumulate(grad[tuple(index)])
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def stack(tensors, axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad):
+        slices = np.split(grad, len(tensors), axis=axis)
+        for t, g in zip(tensors, slices):
+            if t.requires_grad:
+                t._accumulate(np.squeeze(g, axis=axis))
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def dot(a, b) -> Tensor:
+    """Inner product of two 1-D tensors."""
+    return (as_tensor(a) * as_tensor(b)).sum()
+
+
+def matmul(a, b) -> Tensor:
+    """Matrix product participating in the autograd graph."""
+    return as_tensor(a).matmul(b)
+
+
+def sum(x, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    """Sum reduction (shadowing builtin intentionally, as in torch)."""
+    return as_tensor(x).sum(axis=axis, keepdims=keepdims)
+
+
+def mean(x, axis=None, keepdims: bool = False) -> Tensor:
+    """Mean reduction."""
+    return as_tensor(x).mean(axis=axis, keepdims=keepdims)
+
+
+def binary_cross_entropy(pred, target, eps: float = 1e-9) -> Tensor:
+    """Mean binary cross-entropy between probabilities and 0/1 targets."""
+    pred = as_tensor(pred)
+    target = as_tensor(target)
+    loss = -(target * pred.log(eps) + (1.0 - target) * (1.0 - pred).log(eps))
+    return loss.mean()
+
+
+def mse_loss(pred, target) -> Tensor:
+    """Mean squared error."""
+    diff = as_tensor(pred) - as_tensor(target)
+    return (diff * diff).mean()
+
+
+def dropout(x, rate: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout; identity when ``training`` is False or rate is 0."""
+    if not training or rate <= 0.0:
+        return as_tensor(x)
+    x = as_tensor(x)
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep) / keep
+    return x * Tensor(mask)

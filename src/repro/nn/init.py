@@ -1,0 +1,59 @@
+"""Parameter initialisation schemes.
+
+All initialisers take an explicit ``numpy.random.Generator`` so that model
+construction is deterministic under a seed — a requirement for reproducible
+experiment tables.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "he_uniform", "uniform", "zeros", "orthogonal"]
+
+
+def glorot_uniform(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for a weight of ``shape``."""
+    fan_in, fan_out = _fans(shape)
+    limit = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_uniform(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming uniform initialisation (for ReLU networks)."""
+    fan_in, _ = _fans(shape)
+    limit = math.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def uniform(shape: tuple, rng: np.random.Generator, limit: float = 0.1) -> np.ndarray:
+    """Plain uniform initialisation on ``[-limit, limit]``."""
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    """All-zero initialisation (biases)."""
+    return np.zeros(shape)
+
+
+def orthogonal(shape: tuple, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Orthogonal initialisation (recurrent weight matrices)."""
+    if len(shape) != 2:
+        raise ValueError("orthogonal init requires a 2-D shape")
+    rows, cols = shape
+    a = rng.standard_normal((max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(a)
+    q = q * np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return gain * q[:rows, :cols]
+
+
+def _fans(shape: tuple) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[1:]))
+    fan_out = shape[0]
+    return fan_in, fan_out

@@ -1,0 +1,98 @@
+"""Gradient-based optimisers.
+
+The paper trains with Adam at learning rate 1e-2; SGD is provided for the
+ablation benches and as a sanity baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm"]
+
+
+class Optimizer:
+    """Base optimiser holding a fixed list of parameters."""
+
+    def __init__(self, parameters):
+        self.parameters: list[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+
+    def zero_grad(self) -> None:
+        """Clear gradients on all managed parameters."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the accumulated gradients."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters, lr: float = 0.01, momentum: float = 0.0):
+        super().__init__(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        """One (momentum) SGD update."""
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            if self.momentum > 0.0:
+                velocity *= self.momentum
+                velocity += param.grad
+                param.data = param.data - self.lr * velocity
+            else:
+                param.data = param.data - self.lr * param.grad
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba, 2015)."""
+
+    def __init__(self, parameters, lr: float = 0.01, betas: tuple = (0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0):
+        super().__init__(parameters)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        """One Adam update with bias correction."""
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay > 0.0:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def clip_grad_norm(parameters, max_norm: float) -> float:
+    """Clip gradients in-place to a global L2 norm; returns the norm."""
+    parameters = [p for p in parameters if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in parameters)))
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        for param in parameters:
+            param.grad = param.grad * scale
+    return total

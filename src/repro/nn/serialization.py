@@ -1,0 +1,30 @@
+"""Saving and loading model parameters.
+
+Checkpoints are plain ``.npz`` archives of the module's flat state dict,
+so they can be inspected with numpy alone.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_module", "load_module"]
+
+
+def save_module(module: Module, path: str | os.PathLike) -> None:
+    """Write ``module``'s parameters to ``path`` as an ``.npz`` archive."""
+    state = module.state_dict()
+    # npz keys cannot contain '/', dots are fine.
+    np.savez(path, **{name: value for name, value in state.items()})
+
+
+def load_module(module: Module, path: str | os.PathLike) -> Module:
+    """Load parameters saved by :func:`save_module` into ``module``."""
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)
+    return module

@@ -1,0 +1,21 @@
+"""``repro.social`` — social network substrate.
+
+Generates conference-room social graphs with controllable statistics and
+the two pairwise utilities the AFTER problem consumes: preference
+``p(v, w)`` and social presence ``s(v, w)`` (both in [0, 1]).
+"""
+
+from .embeddings import cosine_similarity_matrix, spectral_embedding
+from .graphs import SocialGraph, community_powerlaw_graph, watts_strogatz_graph
+from .preference import PreferenceModel
+from .presence import SocialPresenceModel
+
+__all__ = [
+    "SocialGraph",
+    "community_powerlaw_graph",
+    "watts_strogatz_graph",
+    "spectral_embedding",
+    "cosine_similarity_matrix",
+    "PreferenceModel",
+    "SocialPresenceModel",
+]

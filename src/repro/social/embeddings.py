@@ -1,0 +1,62 @@
+"""Pre-trained user embeddings (spectral).
+
+MIA consumes "pre-trained user social network embeddings" (paper
+Sec. IV-A).  The paper cites off-the-shelf recommenders; here we use the
+classic spectral embedding of the normalised graph Laplacian, which (a)
+needs no external model zoo, (b) is deterministic, and (c) places friends
+and same-community users close together — the only property downstream
+utility models rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graphs import SocialGraph
+
+__all__ = ["spectral_embedding", "cosine_similarity_matrix"]
+
+
+def spectral_embedding(graph: SocialGraph, dim: int = 16) -> np.ndarray:
+    """Embed users via the bottom eigenvectors of the normalised Laplacian.
+
+    Returns an ``(N, dim)`` row-normalised embedding.  Isolated users get
+    zero rows (they carry no relational information).
+    """
+    if dim < 1:
+        raise ValueError("dim must be positive")
+    adjacency = graph.adjacency.astype(np.float64)
+    count = adjacency.shape[0]
+    dim = min(dim, max(count - 1, 1))
+
+    degrees = adjacency.sum(axis=1)
+    inv_sqrt = np.where(degrees > 0, 1.0 / np.sqrt(np.maximum(degrees, 1e-12)),
+                        0.0)
+    normalised = inv_sqrt[:, None] * adjacency * inv_sqrt[None, :]
+    laplacian = np.eye(count) - normalised
+
+    eigenvalues, eigenvectors = np.linalg.eigh(laplacian)
+    # Skip the trivial constant eigenvector (eigenvalue ~ 0 per component).
+    order = np.argsort(eigenvalues)
+    chosen = eigenvectors[:, order[1:dim + 1]] if count > 1 \
+        else eigenvectors[:, :1]
+
+    norms = np.linalg.norm(chosen, axis=1, keepdims=True)
+    embedded = np.divide(chosen, norms, out=np.zeros_like(chosen),
+                         where=norms > 1e-12)
+    embedded[degrees == 0] = 0.0
+    return embedded
+
+
+def cosine_similarity_matrix(embedding: np.ndarray) -> np.ndarray:
+    """Pairwise cosine similarity with zero diagonal, clipped to [0, 1].
+
+    Zero rows (isolated users) produce zero similarity everywhere.
+    """
+    embedding = np.asarray(embedding, dtype=np.float64)
+    norms = np.linalg.norm(embedding, axis=1, keepdims=True)
+    unit = np.divide(embedding, norms, out=np.zeros_like(embedding),
+                     where=norms > 1e-12)
+    similarity = np.clip(unit @ unit.T, 0.0, 1.0)
+    np.fill_diagonal(similarity, 0.0)
+    return similarity

@@ -1,0 +1,87 @@
+"""Social-presence utility model: ``s(v, w)`` in [0, 1].
+
+Social presence — "the sense of being together" — is felt toward friends
+and near-friends (paper Sec. II-B and [61], [62]).  The model combines:
+
+* direct friendship tie strength (dominant term),
+* Adamic-Adar proximity for friends-of-friends,
+* same-community affinity (weak background term),
+
+so ``s`` is high exactly for the people whose continual visibility the
+LWP module should protect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graphs import SocialGraph
+
+__all__ = ["SocialPresenceModel"]
+
+
+class SocialPresenceModel:
+    """Generates the dense social-presence matrix ``s``.
+
+    The output is row-wise min-max normalised (like the preference
+    matrix): presence is a *relative* per-viewer quantity, and the paper's
+    tables show even Random recommendations collecting substantial
+    presence utility — i.e. ``s`` is broadly distributed, with friends at
+    the top.
+    """
+
+    def __init__(self, friend_weight: float = 0.6, proximity_weight: float = 0.2,
+                 community_weight: float = 0.2):
+        weights = np.array([friend_weight, proximity_weight, community_weight])
+        if (weights < 0).any() or weights.sum() <= 0:
+            raise ValueError("weights must be non-negative, not all zero")
+        self.weights = weights / weights.sum()
+
+    def generate(self, graph: SocialGraph, rng: np.random.Generator | None = None
+                 ) -> np.ndarray:
+        """Return the ``(N, N)`` social-presence matrix for ``graph``.
+
+        Deterministic given the graph; ``rng`` is accepted for interface
+        symmetry with :class:`~repro.social.preference.PreferenceModel`.
+        """
+        friend_term = graph.tie_strengths.copy()
+        if friend_term.max() > 0:
+            friend_term = friend_term / friend_term.max()
+
+        proximity = graph.adamic_adar()
+        if proximity.max() > 0:
+            proximity = proximity / proximity.max()
+
+        same_community = (graph.communities[:, None]
+                          == graph.communities[None, :]).astype(np.float64)
+        np.fill_diagonal(same_community, 0.0)
+
+        presence = (self.weights[0] * friend_term
+                    + self.weights[1] * proximity
+                    + self.weights[2] * same_community)
+        np.fill_diagonal(presence, 0.0)
+        return _rowwise_rank_normalise(presence)
+
+
+def _rowwise_rank_normalise(matrix: np.ndarray) -> np.ndarray:
+    """Map each row to its rank distribution on [0, 1] (zero diagonal).
+
+    Raw presence blends are heavily skewed (a handful of friends, a long
+    tail of strangers); rank normalisation keeps the friend ordering while
+    spreading the bulk — matching the paper's tables, where even Random
+    recommendations collect substantial presence utility.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    count = matrix.shape[0]
+    out = np.zeros_like(matrix)
+    if count < 3:
+        out[~np.eye(count, dtype=bool)] = 0.5
+        np.fill_diagonal(out, 0.0)
+        return out
+    off_diag = ~np.eye(count, dtype=bool)
+    for i in range(count):
+        row = matrix[i][off_diag[i]]
+        order = np.argsort(np.argsort(row, kind="stable"), kind="stable")
+        out[i][off_diag[i]] = order / (row.size - 1)
+    np.fill_diagonal(out, 0.0)
+    return out

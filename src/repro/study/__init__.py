@@ -1,0 +1,24 @@
+"""``repro.study`` — simulated XR user study (paper Sec. V-C).
+
+Synthetic participants with questionnaire-derived ``beta`` and a
+calibrated Likert response model replace the 48 humans; the rest of the
+pipeline (rooms, recommenders, utilities) is the real system.  Produces
+Fig. 4's per-method utility/feedback panels and Table VIII's
+utility-satisfaction correlations.
+"""
+
+from .likert import likert_response, normalise_scores
+from .participants import OCCUPATIONS, Participant, generate_participants
+from .study import MethodOutcome, StudyResult, UserStudy, make_study_room
+
+__all__ = [
+    "Participant",
+    "generate_participants",
+    "OCCUPATIONS",
+    "likert_response",
+    "normalise_scores",
+    "MethodOutcome",
+    "StudyResult",
+    "UserStudy",
+    "make_study_room",
+]

@@ -1,0 +1,40 @@
+"""Likert response model.
+
+Maps a participant's realised utility (normalised within the study) to a
+1-5 Likert satisfaction score through a noisy latent: people's reported
+satisfaction tracks their experienced utility closely but not perfectly —
+calibrated so the study reproduces the paper's Table VIII correlations
+(Pearson ~ 0.9, Spearman ~ 0.7-0.9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .participants import Participant
+
+__all__ = ["likert_response", "normalise_scores"]
+
+
+def normalise_scores(values: np.ndarray) -> np.ndarray:
+    """Min-max scale an array of utilities into [0, 1] (0.5 if constant)."""
+    values = np.asarray(values, dtype=np.float64)
+    lo, hi = float(values.min()), float(values.max())
+    if hi - lo < 1e-12:
+        return np.full_like(values, 0.5)
+    return (values - lo) / (hi - lo)
+
+
+def likert_response(normalised_utility: float, participant: Participant,
+                    rng: np.random.Generator) -> int:
+    """One participant's 1-5 Likert answer for one condition.
+
+    The latent is the normalised experienced utility plus the person's
+    response bias and noise; the latent is mapped affinely onto the scale
+    and rounded.
+    """
+    latent = (normalised_utility
+              + participant.response_bias
+              + rng.normal(0.0, participant.response_noise))
+    score = 1.0 + 4.0 * latent
+    return int(np.clip(round(score), 1, 5))

@@ -1,0 +1,5 @@
+"""``repro.viz`` — dependency-free ASCII visualisation helpers."""
+
+from .ascii_art import panorama_strip, room_map, utility_sparkline
+
+__all__ = ["room_map", "panorama_strip", "utility_sparkline"]

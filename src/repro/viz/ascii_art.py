@@ -1,0 +1,117 @@
+"""ASCII visualisation of rooms, views, and recommendations.
+
+Dependency-free debugging/demo aids:
+
+* :func:`room_map` — top-down map of a conference room at one time step,
+  marking the target, MR/VR users, and the rendered set;
+* :func:`panorama_strip` — the target's 360-degree view unrolled into a
+  character strip, showing which rendered users are clearly seen and
+  which are occluded (cluttered or behind someone);
+* :func:`utility_sparkline` — a one-line sparkline of per-step utility
+  (display-continuity "flicker" is visible at a glance).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.scene import Frame
+from ..geometry import resolve_visibility
+
+__all__ = ["room_map", "panorama_strip", "utility_sparkline"]
+
+SPARK_LEVELS = " .:-=+*#%@"
+
+
+def room_map(positions: np.ndarray, target: int, room,
+             interfaces_mr: np.ndarray | None = None,
+             rendered: np.ndarray | None = None,
+             width: int = 48, height: int = 20) -> str:
+    """Render a top-down map.
+
+    Legend: ``T`` target, ``M``/``v`` MR/VR users, upper-cased when
+    rendered (``R`` marks a rendered VR user to keep glyphs distinct).
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    count = positions.shape[0]
+    interfaces_mr = (np.asarray(interfaces_mr, dtype=bool)
+                     if interfaces_mr is not None
+                     else np.zeros(count, dtype=bool))
+    rendered = (np.asarray(rendered, dtype=bool) if rendered is not None
+                else np.zeros(count, dtype=bool))
+
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+
+    def cell(position):
+        col = int(position[0] / max(room.width, 1e-9) * (width - 1))
+        row = int(position[1] / max(room.depth, 1e-9) * (height - 1))
+        return (height - 1) - max(0, min(row, height - 1)), \
+            max(0, min(col, width - 1))
+
+    for user in range(count):
+        row, col = cell(positions[user])
+        if user == target:
+            glyph = "T"
+        elif interfaces_mr[user]:
+            glyph = "M" if rendered[user] else "m"
+        else:
+            glyph = "R" if rendered[user] else "v"
+        # The target always wins a contested cell.
+        if grid[row][col] != "T":
+            grid[row][col] = glyph
+
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    legend = ("T target  m/M MR (rendered=M)  v/R VR (rendered=R)")
+    return "\n".join([border, body, border, legend])
+
+
+def panorama_strip(frame: Frame, rendered: np.ndarray,
+                   width: int = 72) -> str:
+    """Unroll the target's 360-degree view into a character strip.
+
+    Each rendered (or physically present) user paints its arc with the
+    last character of its id; clearly-seen users are painted as digits,
+    occluded ones as ``x``.  Nearer users overwrite farther ones, so the
+    strip approximates what the target actually perceives.
+    """
+    rendered = np.asarray(rendered, dtype=bool)
+    visible = resolve_visibility(frame.graph, rendered, frame.forced)
+    present = (rendered | frame.forced).copy()
+    present[frame.target] = False
+
+    strip = [" "] * width
+    order = np.argsort(-frame.distances)  # far first; near overwrites
+    for user in order:
+        if not present[user]:
+            continue
+        center = frame.graph.centers[user]
+        half = frame.graph.half_widths[user]
+        glyph = str(user % 10) if visible[user] else "x"
+        start = center - half
+        span = max(1, int(round(2 * half / (2 * math.pi) * width)))
+        first = int(((start + math.pi) % (2 * math.pi))
+                    / (2 * math.pi) * width)
+        for offset in range(span):
+            strip[(first + offset) % width] = glyph
+    axis = "-pi" + " " * (width // 2 - 5) + "0" + \
+        " " * (width - width // 2 - 1 - len("-pi") - len("+pi") + 3) + "+pi"
+    return "".join(strip) + "\n" + axis[:width]
+
+
+def utility_sparkline(per_step_utility: np.ndarray, width: int = 60) -> str:
+    """One-line sparkline of per-step utility over an episode."""
+    values = np.asarray(per_step_utility, dtype=np.float64)
+    if values.size == 0:
+        return ""
+    if values.size > width:
+        # Downsample by averaging buckets.
+        buckets = np.array_split(values, width)
+        values = np.array([bucket.mean() for bucket in buckets])
+    peak = values.max()
+    if peak <= 0:
+        return SPARK_LEVELS[0] * values.size
+    indices = np.round(values / peak * (len(SPARK_LEVELS) - 1)).astype(int)
+    return "".join(SPARK_LEVELS[i] for i in indices)

@@ -1,0 +1,143 @@
+"""Tests for the bench infrastructure (config, tables, drivers).
+
+Driver tests run on deliberately tiny configurations — they verify the
+plumbing, not the paper's numbers (the benchmarks do that).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    BenchConfig,
+    METRIC_ROWS,
+    ResultTable,
+    TRAIN_ALPHA0,
+    ablation_methods,
+    format_number,
+    prepare_room,
+    room_config_for,
+    run_vr_proportion,
+    study_methods,
+    table_methods,
+)
+
+
+def tiny_config():
+    return BenchConfig(num_users=20, num_steps=6, hubs_users=12,
+                       train_targets=1, eval_targets=2, train_epochs=2,
+                       comurnet_rollouts=2, study_participants=6,
+                       study_steps=4)
+
+
+class TestBenchConfig:
+    def test_defaults_scaled_down(self):
+        config = BenchConfig()
+        assert config.num_users < 200
+        assert config.num_steps < 100
+
+    def test_from_env_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        config = BenchConfig.from_env()
+        assert config.num_users == 200
+        assert config.num_steps == 100
+
+    def test_from_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_NUM_USERS", "33")
+        config = BenchConfig.from_env()
+        assert config.num_users == 33
+
+    def test_scaled_copy(self):
+        config = BenchConfig().scaled(num_users=42)
+        assert config.num_users == 42
+
+    def test_alpha0_covers_all_datasets(self):
+        assert {"timik", "smm", "hubs"} <= set(TRAIN_ALPHA0)
+
+
+class TestResultTable:
+    def metrics(self, value=1.0):
+        return {key: value for key, _l, _d in METRIC_ROWS}
+
+    def test_add_and_get(self):
+        table = ResultTable("demo")
+        table.add_column("A", self.metrics(2.0))
+        assert table.get("A", "after_utility") == 2.0
+
+    def test_missing_metric_rejected(self):
+        table = ResultTable("demo")
+        with pytest.raises(KeyError):
+            table.add_column("A", {"after_utility": 1.0})
+
+    def test_best_method(self):
+        table = ResultTable("demo")
+        table.add_column("A", self.metrics(1.0))
+        table.add_column("B", self.metrics(3.0))
+        assert table.best_method("after_utility") == "B"
+        assert table.best_method("occlusion", higher_is_better=False) == "A"
+
+    def test_improvement_over_second(self):
+        table = ResultTable("demo")
+        table.add_column("A", self.metrics(2.0))
+        table.add_column("B", self.metrics(1.0))
+        assert table.improvement_over_second() == pytest.approx(1.0)
+
+    def test_render_contains_all(self):
+        table = ResultTable("demo")
+        table.add_column("MethodX", self.metrics())
+        table.add_note("hello")
+        text = table.render()
+        assert "MethodX" in text
+        assert "AFTER Utility" in text
+        assert "note: hello" in text
+
+    def test_format_number_occlusion_percent(self):
+        assert format_number("occlusion", 0.431) == "43.1%"
+
+    def test_format_number_runtime(self):
+        assert format_number("runtime_ms", 0.123) == "0.123"
+        assert format_number("runtime_ms", 12.3) == "12.3"
+
+
+class TestMethodFactories:
+    def test_table_methods_order(self):
+        methods = table_methods(BenchConfig())
+        assert list(methods) == ["POSHGNN", "Random", "Nearest", "MvAGC",
+                                 "GraFrank", "DCRNN", "TGCN", "COMURNet"]
+
+    def test_ablation_methods_flags(self):
+        methods = ablation_methods(BenchConfig())
+        assert methods["Full"].use_lwp
+        assert not methods["PDR w/ MIA"].use_lwp
+        assert not methods["Only PDR"].use_mia
+
+    def test_study_methods_include_original(self):
+        assert "Original" in study_methods(BenchConfig())
+
+
+class TestPrepareRoom:
+    def test_room_config_for_hubs_smaller(self):
+        config = tiny_config()
+        hubs = room_config_for("hubs", config)
+        timik = room_config_for("timik", config)
+        assert hubs.num_users < timik.num_users
+
+    def test_train_eval_targets_disjoint(self):
+        room, train_targets, eval_targets = prepare_room("timik",
+                                                         tiny_config())
+        assert not set(train_targets) & set(eval_targets.tolist())
+        assert len(train_targets) == 1
+        assert len(eval_targets) == 2
+
+    def test_room_matches_config(self):
+        room, _tr, _ev = prepare_room("timik", tiny_config())
+        assert room.num_users == 20
+        assert room.horizon == 6
+
+
+class TestDriversSmoke:
+    def test_vr_proportion_driver(self):
+        table = run_vr_proportion(tiny_config(), proportions=(0.75, 0.25))
+        assert "VR = 75%" in table.columns
+        assert "VR = 25%" in table.columns
+        for column in table.columns.values():
+            assert np.isfinite(list(column.values())).all()

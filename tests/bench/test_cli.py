@@ -1,0 +1,49 @@
+"""Tests for the ``python -m repro.bench`` command-line runner."""
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_experiment_registry_covers_all_artifacts(self):
+        assert set(EXPERIMENTS) == {"table2", "table3", "table4", "table5",
+                                    "table6", "table7", "study"}
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table99"])
+
+    def test_requires_at_least_one_experiment(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_runs_tiny_experiment(self, monkeypatch, capsys):
+        # Shrink everything through the env so the run takes seconds.
+        monkeypatch.setenv("REPRO_BENCH_NUM_USERS", "16")
+        monkeypatch.setenv("REPRO_BENCH_NUM_STEPS", "4")
+        monkeypatch.setenv("REPRO_BENCH_TRAIN_TARGETS", "1")
+        monkeypatch.setenv("REPRO_BENCH_EVAL_TARGETS", "1")
+        monkeypatch.setenv("REPRO_BENCH_TRAIN_EPOCHS", "1")
+        assert main(["table7"]) == 0
+        out = capsys.readouterr().out
+        assert "VR = 75%" in out
+        assert "regenerated in" in out
+
+    def test_seed_override(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_BENCH_NUM_USERS", "16")
+        monkeypatch.setenv("REPRO_BENCH_NUM_STEPS", "4")
+        monkeypatch.setenv("REPRO_BENCH_TRAIN_TARGETS", "1")
+        monkeypatch.setenv("REPRO_BENCH_EVAL_TARGETS", "1")
+        monkeypatch.setenv("REPRO_BENCH_TRAIN_EPOCHS", "1")
+        assert main(["--seed", "7", "table7"]) == 0
+
+    def test_duplicate_experiments_deduplicated(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_BENCH_NUM_USERS", "16")
+        monkeypatch.setenv("REPRO_BENCH_NUM_STEPS", "4")
+        monkeypatch.setenv("REPRO_BENCH_TRAIN_TARGETS", "1")
+        monkeypatch.setenv("REPRO_BENCH_EVAL_TARGETS", "1")
+        monkeypatch.setenv("REPRO_BENCH_TRAIN_EPOCHS", "1")
+        assert main(["table7", "table7"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("### Table VII") == 1

@@ -1,0 +1,17 @@
+"""Shared fixtures for core tests: one small cached room."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import RoomConfig, generate_timik_room
+
+
+@pytest.fixture(scope="session")
+def small_room():
+    """A small Timik-style room shared across core tests."""
+    return generate_timik_room(RoomConfig(num_users=25, num_steps=10), seed=0)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,242 @@
+"""Tests for AFTER utility (Def. 2), recommender API, evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AfterProblem,
+    AggregateResult,
+    Recommender,
+    StepUtility,
+    UtilityAccumulator,
+    evaluate_episode,
+    evaluate_targets,
+    mean_and_std,
+    paired_p_value,
+    pearson,
+    scores_to_recommendation,
+    spearman,
+    step_utility,
+    top_k_mask,
+)
+
+
+class TestStepUtility:
+    def test_after_weighting(self):
+        step = StepUtility(preference=2.0, presence=4.0)
+        assert step.after(0.5) == pytest.approx(3.0)
+        assert step.after(0.0) == pytest.approx(2.0)
+        assert step.after(1.0) == pytest.approx(4.0)
+
+    def test_only_visible_rendered_count(self):
+        p = np.array([0.0, 0.5, 0.9])
+        s = np.array([0.0, 0.2, 0.8])
+        rendered = np.array([False, True, True])
+        visible_now = np.array([False, True, False])   # user 2 occluded
+        visible_prev = np.array([False, True, True])
+        step = step_utility(p, s, visible_now, visible_prev, rendered)
+        assert step.preference == pytest.approx(0.5)
+        assert step.presence == pytest.approx(0.2)
+
+    def test_presence_needs_consecutive_visibility(self):
+        p = np.array([0.0, 0.5])
+        s = np.array([0.0, 0.9])
+        rendered = np.array([False, True])
+        visible_now = np.array([False, True])
+        visible_prev = np.array([False, False])  # first appearance
+        step = step_utility(p, s, visible_now, visible_prev, rendered)
+        assert step.presence == 0.0
+        assert step.preference == pytest.approx(0.5)
+
+    def test_forced_unrecommended_users_do_not_score(self):
+        p = np.array([0.0, 0.7])
+        s = np.array([0.0, 0.7])
+        rendered = np.array([False, False])
+        visible_now = np.array([False, True])  # physically visible
+        step = step_utility(p, s, visible_now, visible_now, rendered)
+        assert step.preference == 0.0
+        assert step.presence == 0.0
+
+
+class TestUtilityAccumulator:
+    def test_totals(self):
+        acc = UtilityAccumulator(beta=0.5)
+        acc.add(StepUtility(1.0, 3.0))
+        acc.add(StepUtility(2.0, 1.0))
+        assert acc.total_preference == pytest.approx(3.0)
+        assert acc.total_presence == pytest.approx(4.0)
+        assert acc.total_after == pytest.approx(3.5)
+        assert acc.num_steps == 2
+
+    def test_per_step_after(self):
+        acc = UtilityAccumulator(beta=0.0)
+        acc.add(StepUtility(1.0, 9.0))
+        np.testing.assert_allclose(acc.per_step_after(), [1.0])
+
+    def test_beta_validation(self):
+        with pytest.raises(ValueError):
+            UtilityAccumulator(beta=-0.1)
+
+
+class TestTopKMask:
+    def test_selects_largest(self):
+        mask = top_k_mask(np.array([0.1, 0.9, 0.5]), k=2)
+        np.testing.assert_array_equal(mask, [False, True, True])
+
+    def test_respects_eligibility(self):
+        mask = top_k_mask(np.array([0.9, 0.8, 0.7]), k=2,
+                          eligible=np.array([False, True, True]))
+        np.testing.assert_array_equal(mask, [False, True, True])
+
+    def test_never_selects_nonpositive(self):
+        mask = top_k_mask(np.array([-1.0, 0.0, 0.3]), k=3)
+        np.testing.assert_array_equal(mask, [False, False, True])
+
+    def test_k_zero(self):
+        assert not top_k_mask(np.ones(3), k=0).any()
+
+
+class TestScoresToRecommendation:
+    def test_threshold_filters(self, small_room):
+        problem = AfterProblem(small_room, target=0)
+        frame = problem.frame_at(0)
+        scores = np.full(25, 0.4)
+        rec = scores_to_recommendation(scores, frame, max_render=8,
+                                       threshold=0.5)
+        assert not rec.any()
+
+    def test_budget_respected(self, small_room):
+        problem = AfterProblem(small_room, target=0)
+        frame = problem.frame_at(0)
+        scores = np.linspace(0.1, 1.0, 25)
+        rec = scores_to_recommendation(scores, frame, max_render=5)
+        assert rec.sum() <= 5
+
+    def test_masked_users_never_recommended(self, small_room):
+        problem = AfterProblem(small_room, target=0)
+        frame = problem.frame_at(0)
+        rec = scores_to_recommendation(np.ones(25), frame, max_render=25)
+        assert not rec[frame.mask <= 0].any()
+
+
+class EverythingRecommender(Recommender):
+    """Renders every candidate (the paper's 'Original' behaviour)."""
+
+    name = "everything"
+
+    def recommend(self, frame):
+        return frame.mask > 0
+
+
+class NothingRecommender(Recommender):
+    name = "nothing"
+
+    def recommend(self, frame):
+        return np.zeros(frame.num_users, dtype=bool)
+
+
+class TestEvaluateEpisode:
+    def test_nothing_scores_zero(self, small_room):
+        problem = AfterProblem(small_room, target=0)
+        result = evaluate_episode(problem, NothingRecommender())
+        assert result.after_utility == 0.0
+        assert result.occlusion_rate == 0.0
+
+    def test_single_clear_user_scores_positive(self, small_room):
+        class OneUser(Recommender):
+            name = "one"
+
+            def recommend(self, frame):
+                mask = np.zeros(frame.num_users, dtype=bool)
+                candidates = frame.candidates()
+                if candidates.size:
+                    mask[candidates[0]] = True
+                return mask
+
+        # A VR target renders a single candidate: no avatar clutter, so
+        # the user is visible whenever not behind a physical person.
+        vr_target = int(np.nonzero(~small_room.interfaces_mr)[0][0])
+        problem = AfterProblem(small_room, target=vr_target)
+        result = evaluate_episode(problem, OneUser())
+        assert result.after_utility > 0.0
+        assert result.preference > 0.0
+
+    def test_render_all_is_heavily_occluded(self, small_room):
+        problem = AfterProblem(small_room, target=0)
+        result = evaluate_episode(problem, EverythingRecommender())
+        assert result.occlusion_rate > 0.5
+
+    def test_after_is_weighted_combination(self, small_room):
+        problem = AfterProblem(small_room, target=3, beta=0.3)
+        result = evaluate_episode(problem, EverythingRecommender())
+        assert result.after_utility == pytest.approx(
+            0.7 * result.preference + 0.3 * result.presence)
+
+    def test_recommendation_matrix_shape(self, small_room):
+        problem = AfterProblem(small_room, target=0)
+        result = evaluate_episode(problem, EverythingRecommender())
+        assert result.recommendations.shape == (11, 25)
+
+    def test_target_never_recommended(self, small_room):
+        problem = AfterProblem(small_room, target=4)
+        result = evaluate_episode(problem, EverythingRecommender())
+        assert not result.recommendations[:, 4].any()
+
+    def test_runtime_measured(self, small_room):
+        problem = AfterProblem(small_room, target=0)
+        result = evaluate_episode(problem, EverythingRecommender())
+        assert result.runtime_ms >= 0.0
+
+    def test_continuity_stable_for_everything(self, small_room):
+        problem = AfterProblem(small_room, target=0)
+        result = evaluate_episode(problem, EverythingRecommender())
+        # Candidate sets barely change step to step.
+        assert result.continuity() > 0.5
+
+    def test_per_step_series_length(self, small_room):
+        problem = AfterProblem(small_room, target=0)
+        result = evaluate_episode(problem, EverythingRecommender())
+        assert result.per_step_after.shape == (11,)
+
+
+class TestEvaluateTargets:
+    def test_aggregation(self, small_room):
+        result = evaluate_targets(small_room, EverythingRecommender(),
+                                  targets=[0, 1, 2])
+        assert isinstance(result, AggregateResult)
+        assert len(result.episodes) == 3
+        assert result.after_utilities().shape == (3,)
+
+    def test_empty_aggregate_raises(self):
+        with pytest.raises(ValueError):
+            AggregateResult.from_episodes([])
+
+
+class TestStatistics:
+    def test_paired_p_value_identical(self):
+        assert paired_p_value([1.0, 2.0], [1.0, 2.0]) == 1.0
+
+    def test_paired_p_value_dominating(self):
+        p = paired_p_value([5.0, 6.0, 7.0, 8.0], [1.0, 2.0, 3.0, 4.0])
+        assert p < 0.05
+
+    def test_paired_p_value_validates(self):
+        with pytest.raises(ValueError):
+            paired_p_value([1.0], [1.0, 2.0])
+
+    def test_pearson_perfect(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_pearson_constant_is_zero(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_spearman_monotone(self):
+        assert spearman([1, 2, 3], [10, 100, 1000]) == pytest.approx(1.0)
+
+    def test_spearman_constant_is_zero(self):
+        assert spearman([2, 2, 2], [1, 2, 3]) == 0.0
+
+    def test_mean_and_std(self):
+        mean, std = mean_and_std([2.0, 4.0])
+        assert mean == 3.0
+        assert std == 1.0

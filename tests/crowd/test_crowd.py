@@ -1,0 +1,265 @@
+"""Tests for the crowd-simulation substrate."""
+
+import numpy as np
+import pytest
+
+from repro.crowd import (
+    AgentStates,
+    ConversationGroups,
+    CrowdSimulator,
+    RVOModel,
+    SocialForceModel,
+    Trajectory,
+    WaypointBehavior,
+)
+from repro.geometry import Room
+
+
+def make_agents(count=10, seed=0, side=10.0):
+    rng = np.random.default_rng(seed)
+    room = Room.square(side)
+    return AgentStates.spawn(room.sample_positions(count, rng), rng), room, rng
+
+
+class TestAgentStates:
+    def test_spawn_shapes(self):
+        agents, _, _ = make_agents(7)
+        assert agents.count == 7
+        assert agents.velocities.shape == (7, 2)
+        np.testing.assert_array_equal(agents.group_ids, -1)
+
+    def test_spawn_starts_stationary_at_goal(self):
+        agents, _, _ = make_agents(5)
+        np.testing.assert_allclose(agents.velocities, 0.0)
+        assert agents.at_goal().all()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            AgentStates(
+                positions=np.zeros((3, 2)),
+                velocities=np.zeros((2, 2)),
+                goals=np.zeros((3, 2)),
+                max_speeds=np.ones(3),
+                radii=np.full(3, 0.25),
+            )
+
+    def test_preferred_velocity_points_at_goal(self):
+        agents, _, _ = make_agents(2)
+        agents.goals[0] = agents.positions[0] + np.array([5.0, 0.0])
+        pref = agents.preferred_velocities()
+        assert pref[0, 0] > 0
+        assert pref[0, 1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_preferred_velocity_capped_at_max_speed(self):
+        agents, _, _ = make_agents(3)
+        agents.goals = agents.positions + 100.0
+        speeds = np.linalg.norm(agents.preferred_velocities(), axis=1)
+        assert (speeds <= agents.max_speeds + 1e-9).all()
+
+    def test_preferred_velocity_slows_near_goal(self):
+        agents, _, _ = make_agents(1)
+        agents.goals[0] = agents.positions[0] + np.array([0.05, 0.0])
+        speed = np.linalg.norm(agents.preferred_velocities()[0])
+        assert speed < agents.max_speeds[0]
+
+
+class TestSocialForce:
+    def test_agents_move_toward_goals(self):
+        agents, room, _ = make_agents(1)
+        agents.goals[0] = agents.positions[0] + np.array([3.0, 0.0])
+        start = agents.positions[0].copy()
+        model = SocialForceModel()
+        for _ in range(20):
+            model.step(agents, room, dt=0.25)
+        assert agents.positions[0, 0] > start[0]
+
+    def test_speed_limit_respected(self):
+        agents, room, _ = make_agents(20, seed=1)
+        agents.goals = room.sample_positions(20, np.random.default_rng(2))
+        model = SocialForceModel()
+        for _ in range(30):
+            model.step(agents, room, dt=0.25)
+            speeds = np.linalg.norm(agents.velocities, axis=1)
+            assert (speeds <= agents.max_speeds + 1e-9).all()
+
+    def test_positions_stay_in_room(self):
+        agents, room, _ = make_agents(30, seed=3)
+        agents.goals = room.sample_positions(30, np.random.default_rng(4))
+        model = SocialForceModel()
+        for _ in range(40):
+            model.step(agents, room, dt=0.5)
+        assert room.contains(agents.positions).all()
+
+    def test_two_agents_repel_at_contact(self):
+        room = Room.square(10.0)
+        rng = np.random.default_rng(0)
+        agents = AgentStates.spawn(
+            np.array([[5.0, 5.0], [5.3, 5.0]]), rng)
+        agents.goals = agents.positions.copy()  # no drive force
+        model = SocialForceModel()
+        model.step(agents, room, dt=0.25)
+        # They should push apart along x.
+        gap = agents.positions[1, 0] - agents.positions[0, 0]
+        assert gap > 0.3
+
+
+class TestRVO:
+    def test_validates_samples(self):
+        with pytest.raises(ValueError):
+            RVOModel(num_samples=2)
+
+    def test_agent_reaches_goal_unobstructed(self):
+        agents, room, _ = make_agents(1)
+        agents.positions[0] = [2.0, 5.0]
+        agents.goals[0] = [8.0, 5.0]
+        agents.max_speeds[:] = 1.0
+        model = RVOModel(seed=0)
+        for _ in range(60):
+            model.step(agents, room, dt=0.25)
+        assert np.linalg.norm(agents.positions[0] - agents.goals[0]) < 0.5
+
+    def test_head_on_agents_avoid_collision(self):
+        room = Room.square(10.0)
+        rng = np.random.default_rng(0)
+        agents = AgentStates.spawn(
+            np.array([[2.0, 5.0], [8.0, 5.0]]), rng)
+        agents.max_speeds[:] = 1.0
+        agents.goals = np.array([[8.0, 5.0], [2.0, 5.0]])
+        model = RVOModel(seed=1)
+        min_gap = np.inf
+        for _ in range(80):
+            model.step(agents, room, dt=0.25)
+            gap = np.linalg.norm(agents.positions[0] - agents.positions[1])
+            min_gap = min(min_gap, gap)
+        # Bodies (radius 0.25 each) should not interpenetrate badly.
+        assert min_gap > 0.3
+
+    def test_positions_stay_in_room(self):
+        agents, room, _ = make_agents(6, seed=5, side=6.0)
+        agents.goals = room.sample_positions(6, np.random.default_rng(6))
+        model = RVOModel(seed=2)
+        for _ in range(30):
+            model.step(agents, room, dt=0.5)
+        assert room.contains(agents.positions).all()
+
+
+class TestBehaviours:
+    def test_waypoints_refresh_after_dwell(self):
+        agents, room, rng = make_agents(5)
+        behavior = WaypointBehavior(room, rng, dwell_range=(0.1, 0.2))
+        behavior.initialise(agents)
+        agents.positions = agents.goals.copy()  # instantly arrive
+        old_goals = agents.goals.copy()
+        for _ in range(10):
+            behavior.update(agents, dt=0.5)
+        assert not np.allclose(old_goals, agents.goals)
+
+    def test_waypoints_keep_goal_until_arrival(self):
+        agents, room, rng = make_agents(5)
+        behavior = WaypointBehavior(room, rng)
+        behavior.initialise(agents)
+        agents.positions = agents.goals + 5.0  # far from goals
+        agents.positions = room.clamp(agents.positions)
+        far = ~agents.at_goal(0.25)
+        old_goals = agents.goals.copy()
+        behavior.update(agents, dt=0.5)
+        np.testing.assert_allclose(agents.goals[far], old_goals[far])
+
+    def test_groups_assign_members(self):
+        agents, room, rng = make_agents(20)
+        groups = ConversationGroups(room, rng, group_fraction=0.5)
+        groups.initialise(agents)
+        grouped = (agents.group_ids >= 0).sum()
+        assert 5 <= grouped <= 12
+
+    def test_group_members_share_anchor_vicinity(self):
+        agents, room, rng = make_agents(20, seed=2)
+        groups = ConversationGroups(room, rng, group_fraction=0.8,
+                                    circle_radius=0.8)
+        groups.initialise(agents)
+        for gid in np.unique(agents.group_ids[agents.group_ids >= 0]):
+            goals = agents.goals[agents.group_ids == gid]
+            spread = np.linalg.norm(goals - goals.mean(axis=0), axis=1)
+            assert (spread <= 0.9).all()
+
+    def test_zero_fraction_leaves_all_ungrouped(self):
+        agents, room, rng = make_agents(10)
+        groups = ConversationGroups(room, rng, group_fraction=0.0)
+        groups.initialise(agents)
+        assert (agents.group_ids == -1).all()
+
+    def test_invalid_fraction(self):
+        _, room, rng = make_agents(2)
+        with pytest.raises(ValueError):
+            ConversationGroups(room, rng, group_fraction=1.5)
+
+
+class TestTrajectory:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Trajectory(np.zeros((5, 3)))
+
+    def test_accessors(self):
+        positions = np.zeros((4, 3, 2))
+        traj = Trajectory(positions)
+        assert len(traj) == 4
+        assert traj.horizon == 3
+        assert traj.num_agents == 3
+        assert traj[2].shape == (3, 2)
+
+    def test_displacements(self):
+        positions = np.zeros((3, 1, 2))
+        positions[1, 0] = [1.0, 0.0]
+        positions[2, 0] = [1.0, 1.0]
+        traj = Trajectory(positions)
+        np.testing.assert_allclose(traj.step_displacements()[:, 0], [1.0, 1.0])
+        assert traj.max_step_displacement() == 1.0
+
+
+class TestCrowdSimulator:
+    def test_output_shape(self):
+        sim = CrowdSimulator(Room.square(10.0), seed=1)
+        traj = sim.simulate(num_agents=25, num_steps=10)
+        assert traj.positions.shape == (11, 25, 2)
+
+    def test_deterministic_under_seed(self):
+        room = Room.square(10.0)
+        a = CrowdSimulator(room, seed=7).simulate(10, 5)
+        b = CrowdSimulator(room, seed=7).simulate(10, 5)
+        np.testing.assert_allclose(a.positions, b.positions)
+
+    def test_different_seeds_differ(self):
+        room = Room.square(10.0)
+        a = CrowdSimulator(room, seed=1).simulate(10, 5)
+        b = CrowdSimulator(room, seed=2).simulate(10, 5)
+        assert not np.allclose(a.positions, b.positions)
+
+    def test_all_frames_inside_room(self):
+        room = Room.square(8.0)
+        traj = CrowdSimulator(room, seed=3).simulate(30, 20)
+        flat = traj.positions.reshape(-1, 2)
+        assert room.contains(flat).all()
+
+    def test_motion_is_smooth(self):
+        """Occlusion graphs must change gradually => small per-step moves."""
+        room = Room.square(10.0)
+        sim = CrowdSimulator(room, dt=0.5, seed=4)
+        traj = sim.simulate(40, 20)
+        # At most max_speed * dt with a tolerance: ~1.4 * 0.5.
+        assert traj.max_step_displacement() < 1.0
+
+    def test_rvo_model_selectable(self):
+        room = Room.square(6.0)
+        traj = CrowdSimulator(room, model="rvo", seed=5).simulate(8, 5)
+        assert traj.positions.shape == (6, 8, 2)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            CrowdSimulator(Room.square(5.0), model="orca9000")
+
+    def test_invalid_simulate_args(self):
+        sim = CrowdSimulator(Room.square(5.0))
+        with pytest.raises(ValueError):
+            sim.simulate(0, 5)
+        with pytest.raises(ValueError):
+            sim.simulate(3, -1)

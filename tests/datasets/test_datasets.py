@@ -1,0 +1,203 @@
+"""Tests for dataset generators and the ConferenceRoom container."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    ConferenceRoom,
+    RoomConfig,
+    assign_interfaces,
+    default_config,
+    generate_episodes,
+    generate_hubs_room,
+    generate_room,
+    generate_smm_room,
+    generate_timik_room,
+    hubs_config,
+    train_test_split,
+)
+
+SMALL = RoomConfig(num_users=30, num_steps=8)
+
+
+class TestRoomConfig:
+    def test_defaults_match_paper(self):
+        config = RoomConfig()
+        assert config.num_users == 200
+        assert config.num_steps == 100
+        assert config.vr_fraction == 0.5
+        # Maximum feasible crowding: 0.3 m^2 per person (see docstring).
+        assert config.effective_room_side**2 == pytest.approx(60.0, rel=0.01)
+
+    def test_room_side_floor_is_papers_ten_square_meters(self):
+        config = RoomConfig(num_users=10, num_steps=1)
+        assert config.effective_room_side**2 == pytest.approx(10.0, rel=0.01)
+
+    def test_explicit_room_side_pins_geometry(self):
+        config = RoomConfig(num_users=50, num_steps=1, room_side=7.5)
+        assert config.effective_room_side == 7.5
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_users": 1},
+        {"num_steps": 0},
+        {"vr_fraction": 1.5},
+        {"room_side": 0.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RoomConfig(**kwargs)
+
+
+class TestAssignInterfaces:
+    def test_exact_vr_count(self):
+        mask = assign_interfaces(100, 0.25, np.random.default_rng(0))
+        assert (~mask).sum() == 25
+
+    def test_all_vr(self):
+        mask = assign_interfaces(10, 1.0, np.random.default_rng(0))
+        assert not mask.any()
+
+    def test_all_mr(self):
+        mask = assign_interfaces(10, 0.0, np.random.default_rng(0))
+        assert mask.all()
+
+
+@pytest.mark.parametrize("generator,name", [
+    (generate_timik_room, "timik"),
+    (generate_smm_room, "smm"),
+])
+class TestLargeRoomGenerators:
+    def test_basic_shape(self, generator, name):
+        room = generator(SMALL, seed=0)
+        assert room.name == name
+        assert room.num_users == 30
+        assert room.horizon == 8
+        assert room.trajectory.positions.shape == (9, 30, 2)
+
+    def test_utilities_in_range(self, generator, name):
+        room = generator(SMALL, seed=1)
+        for matrix in (room.preference, room.presence):
+            assert matrix.min() >= 0.0
+            assert matrix.max() <= 1.0
+            np.testing.assert_allclose(np.diag(matrix), 0.0)
+
+    def test_deterministic_under_seed(self, generator, name):
+        a = generator(SMALL, seed=5)
+        b = generator(SMALL, seed=5)
+        np.testing.assert_allclose(a.trajectory.positions,
+                                   b.trajectory.positions)
+        np.testing.assert_allclose(a.preference, b.preference)
+        np.testing.assert_array_equal(a.interfaces_mr, b.interfaces_mr)
+
+    def test_positions_inside_room(self, generator, name):
+        room = generator(SMALL, seed=2)
+        flat = room.trajectory.positions.reshape(-1, 2)
+        assert room.room.contains(flat).all()
+
+
+class TestHubsGenerator:
+    def test_defaults_are_small(self):
+        config = hubs_config()
+        assert config.num_users == 24
+        assert config.room_side == 6.0
+
+    def test_generation(self):
+        room = generate_hubs_room(hubs_config(num_users=12, num_steps=5),
+                                  seed=0)
+        assert room.name == "hubs"
+        assert room.num_users == 12
+
+    def test_social_structure_is_small_world(self):
+        room = generate_hubs_room(hubs_config(num_users=16, num_steps=3),
+                                  seed=1)
+        degrees = room.social.degrees()
+        assert degrees.mean() > 1.0  # well-connected workshop
+
+
+class TestDatasetDifferences:
+    def test_smm_denser_than_timik(self):
+        config = RoomConfig(num_users=60, num_steps=3)
+        timik = generate_timik_room(config, seed=3)
+        smm = generate_smm_room(config, seed=3)
+        assert smm.social.num_edges > timik.social.num_edges
+
+
+class TestRegistry:
+    def test_generate_room_dispatch(self):
+        room = generate_room("timik", SMALL, seed=0)
+        assert room.name == "timik"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            generate_room("secondlife")
+
+    def test_default_config_hubs_differs(self):
+        assert default_config("hubs").num_users == 24
+        assert default_config("timik").num_users == 200
+
+    def test_generate_episodes_distinct_seeds(self):
+        episodes = generate_episodes("timik", 2, SMALL, base_seed=0)
+        assert len(episodes) == 2
+        assert not np.allclose(episodes[0].trajectory.positions,
+                               episodes[1].trajectory.positions)
+
+    def test_generate_episodes_validates_count(self):
+        with pytest.raises(ValueError):
+            generate_episodes("timik", 0, SMALL)
+
+    def test_train_test_split_80_20(self):
+        episodes = list(range(10))
+        train, test = train_test_split(episodes, 0.8)
+        assert len(train) == 8
+        assert len(test) == 2
+
+    def test_train_test_split_small_lists(self):
+        train, test = train_test_split([1, 2], 0.8)
+        assert len(train) == 1
+        assert len(test) == 1
+
+    def test_train_test_split_validates(self):
+        with pytest.raises(ValueError):
+            train_test_split([1, 2], 1.0)
+
+
+class TestConferenceRoom:
+    def test_validation_social_size(self):
+        room = generate_timik_room(SMALL, seed=0)
+        small_social = generate_timik_room(
+            RoomConfig(num_users=10, num_steps=2), seed=0).social
+        with pytest.raises(ValueError):
+            ConferenceRoom(
+                name="broken", trajectory=room.trajectory,
+                social=small_social, preference=room.preference,
+                presence=room.presence, interfaces_mr=room.interfaces_mr,
+                room=room.room)
+
+    def test_validation_utility_range(self):
+        room = generate_timik_room(SMALL, seed=0)
+        with pytest.raises(ValueError):
+            ConferenceRoom(
+                name="broken", trajectory=room.trajectory,
+                social=room.social, preference=room.preference * 5,
+                presence=room.presence, interfaces_mr=room.interfaces_mr,
+                room=room.room)
+
+    def test_mr_vr_partition(self):
+        room = generate_timik_room(SMALL, seed=0)
+        assert set(room.mr_users) | set(room.vr_users) == set(range(30))
+        assert not set(room.mr_users) & set(room.vr_users)
+
+    def test_dog_cached(self):
+        room = generate_timik_room(SMALL, seed=0)
+        assert room.dog(3) is room.dog(3)
+
+    def test_dog_shape(self):
+        room = generate_timik_room(SMALL, seed=0)
+        dog = room.dog(0)
+        assert len(dog) == 9
+        assert dog.num_users == 30
+
+    def test_sample_targets_distinct(self):
+        room = generate_timik_room(SMALL, seed=0)
+        targets = room.sample_targets(10, np.random.default_rng(0))
+        assert len(set(targets.tolist())) == 10

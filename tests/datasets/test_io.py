@@ -1,0 +1,66 @@
+"""Tests for room serialization (save_room / load_room)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AfterProblem, evaluate_episode
+from repro.datasets import RoomConfig, generate_timik_room, load_room, \
+    save_room
+from repro.models import NearestRecommender
+
+
+@pytest.fixture(scope="module")
+def room():
+    return generate_timik_room(RoomConfig(num_users=15, num_steps=5), seed=3)
+
+
+class TestRoundtrip:
+    def test_all_fields_preserved(self, room, tmp_path):
+        path = tmp_path / "room.npz"
+        save_room(room, path)
+        loaded = load_room(path)
+        assert loaded.name == room.name
+        assert loaded.seed == room.seed
+        assert loaded.body_radius == room.body_radius
+        assert loaded.room.width == room.room.width
+        np.testing.assert_allclose(loaded.trajectory.positions,
+                                   room.trajectory.positions)
+        np.testing.assert_array_equal(loaded.social.adjacency,
+                                      room.social.adjacency)
+        np.testing.assert_allclose(loaded.social.tie_strengths,
+                                   room.social.tie_strengths)
+        np.testing.assert_allclose(loaded.preference, room.preference)
+        np.testing.assert_allclose(loaded.presence, room.presence)
+        np.testing.assert_array_equal(loaded.interfaces_mr,
+                                      room.interfaces_mr)
+
+    def test_loaded_room_evaluates_identically(self, room, tmp_path):
+        path = tmp_path / "room.npz"
+        save_room(room, path)
+        loaded = load_room(path)
+        original = evaluate_episode(AfterProblem(room, 0),
+                                    NearestRecommender())
+        reloaded = evaluate_episode(AfterProblem(loaded, 0),
+                                    NearestRecommender())
+        assert original.after_utility == pytest.approx(
+            reloaded.after_utility)
+        np.testing.assert_array_equal(original.recommendations,
+                                      reloaded.recommendations)
+
+    def test_version_check(self, room, tmp_path):
+        path = tmp_path / "room.npz"
+        save_room(room, path)
+        data = dict(np.load(path, allow_pickle=False))
+        data["format_version"] = np.array(999)
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError):
+            load_room(path)
+
+    def test_dog_recomputable_after_load(self, room, tmp_path):
+        path = tmp_path / "room.npz"
+        save_room(room, path)
+        loaded = load_room(path)
+        dog = loaded.dog(0)
+        assert dog.num_users == room.num_users
+        np.testing.assert_array_equal(dog.adjacency(0),
+                                      room.dog(0).adjacency(0))

@@ -1,0 +1,90 @@
+"""Unit tests for repro.geometry.space."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Room, pairwise_distances, project_to_floor, relative_angles
+
+
+class TestRoom:
+    def test_square_default_side(self):
+        room = Room.square()
+        assert room.width == 10.0
+        assert room.depth == 10.0
+
+    def test_area_and_center(self):
+        room = Room(width=4.0, depth=6.0)
+        assert room.area == 24.0
+        np.testing.assert_allclose(room.center, [2.0, 3.0])
+
+    def test_diagonal(self):
+        room = Room(width=3.0, depth=4.0)
+        assert room.diagonal == pytest.approx(5.0)
+
+    def test_contains(self):
+        room = Room.square(10.0)
+        inside = room.contains(np.array([[5.0, 5.0], [10.0, 0.0], [-0.1, 5.0]]))
+        np.testing.assert_array_equal(inside, [True, True, False])
+
+    def test_clamp(self):
+        room = Room.square(10.0)
+        clamped = room.clamp(np.array([[-1.0, 5.0], [11.0, 12.0]]))
+        np.testing.assert_allclose(clamped, [[0.0, 5.0], [10.0, 10.0]])
+
+    def test_clamp_does_not_mutate_input(self):
+        room = Room.square(10.0)
+        original = np.array([[-1.0, 5.0]])
+        room.clamp(original)
+        np.testing.assert_allclose(original, [[-1.0, 5.0]])
+
+    def test_sample_positions_inside_with_margin(self):
+        room = Room.square(10.0)
+        pos = room.sample_positions(200, np.random.default_rng(0), margin=0.5)
+        assert pos.shape == (200, 2)
+        assert (pos >= 0.5).all()
+        assert (pos <= 9.5).all()
+
+    def test_sample_positions_deterministic_under_seed(self):
+        room = Room.square(10.0)
+        a = room.sample_positions(10, np.random.default_rng(7))
+        b = room.sample_positions(10, np.random.default_rng(7))
+        np.testing.assert_allclose(a, b)
+
+
+class TestProjection:
+    def test_2d_passthrough_copy(self):
+        pos = np.array([[1.0, 2.0]])
+        out = project_to_floor(pos)
+        np.testing.assert_allclose(out, pos)
+        out[0, 0] = 99.0
+        assert pos[0, 0] == 1.0
+
+    def test_3d_drops_vertical_y(self):
+        pos = np.array([[1.0, 5.0, 2.0]])  # (x, y=height, z)
+        np.testing.assert_allclose(project_to_floor(pos), [[1.0, 2.0]])
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            project_to_floor(np.zeros((3, 4)))
+        with pytest.raises(ValueError):
+            project_to_floor(np.zeros(3))
+
+
+class TestDistancesAngles:
+    def test_pairwise_distances_symmetric_zero_diag(self):
+        pos = np.array([[0.0, 0.0], [3.0, 4.0], [1.0, 1.0]])
+        dist = pairwise_distances(pos)
+        np.testing.assert_allclose(dist, dist.T)
+        np.testing.assert_allclose(np.diag(dist), 0.0)
+        assert dist[0, 1] == pytest.approx(5.0)
+
+    def test_relative_angles_cardinal_directions(self):
+        pos = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [-1.0, 0.0]])
+        angles = relative_angles(pos, target=0)
+        assert angles[1] == pytest.approx(0.0)
+        assert angles[2] == pytest.approx(np.pi / 2)
+        assert abs(angles[3]) == pytest.approx(np.pi)
+
+    def test_relative_angles_target_entry_zero(self):
+        pos = np.random.default_rng(0).uniform(0, 10, size=(5, 2))
+        assert relative_angles(pos, target=3)[3] == 0.0

@@ -1,0 +1,127 @@
+"""End-to-end integration tests across the full pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import AfterProblem, evaluate_episode, evaluate_targets
+from repro.datasets import RoomConfig, generate_room
+from repro.models import (
+    COMURNetRecommender,
+    NearestRecommender,
+    OracleStepRecommender,
+    POSHGNN,
+    RandomRecommender,
+    RenderAllRecommender,
+)
+
+SMALL = RoomConfig(num_users=25, num_steps=8)
+
+
+@pytest.fixture(scope="module", params=["timik", "smm", "hubs"])
+def any_room(request):
+    if request.param == "hubs":
+        from repro.datasets import hubs_config
+        return generate_room("hubs", hubs_config(num_users=15, num_steps=8),
+                             seed=0)
+    return generate_room(request.param, SMALL, seed=0)
+
+
+RECOMMENDER_FACTORIES = [
+    lambda: RandomRecommender(seed=0),
+    lambda: NearestRecommender(),
+    lambda: RenderAllRecommender(),
+    lambda: OracleStepRecommender(),
+    lambda: COMURNetRecommender(rollouts=2, seed=0),
+    lambda: POSHGNN(seed=0),
+]
+
+
+class TestPipelineInvariants:
+    @pytest.mark.parametrize("factory", RECOMMENDER_FACTORIES)
+    def test_metrics_well_formed(self, any_room, factory):
+        problem = AfterProblem(any_room, target=0)
+        result = evaluate_episode(problem, factory())
+        assert result.after_utility >= 0.0
+        assert result.preference >= 0.0
+        assert result.presence >= 0.0
+        assert 0.0 <= result.occlusion_rate <= 1.0
+        assert result.runtime_ms >= 0.0
+        assert np.isfinite(result.per_step_after).all()
+
+    @pytest.mark.parametrize("factory", RECOMMENDER_FACTORIES)
+    def test_after_is_beta_combination(self, any_room, factory):
+        problem = AfterProblem(any_room, target=1, beta=0.3)
+        result = evaluate_episode(problem, factory())
+        assert result.after_utility == pytest.approx(
+            0.7 * result.preference + 0.3 * result.presence)
+
+    @pytest.mark.parametrize("factory", RECOMMENDER_FACTORIES)
+    def test_evaluation_deterministic(self, any_room, factory):
+        problem = AfterProblem(any_room, target=2)
+        first = evaluate_episode(problem, factory())
+        second = evaluate_episode(problem, factory())
+        assert first.after_utility == pytest.approx(second.after_utility)
+        np.testing.assert_array_equal(first.recommendations,
+                                      second.recommendations)
+
+    def test_presence_bounded_by_rendered_s_sum(self, any_room):
+        """Presence cannot exceed the sum of s over ever-rendered users
+        times the number of steps."""
+        problem = AfterProblem(any_room, target=0)
+        result = evaluate_episode(problem, NearestRecommender())
+        s_row = any_room.presence[0]
+        bound = 0.0
+        for t in range(result.recommendations.shape[0]):
+            bound += s_row[result.recommendations[t]].sum()
+        assert result.presence <= bound + 1e-9
+
+    def test_target_never_in_any_recommendation(self, any_room):
+        for factory in RECOMMENDER_FACTORIES:
+            problem = AfterProblem(any_room, target=3)
+            result = evaluate_episode(problem, factory())
+            assert not result.recommendations[:, 3].any()
+
+
+class TestBetaExtremes:
+    def test_beta_zero_counts_only_preference(self, any_room):
+        problem = AfterProblem(any_room, target=0, beta=0.0)
+        result = evaluate_episode(problem, NearestRecommender())
+        assert result.after_utility == pytest.approx(result.preference)
+
+    def test_beta_one_counts_only_presence(self, any_room):
+        problem = AfterProblem(any_room, target=0, beta=1.0)
+        result = evaluate_episode(problem, NearestRecommender())
+        assert result.after_utility == pytest.approx(result.presence)
+
+
+class TestBudgetEffects:
+    def test_larger_budget_never_hurts_oracle_much(self, any_room):
+        """The oracle with a larger display budget should not lose
+        (it can always render fewer)."""
+        small = evaluate_episode(AfterProblem(any_room, 0, max_render=2),
+                                 OracleStepRecommender()).after_utility
+        large = evaluate_episode(AfterProblem(any_room, 0, max_render=10),
+                                 OracleStepRecommender()).after_utility
+        assert large >= small - 1e-6
+
+    def test_budget_one_renders_single_user(self, any_room):
+        problem = AfterProblem(any_room, 0, max_render=1)
+        result = evaluate_episode(problem, NearestRecommender())
+        assert (result.recommendations.sum(axis=1) <= 1).all()
+
+
+class TestTrainedModelsAcrossDatasets:
+    def test_poshgnn_trains_on_every_dataset(self, any_room):
+        problem = AfterProblem(any_room, target=0)
+        model = POSHGNN(seed=0)
+        history = model.fit([problem], epochs=4, restarts=1)
+        assert np.isfinite(history["loss"]).all()
+        result = evaluate_episode(problem, model)
+        assert np.isfinite(result.after_utility)
+
+    def test_evaluate_targets_multiple(self, any_room):
+        result = evaluate_targets(any_room, NearestRecommender(),
+                                  targets=[0, 1, 2, 3])
+        assert len(result.episodes) == 4
+        assert result.after_utility == pytest.approx(
+            np.mean([e.after_utility for e in result.episodes]))

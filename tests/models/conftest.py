@@ -1,0 +1,30 @@
+"""Shared fixtures for model tests: a small room and its problems."""
+
+import numpy as np
+import pytest
+
+from repro.core import AfterProblem
+from repro.datasets import RoomConfig, generate_timik_room
+
+
+@pytest.fixture(scope="session")
+def room():
+    """Small dense room shared by all model tests."""
+    return generate_timik_room(RoomConfig(num_users=30, num_steps=10), seed=0)
+
+
+@pytest.fixture(scope="session")
+def problem(room):
+    return AfterProblem(room, target=0)
+
+
+@pytest.fixture(scope="session")
+def vr_problem(room):
+    """A problem whose target is a VR (remote) user."""
+    target = int(np.nonzero(~room.interfaces_mr)[0][0])
+    return AfterProblem(room, target=target)
+
+
+@pytest.fixture(scope="session")
+def train_problems(room):
+    return [AfterProblem(room, t) for t in (0, 1)]

@@ -1,0 +1,245 @@
+"""Unit tests for POSHGNN's MIA / PDR / LWP modules and loss."""
+
+import numpy as np
+import pytest
+
+from repro.models.poshgnn import LWP, MIA, PDR, POSHGNNLoss, \
+    preservation_gate
+from repro.models.poshgnn.loss import resolve_alpha
+from repro.models.poshgnn.mia import row_normalise
+from repro.nn import Tensor
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestRowNormalise:
+    def test_scales_by_mean_degree(self):
+        adjacency = np.array([[0.0, 1, 1], [1, 0, 0], [1, 0, 0]])
+        out = row_normalise(adjacency)
+        mean_degree = adjacency.sum(axis=1).mean()
+        np.testing.assert_allclose(out, adjacency / mean_degree)
+
+    def test_empty_graph_unchanged(self):
+        adjacency = np.zeros((3, 3))
+        np.testing.assert_allclose(row_normalise(adjacency), adjacency)
+
+    def test_preserves_relative_degree(self):
+        adjacency = np.zeros((4, 4))
+        adjacency[0, 1:] = adjacency[1:, 0] = 1.0  # star: hub has degree 3
+        out = row_normalise(adjacency)
+        assert out[0].sum() == pytest.approx(3 * out[1].sum() / 1)
+
+
+class TestMIA:
+    def test_process_shapes(self, problem):
+        mia = MIA()
+        mia.reset()
+        out = mia.process(problem.frame_at(0))
+        count = problem.num_users
+        assert out.features.shape == (count, 4)
+        assert out.delta.shape == (count, 3)
+        assert out.mask.shape == (count,)
+        assert out.adjacency.shape == (count, count)
+        assert out.propagation.shape == (count, count)
+
+    def test_first_step_delta_uses_zero_previous(self, problem):
+        mia = MIA()
+        mia.reset()
+        out = mia.process(problem.frame_at(0))
+        degrees = out.adjacency.sum(axis=1)
+        scale = max(np.abs(np.column_stack([
+            degrees, (out.adjacency @ out.adjacency) @ np.ones(len(degrees))
+        ])).max(), 1.0)
+        np.testing.assert_allclose(out.delta[:, 1], degrees / scale)
+
+    def test_stateful_across_steps(self, problem):
+        mia = MIA()
+        mia.reset()
+        mia.process(problem.frame_at(0))
+        out1 = mia.process(problem.frame_at(1))
+        # Gradual scenes: second-step deltas are small.
+        assert np.abs(out1.delta[:, 1]).mean() < 1.0
+
+    def test_reset_clears_state(self, problem):
+        mia = MIA()
+        mia.reset()
+        first = mia.process(problem.frame_at(0)).delta.copy()
+        mia.process(problem.frame_at(1))
+        mia.reset()
+        again = mia.process(problem.frame_at(0)).delta
+        np.testing.assert_allclose(first, again)
+
+    def test_no_delta_mode(self, problem):
+        mia = MIA(use_delta=False)
+        mia.reset()
+        out = mia.process(problem.frame_at(0))
+        np.testing.assert_allclose(out.delta[:, 0], 1.0)
+        np.testing.assert_allclose(out.delta[:, 1:], 0.0)
+
+    def test_raw_mode_masks_only_target(self, problem):
+        mia = MIA(use_normalised=False)
+        mia.reset()
+        out = mia.process(problem.frame_at(0))
+        assert out.mask[problem.target] == 0.0
+        assert out.mask.sum() == problem.num_users - 1
+
+
+class TestPDR:
+    def test_output_shapes_and_range(self, problem):
+        pdr = PDR(4, 8, rng())
+        frame = problem.frame_at(0)
+        adjacency = row_normalise(frame.graph.adjacency_float())
+        prototype, hidden = pdr(Tensor(frame.features()), adjacency)
+        assert prototype.shape == (problem.num_users,)
+        assert hidden.shape == (problem.num_users, 8)
+        assert (prototype.data >= 0).all()
+        assert (prototype.data <= 1).all()
+
+    def test_gradients_flow(self, problem):
+        pdr = PDR(4, 8, rng())
+        frame = problem.frame_at(0)
+        adjacency = row_normalise(frame.graph.adjacency_float())
+        prototype, _hidden = pdr(Tensor(frame.features()), adjacency)
+        prototype.sum().backward()
+        assert all(p.grad is not None for p in pdr.parameters())
+
+
+class TestLWP:
+    def test_sigma_shape_and_range(self, problem):
+        lwp = LWP(4, 3, 8, rng())
+        frame = problem.frame_at(0)
+        count = problem.num_users
+        adjacency = row_normalise(frame.graph.adjacency_float())
+        sigma = lwp(Tensor(frame.features()), Tensor(np.zeros((count, 3))),
+                    Tensor(np.zeros((count, 8))), Tensor(np.zeros(count)),
+                    adjacency)
+        assert sigma.shape == (count,)
+        assert (sigma.data >= 0).all()
+        assert (sigma.data <= 1).all()
+
+
+class TestPreservationGate:
+    def test_full_preservation_returns_previous(self):
+        mask = np.ones(3)
+        out = preservation_gate(mask, Tensor(np.ones(3)),
+                                Tensor(np.array([0.9, 0.8, 0.7])),
+                                Tensor(np.array([0.1, 0.2, 0.3])))
+        np.testing.assert_allclose(out.data, [0.1, 0.2, 0.3])
+
+    def test_no_preservation_returns_prototype(self):
+        mask = np.ones(3)
+        out = preservation_gate(mask, Tensor(np.zeros(3)),
+                                Tensor(np.array([0.9, 0.8, 0.7])),
+                                Tensor(np.array([0.1, 0.2, 0.3])))
+        np.testing.assert_allclose(out.data, [0.9, 0.8, 0.7])
+
+    def test_mask_zeroes_entries(self):
+        mask = np.array([1.0, 0.0, 1.0])
+        out = preservation_gate(mask, Tensor(np.full(3, 0.5)),
+                                Tensor(np.ones(3)), Tensor(np.ones(3)))
+        assert out.data[1] == 0.0
+
+    def test_convex_mix(self):
+        mask = np.ones(1)
+        out = preservation_gate(mask, Tensor(np.array([0.25])),
+                                Tensor(np.array([1.0])),
+                                Tensor(np.array([0.0])))
+        np.testing.assert_allclose(out.data, [0.75])
+
+
+class TestPOSHGNNLoss:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            POSHGNNLoss(beta=1.5)
+        with pytest.raises(ValueError):
+            POSHGNNLoss(alpha=-1.0)
+
+    def test_loss_nonnegative_for_binary_recommendations(self):
+        loss_fn = POSHGNNLoss(beta=0.5, alpha=0.1)
+        count = 6
+        p_hat = np.full(count, 0.5)
+        s_hat = np.full(count, 0.5)
+        adjacency = np.zeros((count, count))
+        r = Tensor(np.array([1.0, 0, 1, 0, 1, 0]))
+        loss = loss_fn.step_loss(r, Tensor(np.zeros(count)), p_hat, s_hat,
+                                 adjacency)
+        # gamma makes the loss positive when nothing is gained fully.
+        assert loss.item() >= 0.0
+
+    def test_rendering_preferred_users_lowers_loss(self):
+        loss_fn = POSHGNNLoss(beta=0.0, alpha=0.0)
+        p_hat = np.array([0.9, 0.1])
+        s_hat = np.zeros(2)
+        adjacency = np.zeros((2, 2))
+        good = loss_fn.step_loss(Tensor(np.array([1.0, 0.0])),
+                                 Tensor(np.zeros(2)), p_hat, s_hat, adjacency)
+        bad = loss_fn.step_loss(Tensor(np.array([0.0, 1.0])),
+                                Tensor(np.zeros(2)), p_hat, s_hat, adjacency)
+        assert good.item() < bad.item()
+
+    def test_occlusion_edge_penalised(self):
+        loss_fn = POSHGNNLoss(beta=0.0, alpha=1.0)
+        p_hat = np.full(2, 0.1)
+        s_hat = np.zeros(2)
+        conflict = np.array([[0.0, 1.0], [1.0, 0.0]])
+        clear = np.zeros((2, 2))
+        both = Tensor(np.ones(2))
+        with_conflict = loss_fn.step_loss(both, Tensor(np.zeros(2)), p_hat,
+                                          s_hat, conflict)
+        without = loss_fn.step_loss(both, Tensor(np.zeros(2)), p_hat, s_hat,
+                                    clear)
+        assert with_conflict.item() > without.item()
+
+    def test_presence_requires_previous_recommendation(self):
+        loss_fn = POSHGNNLoss(beta=1.0, alpha=0.0)
+        s_hat = np.array([0.8])
+        p_hat = np.zeros(1)
+        adjacency = np.zeros((1, 1))
+        kept = loss_fn.step_loss(Tensor(np.ones(1)), Tensor(np.ones(1)),
+                                 p_hat, s_hat, adjacency)
+        fresh = loss_fn.step_loss(Tensor(np.ones(1)), Tensor(np.zeros(1)),
+                                  p_hat, s_hat, adjacency)
+        assert kept.item() < fresh.item()
+
+    def test_episode_loss_sums_steps(self):
+        loss_fn = POSHGNNLoss(beta=0.5, alpha=0.01)
+        count = 3
+        recs = [Tensor(np.full(count, 0.5)) for _ in range(4)]
+        p_hats = [np.full(count, 0.5)] * 4
+        s_hats = [np.full(count, 0.5)] * 4
+        adjacencies = [np.zeros((count, count))] * 4
+        total = loss_fn.episode_loss(recs, p_hats, s_hats, adjacencies)
+        assert np.isfinite(total.item())
+
+    def test_episode_loss_rejects_empty(self):
+        with pytest.raises(ValueError):
+            POSHGNNLoss().episode_loss([], [], [], [])
+
+    def test_gradient_direction_increases_good_user(self):
+        loss_fn = POSHGNNLoss(beta=0.0, alpha=0.0)
+        r = Tensor(np.array([0.5, 0.5]), requires_grad=True)
+        loss = loss_fn.step_loss(r, Tensor(np.zeros(2)),
+                                 np.array([0.9, 0.0]), np.zeros(2),
+                                 np.zeros((2, 2)))
+        loss.backward()
+        assert r.grad[0] < 0      # descending increases r for good user
+        assert r.grad[1] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestResolveAlpha:
+    def test_explicit_float_passthrough(self, train_problems):
+        assert resolve_alpha(train_problems, 0.07) == 0.07
+
+    def test_auto_scales_with_degree(self, train_problems):
+        alpha = resolve_alpha(train_problems, "auto", alpha0=0.5)
+        mid = train_problems[0].horizon // 2
+        degree = train_problems[0].adjacency(mid).sum(axis=1).mean()
+        assert alpha <= 0.5
+        assert alpha == pytest.approx(0.5 / max(1.0, degree), rel=0.5)
+
+    def test_alpha0_scales_linearly(self, train_problems):
+        a1 = resolve_alpha(train_problems, "auto", alpha0=1.0)
+        a2 = resolve_alpha(train_problems, "auto", alpha0=2.0)
+        assert a2 == pytest.approx(2 * a1)

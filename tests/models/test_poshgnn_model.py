@@ -1,0 +1,137 @@
+"""Integration tests for the full POSHGNN recommender and trainer."""
+
+import numpy as np
+import pytest
+
+from repro.core import AfterProblem, evaluate_episode
+from repro.models import POSHGNN, RandomRecommender
+from repro.models.poshgnn import POSHGNNTrainer
+
+
+class TestPOSHGNNInterface:
+    def test_names_reflect_ablation(self):
+        assert POSHGNN().name == "POSHGNN"
+        assert POSHGNN(use_lwp=False).name == "PDR w/ MIA"
+        assert POSHGNN(use_lwp=False, use_mia=False).name == "Only PDR"
+
+    def test_recommend_respects_budget_and_mask(self, problem):
+        model = POSHGNN(seed=0)
+        model.reset(problem)
+        frame = problem.frame_at(0)
+        rendered = model.recommend(frame)
+        assert rendered.sum() <= problem.max_render
+        assert not rendered[problem.target]
+        assert not rendered[frame.mask <= 0].any()
+
+    def test_reset_clears_recurrent_state(self, problem):
+        model = POSHGNN(seed=0)
+        model.reset(problem)
+        first = model.recommend(problem.frame_at(0)).copy()
+        model.recommend(problem.frame_at(1))
+        model.reset(problem)
+        again = model.recommend(problem.frame_at(0))
+        np.testing.assert_array_equal(first, again)
+
+    def test_step_outputs_in_unit_interval(self, problem):
+        model = POSHGNN(seed=0)
+        model.reset(problem)
+        hidden, previous = model.initial_state(problem.num_users)
+        rec, new_hidden, _ = model.step(problem.frame_at(0), hidden, previous)
+        assert (rec.data >= 0).all()
+        assert (rec.data <= 1).all()
+        assert new_hidden.shape == (problem.num_users, model.hidden_dim)
+
+    def test_reinitialize_changes_parameters(self):
+        model = POSHGNN(seed=0)
+        before = model.pdr.conv1.self_weight.data.copy()
+        model.reinitialize(99)
+        assert not np.allclose(before, model.pdr.conv1.self_weight.data)
+
+    def test_ablation_variant_without_lwp_has_no_lwp_params(self):
+        full = POSHGNN(seed=0)
+        bare = POSHGNN(seed=0, use_lwp=False)
+        assert bare.num_parameters() < full.num_parameters()
+
+
+class TestTraining:
+    def test_fit_reduces_loss(self, train_problems):
+        model = POSHGNN(seed=0)
+        history = model.fit(train_problems, epochs=8, restarts=1)
+        assert history["loss"][-1] <= history["loss"][0]
+
+    def test_fit_returns_train_utility(self, train_problems):
+        model = POSHGNN(seed=0)
+        history = model.fit(train_problems, epochs=4, restarts=1)
+        assert history["train_utility"] >= 0.0
+
+    def test_trained_model_beats_random(self, room, train_problems):
+        model = POSHGNN(seed=0)
+        model.fit(train_problems, epochs=25, restarts=1)
+        problem = AfterProblem(room, target=3)
+        ours = evaluate_episode(problem, model).after_utility
+        random = evaluate_episode(problem, RandomRecommender()).after_utility
+        assert ours > random
+
+    def test_restart_selection_keeps_best(self, train_problems):
+        model = POSHGNN(seed=0)
+        history = model.fit(train_problems, epochs=5, restarts=2)
+        from repro.core import evaluate_episode as ev
+        reproduced = np.mean([ev(p, model).after_utility
+                              for p in train_problems])
+        assert reproduced == pytest.approx(history["train_utility"], rel=0.05)
+
+    def test_fit_validates_restarts(self, train_problems):
+        with pytest.raises(ValueError):
+            POSHGNN(seed=0).fit(train_problems, restarts=0)
+
+    def test_trainer_validates(self):
+        model = POSHGNN(seed=0)
+        with pytest.raises(ValueError):
+            POSHGNNTrainer(model, epochs=0)
+        with pytest.raises(ValueError):
+            POSHGNNTrainer(model, bptt_window=0)
+        with pytest.raises(ValueError):
+            POSHGNNTrainer(model).train([])
+
+    def test_truncated_bptt_window_sizes(self, train_problems):
+        model = POSHGNN(seed=0)
+        trainer = POSHGNNTrainer(model, epochs=2, bptt_window=3)
+        history = trainer.train(train_problems[:1])
+        assert len(history["loss"]) == 2
+
+    def test_no_lwp_variant_trains(self, train_problems):
+        model = POSHGNN(seed=0, use_lwp=False)
+        history = model.fit(train_problems, epochs=5, restarts=1)
+        assert np.isfinite(history["loss"]).all()
+
+    def test_no_mia_variant_trains(self, train_problems):
+        model = POSHGNN(seed=0, use_lwp=False, use_mia=False)
+        history = model.fit(train_problems, epochs=5, restarts=1)
+        assert np.isfinite(history["loss"]).all()
+
+
+class TestContinuity:
+    def test_lwp_improves_continuity(self, room):
+        """The preservation gate yields more stable displays than
+        re-solving from scratch (the paper's C3 motivation)."""
+        problem = AfterProblem(room, target=2)
+        full = POSHGNN(seed=0)
+        full.fit([problem], epochs=20, restarts=1)
+        bare = POSHGNN(seed=0, use_lwp=False)
+        bare.fit([problem], epochs=20, restarts=1)
+        full_result = evaluate_episode(problem, full)
+        bare_result = evaluate_episode(problem, bare)
+        assert full_result.continuity() >= bare_result.continuity() - 0.15
+
+    def test_serialization_roundtrip(self, problem, tmp_path):
+        from repro.nn import load_module, save_module
+        model = POSHGNN(seed=0)
+        path = tmp_path / "poshgnn.npz"
+        save_module(model, path)
+        other = POSHGNN(seed=5)
+        load_module(other, path)
+        model.reset(problem)
+        other.reset(problem)
+        np.testing.assert_array_equal(
+            model.recommend(problem.frame_at(0)),
+            other.recommend(problem.frame_at(0)))

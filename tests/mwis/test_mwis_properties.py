@@ -1,0 +1,96 @@
+"""Property-based tests for the MWIS solver family."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mwis import (
+    improve_local_search,
+    is_independent_set,
+    set_weight,
+    solve_circular_arc_mwis,
+    solve_interval_mwis,
+    solve_mwis_exact,
+    solve_mwis_greedy,
+)
+
+
+@st.composite
+def graph_strategy(draw, max_nodes=12):
+    n = draw(st.integers(2, max_nodes))
+    seed = draw(st.integers(0, 100_000))
+    p = draw(st.floats(0.0, 0.8))
+    rng = np.random.default_rng(seed)
+    adjacency = np.triu(rng.random((n, n)) < p, 1)
+    adjacency = adjacency | adjacency.T
+    weights = rng.uniform(0.0, 1.0, n)
+    return adjacency, weights
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_strategy())
+def test_exact_result_is_independent_and_dominates_greedy(graph):
+    adjacency, weights = graph
+    exact = solve_mwis_exact(adjacency, weights)
+    greedy = solve_mwis_greedy(adjacency, weights)
+    assert is_independent_set(adjacency, exact)
+    assert is_independent_set(adjacency, greedy)
+    assert set_weight(weights, exact) >= set_weight(weights, greedy) - 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_strategy())
+def test_local_search_monotone_improvement(graph):
+    adjacency, weights = graph
+    start = solve_mwis_greedy(adjacency, weights)
+    improved = improve_local_search(adjacency, weights, start, max_rounds=2)
+    assert is_independent_set(adjacency, improved)
+    assert set_weight(weights, improved) >= set_weight(weights, start) - 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_strategy())
+def test_exact_invariant_to_weight_scaling(graph):
+    """Scaling all weights by a positive constant preserves the optimum
+    set's weight ratio."""
+    adjacency, weights = graph
+    base = set_weight(weights, solve_mwis_exact(adjacency, weights))
+    scaled = set_weight(weights * 3.0,
+                        solve_mwis_exact(adjacency, weights * 3.0))
+    assert scaled == (3.0 * base if base > 0 else 0.0) or \
+        abs(scaled - 3.0 * base) < 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(1, 8), st.integers(0, 100_000))
+def test_interval_solution_never_exceeds_total(n, seed):
+    rng = np.random.default_rng(seed)
+    starts = rng.uniform(0, 10, n)
+    ends = starts + rng.uniform(0.1, 3.0, n)
+    weights = rng.uniform(0, 1, n)
+    value, chosen = solve_interval_mwis(list(zip(starts, ends)), weights)
+    assert 0.0 <= value <= weights.sum() + 1e-12
+    assert value == pytest.approx(sum(weights[i] for i in chosen))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(1, 8), st.integers(0, 100_000))
+def test_circular_arc_chosen_set_is_conflict_free(n, seed):
+    rng = np.random.default_rng(seed)
+    starts = rng.uniform(0, 2 * np.pi, n)
+    widths = rng.uniform(0.05, 2.0, n)
+    arcs = [(s, (s + w) % (2 * np.pi)) for s, w in zip(starts, widths)]
+    weights = rng.uniform(0, 1, n)
+    value, chosen = solve_circular_arc_mwis(arcs, weights)
+
+    def covered(arc):
+        s, e = arc[0] % (2 * np.pi), arc[1] % (2 * np.pi)
+        return [(s, e)] if s <= e else [(s, 2 * np.pi), (0.0, e)]
+
+    for k, i in enumerate(chosen):
+        for j in chosen[k + 1:]:
+            for s1, e1 in covered(arcs[i]):
+                for s2, e2 in covered(arcs[j]):
+                    assert not (s1 <= e2 and s2 <= e1)
+    assert value == pytest.approx(sum(weights[i] for i in chosen))

@@ -1,0 +1,149 @@
+"""Tests for the MWIS solver suite."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mwis import (
+    improve_local_search,
+    is_independent_set,
+    set_weight,
+    solve_interval_mwis,
+    solve_mwis,
+    solve_mwis_exact,
+    solve_mwis_greedy,
+)
+
+
+def brute_force_mwis(adjacency, weights):
+    """Reference optimum by enumeration (tiny graphs only)."""
+    n = len(weights)
+    best = 0.0
+    for bits in itertools.product([False, True], repeat=n):
+        sel = np.array(bits)
+        if is_independent_set(adjacency, sel):
+            best = max(best, set_weight(weights, sel))
+    return best
+
+
+def random_graph(n, p, seed):
+    rng = np.random.default_rng(seed)
+    adjacency = rng.random((n, n)) < p
+    adjacency = np.triu(adjacency, 1)
+    adjacency = adjacency | adjacency.T
+    weights = rng.uniform(0.1, 1.0, n)
+    return adjacency, weights
+
+
+class TestExact:
+    def test_empty_graph_takes_all_positive(self):
+        adjacency = np.zeros((4, 4), dtype=bool)
+        weights = np.array([1.0, -1.0, 2.0, 0.0])
+        sel = solve_mwis_exact(adjacency, weights)
+        np.testing.assert_array_equal(sel, [True, False, True, False])
+
+    def test_triangle_picks_heaviest(self):
+        adjacency = np.array([[0, 1, 1], [1, 0, 1], [1, 1, 0]], dtype=bool)
+        sel = solve_mwis_exact(adjacency, np.array([1.0, 3.0, 2.0]))
+        np.testing.assert_array_equal(sel, [False, True, False])
+
+    def test_path_graph_alternation(self):
+        # Path 0-1-2-3 with uniform weights: optimum {0, 2} or {1, 3} or {0,3}.
+        adjacency = np.zeros((4, 4), dtype=bool)
+        for i in range(3):
+            adjacency[i, i + 1] = adjacency[i + 1, i] = True
+        sel = solve_mwis_exact(adjacency, np.ones(4))
+        assert is_independent_set(adjacency, sel)
+        assert sel.sum() == 2
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute_force(self, seed):
+        adjacency, weights = random_graph(9, 0.35, seed)
+        sel = solve_mwis_exact(adjacency, weights)
+        assert is_independent_set(adjacency, sel)
+        assert set_weight(weights, sel) == pytest.approx(
+            brute_force_mwis(adjacency, weights))
+
+    def test_node_limit_guard(self):
+        adjacency = np.zeros((70, 70), dtype=bool)
+        with pytest.raises(ValueError):
+            solve_mwis_exact(adjacency, np.ones(70))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            solve_mwis_exact(np.zeros((2, 3)), np.ones(2))
+        with pytest.raises(ValueError):
+            solve_mwis_exact(np.zeros((2, 2)), np.ones(3))
+
+
+class TestGreedy:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_returns_independent_set(self, seed):
+        adjacency, weights = random_graph(30, 0.2, seed)
+        sel = solve_mwis_greedy(adjacency, weights)
+        assert is_independent_set(adjacency, sel)
+
+    def test_exact_on_empty_graph(self):
+        adjacency = np.zeros((5, 5), dtype=bool)
+        sel = solve_mwis_greedy(adjacency, np.ones(5))
+        assert sel.all()
+
+    def test_ignores_nonpositive_weights(self):
+        adjacency = np.zeros((3, 3), dtype=bool)
+        sel = solve_mwis_greedy(adjacency, np.array([1.0, 0.0, -2.0]))
+        np.testing.assert_array_equal(sel, [True, False, False])
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_within_half_of_optimum_on_small(self, seed):
+        adjacency, weights = random_graph(10, 0.3, seed)
+        greedy_w = set_weight(weights, solve_mwis_greedy(adjacency, weights))
+        optimum = brute_force_mwis(adjacency, weights)
+        assert greedy_w >= 0.5 * optimum
+
+
+class TestLocalSearch:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_never_worse_than_input(self, seed):
+        adjacency, weights = random_graph(20, 0.25, seed)
+        start = solve_mwis_greedy(adjacency, weights)
+        improved = improve_local_search(adjacency, weights, start)
+        assert is_independent_set(adjacency, improved)
+        assert set_weight(weights, improved) >= set_weight(weights, start) - 1e-12
+
+    def test_inserts_free_vertices(self):
+        adjacency = np.zeros((3, 3), dtype=bool)
+        start = np.array([True, False, False])
+        improved = improve_local_search(adjacency, np.ones(3), start)
+        assert improved.all()
+
+    def test_one_two_swap_found(self):
+        # Star: center 0 (weight 3) vs two leaves (weight 2 each).
+        adjacency = np.array([[0, 1, 1], [1, 0, 0], [1, 0, 0]], dtype=bool)
+        weights = np.array([3.0, 2.0, 2.0])
+        start = np.array([True, False, False])
+        improved = improve_local_search(adjacency, weights, start)
+        assert set_weight(weights, improved) == pytest.approx(4.0)
+
+
+class TestDispatcher:
+    def test_small_uses_exact(self):
+        adjacency, weights = random_graph(8, 0.3, 0)
+        sel = solve_mwis(adjacency, weights)
+        assert set_weight(weights, sel) == pytest.approx(
+            brute_force_mwis(adjacency, weights))
+
+    def test_large_returns_independent(self):
+        adjacency, weights = random_graph(60, 0.1, 1)
+        sel = solve_mwis(adjacency, weights)
+        assert is_independent_set(adjacency, sel)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=2, max_value=10), st.integers(0, 10_000))
+    def test_property_independent_and_positive(self, n, seed):
+        adjacency, weights = random_graph(n, 0.4, seed)
+        sel = solve_mwis(adjacency, weights)
+        assert is_independent_set(adjacency, sel)
+        assert set_weight(weights, sel) >= max(0.0, weights.max() * 0)

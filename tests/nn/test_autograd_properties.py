@@ -1,0 +1,126 @@
+"""Property-based tests (hypothesis) for the autograd engine.
+
+Every analytic gradient must match a central-difference estimate on random
+inputs, and algebraic identities (linearity, product rule) must hold.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn import Tensor
+
+FLOATS = st.floats(min_value=-3.0, max_value=3.0,
+                   allow_nan=False, allow_infinity=False)
+
+
+def small_arrays(max_side=4):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=max_side),
+        elements=FLOATS,
+    )
+
+
+def central_diff(fn, x, eps=1e-5):
+    grad = np.zeros_like(x)
+    flat_x = x.reshape(-1)
+    flat_g = grad.reshape(-1)
+    for i in range(flat_x.size):
+        orig = flat_x[i]
+        flat_x[i] = orig + eps
+        hi = fn(x)
+        flat_x[i] = orig - eps
+        lo = fn(x)
+        flat_x[i] = orig
+        flat_g[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_sum_of_squares_gradient(x):
+    t = Tensor(x, requires_grad=True)
+    (t * t).sum().backward()
+    np.testing.assert_allclose(t.grad, 2 * x, atol=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_tanh_gradient_matches_numeric(x):
+    t = Tensor(x, requires_grad=True)
+    t.tanh().sum().backward()
+    numeric = central_diff(lambda v: np.tanh(v).sum(), x.copy())
+    np.testing.assert_allclose(t.grad, numeric, atol=1e-5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_sigmoid_gradient_matches_numeric(x):
+    t = Tensor(x, requires_grad=True)
+    t.sigmoid().sum().backward()
+    numeric = central_diff(lambda v: (1 / (1 + np.exp(-v))).sum(), x.copy())
+    np.testing.assert_allclose(t.grad, numeric, atol=1e-5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(), FLOATS, FLOATS)
+def test_linearity_of_gradient(x, a, b):
+    """grad(a*f + b*g) == a*grad(f) + b*grad(g) for f=sum(x^2), g=sum(x)."""
+    t1 = Tensor(x, requires_grad=True)
+    ((t1 * t1).sum() * a + t1.sum() * b).backward()
+    expected = a * 2 * x + b
+    np.testing.assert_allclose(t1.grad, expected, atol=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_product_rule(x):
+    """d/dx sum(x * sigmoid(x)) == sigmoid(x) + x*sigmoid'(x)."""
+    t = Tensor(x, requires_grad=True)
+    (t * t.sigmoid()).sum().backward()
+    s = 1 / (1 + np.exp(-x))
+    np.testing.assert_allclose(t.grad, s + x * s * (1 - s), atol=1e-8)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(np.float64, (3, 4), elements=FLOATS),
+    arrays(np.float64, (4, 2), elements=FLOATS),
+)
+def test_matmul_gradients_match_numeric(a, b):
+    ta = Tensor(a, requires_grad=True)
+    tb = Tensor(b, requires_grad=True)
+    (ta @ tb).sum().backward()
+    np.testing.assert_allclose(
+        ta.grad, central_diff(lambda v: (v @ b).sum(), a.copy()), atol=1e-5)
+    np.testing.assert_allclose(
+        tb.grad, central_diff(lambda v: (a @ v).sum(), b.copy()), atol=1e-5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_detach_blocks_gradient(x):
+    t = Tensor(x, requires_grad=True)
+    (t.detach() * 5.0).sum()  # no graph
+    out = (t * 1.0).sum()
+    out.backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(x))
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_mean_is_sum_over_count(x):
+    t1 = Tensor(x, requires_grad=True)
+    t1.mean().backward()
+    np.testing.assert_allclose(t1.grad, np.full_like(x, 1.0 / x.size))
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(np.float64, st.integers(2, 6).map(lambda n: (n,)), elements=FLOATS))
+def test_second_use_accumulates(x):
+    """Using a tensor twice doubles its gradient contribution."""
+    t = Tensor(x, requires_grad=True)
+    (t.sum() + t.sum()).backward()
+    np.testing.assert_allclose(t.grad, np.full_like(x, 2.0))

@@ -1,0 +1,302 @@
+"""Unit tests for modules, layers, optimisers and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    AttentionFusion,
+    DiffusionConv,
+    GraphConv,
+    GraphGRUCell,
+    GRUCell,
+    Linear,
+    load_module,
+    MLP,
+    Module,
+    Parameter,
+    save_module,
+    Sequential,
+    SGD,
+    Tensor,
+    clip_grad_norm,
+)
+from repro.nn import functional as F
+
+
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestModuleSystem:
+    def test_parameter_registration(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.w = Parameter(np.ones(3))
+                self.sub = Linear(2, 2, rng())
+
+        net = Net()
+        names = [name for name, _ in net.named_parameters()]
+        assert "w" in names
+        assert "sub.weight" in names
+        assert "sub.bias" in names
+
+    def test_num_parameters(self):
+        lin = Linear(3, 4, rng())
+        assert lin.num_parameters() == 3 * 4 + 4
+
+    def test_zero_grad_clears_all(self):
+        lin = Linear(2, 2, rng())
+        out = lin(Tensor(np.ones((1, 2))))
+        out.sum().backward()
+        assert lin.weight.grad is not None
+        lin.zero_grad()
+        assert lin.weight.grad is None
+
+    def test_train_eval_recursive(self):
+        seq = Sequential(Linear(2, 2, rng()), Linear(2, 2, rng()))
+        seq.eval()
+        assert all(not m.training for m in seq.modules())
+        seq.train()
+        assert all(m.training for m in seq.modules())
+
+    def test_state_dict_roundtrip(self):
+        a = Linear(3, 2, rng())
+        b = Linear(3, 2, np.random.default_rng(7))
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+    def test_load_state_dict_shape_mismatch(self):
+        a = Linear(3, 2, rng())
+        state = a.state_dict()
+        state["weight"] = np.zeros((5, 5))
+        with pytest.raises(ValueError):
+            a.load_state_dict(state)
+
+    def test_load_state_dict_key_mismatch(self):
+        a = Linear(3, 2, rng())
+        with pytest.raises(KeyError):
+            a.load_state_dict({"nope": np.zeros(1)})
+
+    def test_parameter_survives_no_grad_construction(self):
+        from repro.nn import no_grad
+        with no_grad():
+            p = Parameter(np.ones(2))
+        assert p.requires_grad
+
+
+class TestLinearAndMLP:
+    def test_linear_shapes(self):
+        lin = Linear(5, 3, rng())
+        assert lin(Tensor(np.ones((7, 5)))).shape == (7, 3)
+
+    def test_linear_no_bias(self):
+        lin = Linear(2, 2, rng(), bias=False)
+        assert lin.bias is None
+        zero_out = lin(Tensor(np.zeros((1, 2))))
+        np.testing.assert_allclose(zero_out.data, 0.0)
+
+    def test_linear_learns_identity(self):
+        generator = rng()
+        lin = Linear(2, 2, generator)
+        opt = Adam(lin.parameters(), lr=0.05)
+        x = generator.standard_normal((64, 2))
+        for _ in range(300):
+            opt.zero_grad()
+            loss = F.mse_loss(lin(Tensor(x)), Tensor(x))
+            loss.backward()
+            opt.step()
+        assert loss.item() < 1e-3
+
+    def test_mlp_output_activation(self):
+        mlp = MLP([4, 8, 1], rng(), out_activation="sigmoid")
+        out = mlp(Tensor(np.random.default_rng(0).standard_normal((10, 4))))
+        assert ((out.data >= 0) & (out.data <= 1)).all()
+
+    def test_mlp_rejects_short_dims(self):
+        with pytest.raises(ValueError):
+            MLP([4], rng())
+
+    def test_mlp_rejects_unknown_activation(self):
+        with pytest.raises(ValueError):
+            MLP([4, 2], rng(), out_activation="gelu")
+
+    def test_sequential_indexing(self):
+        seq = Sequential(Linear(2, 2, rng()), Linear(2, 2, rng()))
+        assert len(seq) == 2
+        assert isinstance(seq[0], Linear)
+
+
+class TestGraphConv:
+    def test_output_shape(self):
+        conv = GraphConv(4, 8, rng())
+        adjacency = np.zeros((5, 5))
+        out = conv(Tensor(np.ones((5, 4))), adjacency)
+        assert out.shape == (5, 8)
+
+    def test_isolated_node_ignores_neighbours(self):
+        conv = GraphConv(2, 2, rng(), activation="none")
+        adjacency = np.array([[0.0, 1.0, 0], [1.0, 0, 0], [0, 0, 0]])
+        x = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        out = conv(Tensor(x), adjacency).data
+        # Node 2 output depends only on its own features.
+        expected = x[2] @ conv.self_weight.data + conv.bias.data
+        np.testing.assert_allclose(out[2], expected, atol=1e-12)
+
+    def test_neighbour_aggregation_is_sum(self):
+        conv = GraphConv(1, 1, rng(), activation="none")
+        adjacency = np.array([[0.0, 1, 1], [1, 0, 0], [1, 0, 0]])
+        x = np.array([[0.0], [2.0], [3.0]])
+        out = conv(Tensor(x), adjacency).data
+        expected0 = 0.0 * conv.self_weight.data[0, 0] \
+            + 5.0 * conv.neigh_weight.data[0, 0] + conv.bias.data[0]
+        assert out[0, 0] == pytest.approx(expected0)
+
+    def test_rejects_unknown_activation(self):
+        with pytest.raises(ValueError):
+            GraphConv(2, 2, rng(), activation="swish")
+
+    def test_gradients_reach_both_weights(self):
+        conv = GraphConv(2, 2, rng())
+        adjacency = np.array([[0.0, 1], [1, 0]])
+        conv(Tensor(np.ones((2, 2))), adjacency).sum().backward()
+        assert conv.self_weight.grad is not None
+        assert conv.neigh_weight.grad is not None
+
+
+class TestDiffusionConv:
+    def test_transition_matrix_rows_sum_to_one(self):
+        adjacency = np.array([[0.0, 1, 1], [1, 0, 0], [1, 0, 0]])
+        p = DiffusionConv.transition_matrix(adjacency)
+        np.testing.assert_allclose(p.sum(axis=1), np.ones(3))
+
+    def test_transition_matrix_isolated_row_zero(self):
+        adjacency = np.zeros((2, 2))
+        p = DiffusionConv.transition_matrix(adjacency)
+        np.testing.assert_allclose(p, 0.0)
+
+    def test_output_shape(self):
+        conv = DiffusionConv(3, 5, k_hops=2, rng=rng())
+        adjacency = np.ones((4, 4)) - np.eye(4)
+        out = conv(Tensor(np.ones((4, 3))), adjacency)
+        assert out.shape == (4, 5)
+
+    def test_khops_parameters_registered(self):
+        conv = DiffusionConv(2, 2, k_hops=3, rng=rng())
+        names = {name for name, _ in conv.named_parameters()}
+        assert {"weight_fwd0", "weight_fwd2", "weight_bwd1"} <= names
+
+
+class TestRecurrentCells:
+    def test_gru_cell_shape_and_state(self):
+        cell = GRUCell(4, 8, rng())
+        h = cell.initial_state(5)
+        assert h.shape == (5, 8)
+        h2 = cell(Tensor(np.ones((5, 4))), h)
+        assert h2.shape == (5, 8)
+
+    def test_gru_interpolates_between_state_and_candidate(self):
+        cell = GRUCell(1, 4, rng())
+        h = Tensor(np.full((1, 4), 10.0))
+        out = cell(Tensor(np.zeros((1, 1))), h).data
+        # tanh candidate is in (-1, 1); the gate convexly mixes, so the
+        # output must stay within [min(candidate), max(h)].
+        assert (out <= 10.0).all()
+        assert (out >= -1.0).all()
+
+    def test_graph_gru_cell_shape(self):
+        cell = GraphGRUCell(3, 6, rng())
+        adjacency = np.ones((4, 4)) - np.eye(4)
+        h = cell.initial_state(4)
+        out = cell(Tensor(np.ones((4, 3))), h, adjacency)
+        assert out.shape == (4, 6)
+
+    def test_bptt_through_cells(self):
+        cell = GRUCell(2, 3, rng())
+        h = cell.initial_state(2)
+        x = Tensor(np.ones((2, 2)))
+        for _ in range(5):
+            h = cell(x, h)
+        h.sum().backward()
+        grads = [p.grad for p in cell.parameters()]
+        assert all(g is not None for g in grads)
+
+
+class TestAttentionFusion:
+    def test_output_is_convex_combination(self):
+        fusion = AttentionFusion(3, rng())
+        a = Tensor(np.zeros((4, 3)))
+        b = Tensor(np.ones((4, 3)))
+        out = fusion([a, b]).data
+        assert ((out >= 0.0) & (out <= 1.0)).all()
+
+    def test_single_facet_identity(self):
+        fusion = AttentionFusion(2, rng())
+        a = np.random.default_rng(0).standard_normal((5, 2))
+        np.testing.assert_allclose(fusion([Tensor(a)]).data, a, atol=1e-12)
+
+
+class TestOptimisers:
+    def _quadratic_descent(self, make_optimizer):
+        p = Parameter(np.array([5.0]))
+        opt = make_optimizer([p])
+        for _ in range(400):
+            opt.zero_grad()
+            loss = (p * p).sum()
+            loss.backward()
+            opt.step()
+        return abs(p.data[0])
+
+    def test_sgd_converges(self):
+        assert self._quadratic_descent(lambda ps: SGD(ps, lr=0.1)) < 1e-3
+
+    def test_sgd_momentum_converges(self):
+        assert self._quadratic_descent(
+            lambda ps: SGD(ps, lr=0.05, momentum=0.9)) < 1e-3
+
+    def test_adam_converges(self):
+        assert self._quadratic_descent(lambda ps: Adam(ps, lr=0.1)) < 1e-3
+
+    def test_adam_weight_decay_shrinks(self):
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.01, weight_decay=1.0)
+        for _ in range(100):
+            opt.zero_grad()
+            (p * 0.0).sum().backward()  # zero task gradient
+            opt.step()
+        assert abs(p.data[0]) < 1.0
+
+    def test_optimizer_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SGD([])
+
+    def test_skips_parameters_without_grad(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no grad accumulated: should be a no-op
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_clip_grad_norm(self):
+        p = Parameter(np.array([1.0]))
+        p.grad = np.array([10.0])
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(10.0)
+        np.testing.assert_allclose(p.grad, [1.0])
+
+    def test_clip_grad_norm_under_limit_untouched(self):
+        p = Parameter(np.array([1.0]))
+        p.grad = np.array([0.5])
+        clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(p.grad, [0.5])
+
+
+class TestSerialization:
+    def test_save_load_roundtrip(self, tmp_path):
+        a = MLP([3, 4, 1], rng())
+        b = MLP([3, 4, 1], np.random.default_rng(99))
+        path = tmp_path / "model.npz"
+        save_module(a, path)
+        load_module(b, path)
+        x = Tensor(np.random.default_rng(0).standard_normal((5, 3)))
+        np.testing.assert_allclose(a(x).data, b(x).data)

@@ -1,0 +1,153 @@
+"""Edge-case and failure-injection tests for the nn engine."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    GraphConv,
+    Linear,
+    MLP,
+    Parameter,
+    SGD,
+    Tensor,
+    init,
+    load_module,
+    save_module,
+)
+from repro.nn import functional as F
+
+
+class TestInitializers:
+    def test_glorot_bounds(self):
+        rng = np.random.default_rng(0)
+        w = init.glorot_uniform((100, 50), rng)
+        limit = np.sqrt(6.0 / 150)
+        assert np.abs(w).max() <= limit
+
+    def test_he_bounds(self):
+        rng = np.random.default_rng(0)
+        w = init.he_uniform((64, 32), rng)
+        limit = np.sqrt(6.0 / 32)
+        assert np.abs(w).max() <= limit
+
+    def test_uniform_limit(self):
+        rng = np.random.default_rng(0)
+        w = init.uniform((20,), rng, limit=0.05)
+        assert np.abs(w).max() <= 0.05
+
+    def test_zeros(self):
+        np.testing.assert_array_equal(init.zeros((3, 2)), 0.0)
+
+    def test_orthogonal_columns(self):
+        rng = np.random.default_rng(0)
+        w = init.orthogonal((8, 8), rng)
+        np.testing.assert_allclose(w @ w.T, np.eye(8), atol=1e-10)
+
+    def test_orthogonal_rectangular(self):
+        rng = np.random.default_rng(0)
+        w = init.orthogonal((6, 3), rng)
+        np.testing.assert_allclose(w.T @ w, np.eye(3), atol=1e-10)
+
+    def test_orthogonal_rejects_1d(self):
+        with pytest.raises(ValueError):
+            init.orthogonal((5,), np.random.default_rng(0))
+
+    def test_deterministic_under_seed(self):
+        a = init.glorot_uniform((4, 4), np.random.default_rng(5))
+        b = init.glorot_uniform((4, 4), np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestNumericalRobustness:
+    def test_exp_overflow_clipped(self):
+        out = Tensor(np.array([1000.0])).exp()
+        assert np.isfinite(out.data).all()
+
+    def test_log_of_negative_floored(self):
+        out = Tensor(np.array([-5.0])).log()
+        assert np.isfinite(out.data).all()
+
+    def test_sqrt_of_negative_is_zero(self):
+        out = Tensor(np.array([-4.0])).sqrt()
+        assert out.data[0] == 0.0
+
+    def test_division_by_small_number_gradient_finite(self):
+        x = Tensor(np.array([1e-8]), requires_grad=True)
+        (1.0 / x).sum().backward()
+        assert np.isfinite(x.grad).all()
+
+    def test_softmax_single_element(self):
+        out = F.softmax(np.array([3.0]))
+        np.testing.assert_allclose(out.data, [1.0])
+
+    def test_bce_at_exact_zero_and_one(self):
+        loss = F.binary_cross_entropy([0.0, 1.0], [0.0, 1.0])
+        assert np.isfinite(loss.item())
+
+    def test_empty_gradient_accumulation_is_isolated(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2).sum().backward()
+        first = a.grad.copy()
+        (a * 2).sum().backward()
+        np.testing.assert_allclose(a.grad, 2 * first)
+
+
+class TestOptimizerEdgeCases:
+    def test_adam_handles_zero_gradient(self):
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.1)
+        p.grad = np.zeros(1)
+        opt.step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_sgd_multiple_parameter_groups(self):
+        params = [Parameter(np.ones(2)), Parameter(np.ones(3))]
+        opt = SGD(params, lr=0.5)
+        for p in params:
+            p.grad = np.ones_like(p.data)
+        opt.step()
+        np.testing.assert_allclose(params[0].data, 0.5)
+        np.testing.assert_allclose(params[1].data, 0.5)
+
+    def test_adam_bias_correction_first_step(self):
+        p = Parameter(np.array([0.0]))
+        opt = Adam([p], lr=0.1)
+        p.grad = np.array([1.0])
+        opt.step()
+        # First Adam step moves by ~lr regardless of gradient scale.
+        assert abs(p.data[0] + 0.1) < 1e-6
+
+
+class TestModuleEdgeCases:
+    def test_empty_sequential_network(self):
+        from repro.nn import Sequential
+        seq = Sequential()
+        x = Tensor(np.ones(3))
+        np.testing.assert_allclose(seq(x).data, x.data)
+
+    def test_graphconv_on_single_node(self):
+        conv = GraphConv(2, 2, np.random.default_rng(0))
+        out = conv(Tensor(np.ones((1, 2))), np.zeros((1, 1)))
+        assert out.shape == (1, 2)
+
+    def test_linear_one_dimensional_input(self):
+        lin = Linear(3, 2, np.random.default_rng(0))
+        out = lin(Tensor(np.ones(3)))
+        assert out.shape == (2,)
+
+    def test_save_to_nested_directory(self, tmp_path):
+        sub = tmp_path / "a" / "b"
+        sub.mkdir(parents=True)
+        mlp = MLP([2, 2], np.random.default_rng(0))
+        path = sub / "model.npz"
+        save_module(mlp, path)
+        load_module(MLP([2, 2], np.random.default_rng(1)), path)
+
+    def test_load_corrupted_state_fails_loudly(self, tmp_path):
+        mlp = MLP([2, 2], np.random.default_rng(0))
+        path = tmp_path / "model.npz"
+        save_module(mlp, path)
+        other = MLP([3, 3], np.random.default_rng(0))  # wrong shapes
+        with pytest.raises((KeyError, ValueError)):
+            load_module(other, path)

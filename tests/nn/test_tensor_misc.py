@@ -1,0 +1,65 @@
+"""Remaining-surface tests for small Tensor utilities."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, as_tensor, is_grad_enabled, no_grad
+
+
+class TestMiscSurface:
+    def test_numpy_returns_same_buffer(self):
+        t = Tensor([1.0, 2.0])
+        assert t.numpy() is t.data
+
+    def test_copy_is_independent(self):
+        t = Tensor([1.0, 2.0])
+        c = t.copy()
+        c.data[0] = 99.0
+        assert t.data[0] == 1.0
+
+    def test_is_grad_enabled_toggles(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_nests(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+
+    def test_no_grad_restores_after_exception(self):
+        try:
+            with no_grad():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert is_grad_enabled()
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([2.0])
+
+    def test_radd_rmul_scalars(self):
+        t = Tensor([2.0], requires_grad=True)
+        (3.0 + t).sum().backward()
+        np.testing.assert_allclose(t.grad, [1.0])
+        t.zero_grad()
+        (3.0 * t).sum().backward()
+        np.testing.assert_allclose(t.grad, [3.0])
+
+    def test_rmatmul_with_numpy_left_operand(self):
+        t = Tensor(np.eye(2), requires_grad=True)
+        out = np.array([[1.0, 2.0]]) @ t
+        out.sum().backward()
+        assert t.grad is not None
+
+    def test_as_tensor_from_scalar(self):
+        t = as_tensor(3.0)
+        assert t.item() == 3.0
+
+    def test_requires_grad_suppressed_inside_no_grad(self):
+        with no_grad():
+            t = Tensor([1.0], requires_grad=True)
+        assert not t.requires_grad

@@ -1,0 +1,228 @@
+"""Tests for the social substrate: graphs, embeddings, utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.social import (
+    PreferenceModel,
+    SocialGraph,
+    SocialPresenceModel,
+    community_powerlaw_graph,
+    cosine_similarity_matrix,
+    spectral_embedding,
+    watts_strogatz_graph,
+)
+
+
+def small_graph(seed=0, n=40):
+    return community_powerlaw_graph(
+        num_users=n, num_communities=4, mean_degree=6.0, homophily=0.8,
+        rng=np.random.default_rng(seed))
+
+
+class TestSocialGraph:
+    def test_validates_symmetry(self):
+        adjacency = np.zeros((3, 3), dtype=bool)
+        adjacency[0, 1] = True  # not symmetric
+        with pytest.raises(ValueError):
+            SocialGraph(adjacency, np.zeros(3))
+
+    def test_rejects_self_loops(self):
+        adjacency = np.eye(3, dtype=bool)
+        with pytest.raises(ValueError):
+            SocialGraph(adjacency, np.zeros(3))
+
+    def test_rejects_bad_community_shape(self):
+        with pytest.raises(ValueError):
+            SocialGraph(np.zeros((3, 3), dtype=bool), np.zeros(4))
+
+    def test_default_tie_strengths_follow_adjacency(self):
+        adjacency = np.zeros((3, 3), dtype=bool)
+        adjacency[0, 1] = adjacency[1, 0] = True
+        graph = SocialGraph(adjacency, np.zeros(3))
+        assert graph.tie_strengths[0, 1] == 1.0
+        assert graph.tie_strengths[0, 2] == 0.0
+
+    def test_degrees_and_edges(self):
+        graph = small_graph()
+        assert graph.degrees().sum() == 2 * graph.num_edges
+
+    def test_friends_of(self):
+        graph = small_graph()
+        for friend in graph.friends_of(0):
+            assert graph.adjacency[0, friend]
+
+    def test_common_neighbors(self):
+        adjacency = np.zeros((4, 4), dtype=bool)
+        for a, b in [(0, 2), (1, 2), (0, 3), (1, 3)]:
+            adjacency[a, b] = adjacency[b, a] = True
+        graph = SocialGraph(adjacency, np.zeros(4))
+        np.testing.assert_array_equal(graph.common_neighbors(0, 1), [2, 3])
+
+    def test_adamic_adar_zero_diagonal_symmetric(self):
+        graph = small_graph()
+        scores = graph.adamic_adar()
+        np.testing.assert_allclose(np.diag(scores), 0.0)
+        np.testing.assert_allclose(scores, scores.T)
+
+    def test_to_networkx(self):
+        graph = small_graph(n=10)
+        nx_graph = graph.to_networkx()
+        assert nx_graph.number_of_nodes() == 10
+        assert nx_graph.number_of_edges() == graph.num_edges
+
+
+class TestGenerators:
+    def test_powerlaw_mean_degree_close_to_target(self):
+        graph = community_powerlaw_graph(
+            200, 5, mean_degree=8.0, homophily=0.8,
+            rng=np.random.default_rng(1))
+        assert graph.degrees().mean() == pytest.approx(8.0, rel=0.25)
+
+    def test_homophily_concentrates_edges(self):
+        rng_a = np.random.default_rng(2)
+        rng_b = np.random.default_rng(2)
+        homophilous = community_powerlaw_graph(150, 3, 8.0, 0.95, rng_a)
+        mixed = community_powerlaw_graph(150, 3, 8.0, 0.5, rng_b)
+
+        def internal_fraction(g):
+            rows, cols = np.nonzero(np.triu(g.adjacency, 1))
+            same = g.communities[rows] == g.communities[cols]
+            return same.mean()
+
+        assert internal_fraction(homophilous) > internal_fraction(mixed)
+
+    def test_powerlaw_validates_args(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            community_powerlaw_graph(1, 2, 4.0, 0.8, rng)
+        with pytest.raises(ValueError):
+            community_powerlaw_graph(10, 2, 4.0, 1.5, rng)
+        with pytest.raises(ValueError):
+            community_powerlaw_graph(10, 0, 4.0, 0.8, rng)
+
+    def test_tie_strengths_positive_on_edges(self):
+        graph = small_graph()
+        assert (graph.tie_strengths[graph.adjacency] > 0).all()
+        assert (graph.tie_strengths[~graph.adjacency] == 0).all()
+
+    def test_watts_strogatz_ring_structure(self):
+        graph = watts_strogatz_graph(20, neighbors=4, rewire=0.0,
+                                     rng=np.random.default_rng(3))
+        # No rewiring => every node has exactly 4 neighbours.
+        np.testing.assert_array_equal(graph.degrees(), 4)
+
+    def test_watts_strogatz_validates(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(10, neighbors=3, rewire=0.1, rng=rng)
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(10, neighbors=4, rewire=1.5, rng=rng)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(10, 60), st.integers(0, 1_000))
+    def test_powerlaw_always_valid_graph(self, n, seed):
+        graph = community_powerlaw_graph(
+            n, 3, 4.0, 0.8, np.random.default_rng(seed))
+        assert graph.num_users == n
+        np.testing.assert_array_equal(graph.adjacency, graph.adjacency.T)
+        assert not graph.adjacency.diagonal().any()
+
+
+class TestEmbeddings:
+    def test_shape_and_normalisation(self):
+        graph = small_graph()
+        emb = spectral_embedding(graph, dim=8)
+        assert emb.shape == (40, 8)
+        norms = np.linalg.norm(emb, axis=1)
+        connected = graph.degrees() > 0
+        np.testing.assert_allclose(norms[connected], 1.0, atol=1e-9)
+
+    def test_isolated_nodes_zero(self):
+        adjacency = np.zeros((4, 4), dtype=bool)
+        adjacency[0, 1] = adjacency[1, 0] = True
+        graph = SocialGraph(adjacency, np.zeros(4))
+        emb = spectral_embedding(graph, dim=2)
+        np.testing.assert_allclose(emb[2], 0.0)
+        np.testing.assert_allclose(emb[3], 0.0)
+
+    def test_dim_validation(self):
+        with pytest.raises(ValueError):
+            spectral_embedding(small_graph(), dim=0)
+
+    def test_friends_closer_than_strangers(self):
+        graph = community_powerlaw_graph(
+            80, 2, 6.0, 0.95, np.random.default_rng(5))
+        emb = spectral_embedding(graph, dim=8)
+        sim = cosine_similarity_matrix(emb)
+        same = graph.communities[:, None] == graph.communities[None, :]
+        np.fill_diagonal(same, False)
+        cross = ~same
+        np.fill_diagonal(cross, False)
+        assert sim[same].mean() > sim[cross].mean()
+
+    def test_cosine_similarity_range(self):
+        rng = np.random.default_rng(0)
+        sim = cosine_similarity_matrix(rng.standard_normal((10, 4)))
+        assert (sim >= 0).all()
+        assert (sim <= 1).all()
+        np.testing.assert_allclose(np.diag(sim), 0.0)
+
+
+class TestPreferenceModel:
+    def test_output_range_and_diagonal(self):
+        p = PreferenceModel().generate(small_graph(), np.random.default_rng(0))
+        assert (p >= 0).all()
+        assert (p <= 1).all()
+        np.testing.assert_allclose(np.diag(p), 0.0)
+
+    def test_rejects_degenerate_weights(self):
+        with pytest.raises(ValueError):
+            PreferenceModel(interest_weight=0, structure_weight=0,
+                            popularity_weight=0)
+        with pytest.raises(ValueError):
+            PreferenceModel(interest_weight=-1)
+
+    def test_deterministic_under_seed(self):
+        graph = small_graph()
+        a = PreferenceModel().generate(graph, np.random.default_rng(3))
+        b = PreferenceModel().generate(graph, np.random.default_rng(3))
+        np.testing.assert_allclose(a, b)
+
+    def test_popularity_creates_globally_attractive_users(self):
+        graph = small_graph(n=60)
+        p = PreferenceModel(interest_weight=0.0, structure_weight=0.0,
+                            popularity_weight=1.0).generate(
+            graph, np.random.default_rng(4))
+        # Column means should be highly dispersed (idols vs unknowns).
+        column_means = p.mean(axis=0)
+        assert column_means.max() - column_means.min() > 0.5
+
+
+class TestSocialPresenceModel:
+    def test_output_range(self):
+        s = SocialPresenceModel().generate(small_graph())
+        assert (s >= 0).all()
+        assert (s <= 1).all()
+        np.testing.assert_allclose(np.diag(s), 0.0)
+
+    def test_friends_score_higher_than_strangers(self):
+        graph = small_graph(n=80)
+        s = SocialPresenceModel().generate(graph)
+        friends = graph.adjacency
+        strangers = ~graph.adjacency
+        np.fill_diagonal(strangers, False)
+        assert s[friends].mean() > s[strangers].mean()
+
+    def test_weights_validation(self):
+        with pytest.raises(ValueError):
+            SocialPresenceModel(friend_weight=0, proximity_weight=0,
+                                community_weight=0)
+
+    def test_deterministic(self):
+        graph = small_graph()
+        np.testing.assert_allclose(
+            SocialPresenceModel().generate(graph),
+            SocialPresenceModel().generate(graph))

@@ -1,0 +1,171 @@
+"""Tests for the simulated user study."""
+
+import numpy as np
+import pytest
+
+from repro.models import NearestRecommender, RandomRecommender, \
+    RenderAllRecommender
+from repro.study import (
+    OCCUPATIONS,
+    Participant,
+    StudyResult,
+    UserStudy,
+    generate_participants,
+    likert_response,
+    make_study_room,
+    normalise_scores,
+)
+
+
+def cohort(count=12, seed=0):
+    return generate_participants(count, np.random.default_rng(seed))
+
+
+class TestParticipants:
+    def test_cohort_size_and_composition(self):
+        participants = generate_participants(48, np.random.default_rng(0))
+        assert len(participants) == 48
+        males = sum(p.gender == "male" for p in participants)
+        assert males == 25  # paper: 25 male / 23 female
+
+    def test_beta_range(self):
+        for p in cohort(48):
+            assert 0.05 <= p.beta <= 0.95
+
+    def test_mr_fraction(self):
+        participants = generate_participants(
+            40, np.random.default_rng(1), mr_fraction=0.25)
+        assert sum(p.uses_mr for p in participants) == 10
+
+    def test_occupations_from_paper_list(self):
+        assert all(p.occupation in OCCUPATIONS for p in cohort(30))
+
+    def test_validates_count(self):
+        with pytest.raises(ValueError):
+            generate_participants(0)
+
+    def test_deterministic_under_seed(self):
+        a = cohort(10, seed=3)
+        b = cohort(10, seed=3)
+        assert [p.beta for p in a] == [p.beta for p in b]
+
+
+class TestLikert:
+    def participant(self, noise=0.0, bias=0.0):
+        return Participant(id=0, gender="female", occupation="artist",
+                           beta=0.5, uses_mr=False, response_bias=bias,
+                           response_noise=noise)
+
+    def test_normalise_scores_range(self):
+        out = normalise_scores(np.array([1.0, 3.0, 5.0]))
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0])
+
+    def test_normalise_constant_gives_half(self):
+        np.testing.assert_allclose(normalise_scores(np.ones(4)), 0.5)
+
+    def test_likert_bounds(self):
+        rng = np.random.default_rng(0)
+        p = self.participant(noise=0.5)
+        scores = [likert_response(u, p, rng)
+                  for u in np.linspace(-1, 2, 50)]
+        assert all(1 <= s <= 5 for s in scores)
+
+    def test_noiseless_extremes(self):
+        rng = np.random.default_rng(0)
+        p = self.participant()
+        assert likert_response(1.0, p, rng) == 5
+        assert likert_response(0.0, p, rng) == 1
+
+    def test_monotone_in_utility(self):
+        rng = np.random.default_rng(0)
+        p = self.participant()
+        scores = [likert_response(u, p, rng) for u in (0.0, 0.5, 1.0)]
+        assert scores == sorted(scores)
+
+    def test_bias_shifts_response(self):
+        rng = np.random.default_rng(0)
+        up = self.participant(bias=0.2)
+        down = self.participant(bias=-0.2)
+        assert likert_response(0.5, up, rng) >= likert_response(
+            0.5, down, rng)
+
+
+class TestStudyRoom:
+    def test_interfaces_match_cohort(self):
+        participants = cohort(16)
+        room = make_study_room(participants, seed=0, num_steps=4)
+        expected = np.array([p.uses_mr for p in participants])
+        np.testing.assert_array_equal(room.interfaces_mr, expected)
+
+    def test_room_named_and_sized(self):
+        participants = cohort(16)
+        room = make_study_room(participants, seed=0, num_steps=4)
+        assert room.name == "user-study"
+        assert room.num_users == 16
+
+
+class TestUserStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        study = UserStudy(participants=cohort(10), seed=0, num_steps=8)
+        methods = {
+            "Nearest": NearestRecommender(),
+            "Random": RandomRecommender(seed=0),
+            "Original": RenderAllRecommender(),
+        }
+        return study.run(methods, fit=False)
+
+    def test_outcomes_for_all_methods(self, result):
+        assert set(result.outcomes) == {"Nearest", "Random", "Original"}
+
+    def test_per_participant_arrays(self, result):
+        for outcome in result.outcomes.values():
+            assert outcome.after_utilities.shape == (10,)
+            assert outcome.likert_overall.shape == (10,)
+            assert ((outcome.likert_overall >= 1)
+                    & (outcome.likert_overall <= 5)).all()
+
+    def test_figure4_panels(self, result):
+        panels = result.figure4()
+        assert set(panels) == {"overall", "preference", "presence"}
+        for rows in panels.values():
+            assert set(rows) == set(result.outcomes)
+            for values in rows.values():
+                assert "utility" in values
+                assert "likert" in values
+
+    def test_correlations_structure(self, result):
+        correlations = result.correlations()
+        assert set(correlations) == {"preference", "social_presence",
+                                     "after_utility"}
+        for corr in correlations.values():
+            assert -1.0 <= corr["pearson"] <= 1.0
+            assert -1.0 <= corr["spearman"] <= 1.0
+
+    def test_correlations_positive(self, result):
+        """Likert is generated from utility: correlation must be high."""
+        assert result.correlations()["after_utility"]["pearson"] > 0.3
+
+    def test_adaptive_preference_rate_bounds(self, result):
+        rate = result.adaptive_preference_rate()
+        assert 0.0 <= rate <= 1.0
+
+    def test_adaptive_rate_requires_original(self, result):
+        with pytest.raises(KeyError):
+            result.adaptive_preference_rate(original="Nope")
+
+    def test_p_value_range(self, result):
+        p = result.p_value_against("Nearest", "Random")
+        assert 0.0 <= p <= 1.0
+
+    def test_mean_likert_scales(self, result):
+        outcome = result.outcomes["Nearest"]
+        for scale in ("overall", "preference", "presence"):
+            assert 1.0 <= outcome.mean_likert(scale) <= 5.0
+
+    def test_problems_use_participant_betas(self):
+        participants = cohort(5)
+        study = UserStudy(participants=participants, seed=0, num_steps=4)
+        problems = study.problems()
+        assert [p.beta for p in problems] == \
+            [p.beta for p in participants]

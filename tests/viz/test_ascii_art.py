@@ -1,0 +1,86 @@
+"""Tests for the ASCII visualisation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import AfterProblem
+from repro.datasets import RoomConfig, generate_timik_room
+from repro.viz import panorama_strip, room_map, utility_sparkline
+
+
+@pytest.fixture(scope="module")
+def scene():
+    room = generate_timik_room(RoomConfig(num_users=15, num_steps=3), seed=0)
+    problem = AfterProblem(room, target=0)
+    return room, problem.frame_at(0)
+
+
+class TestRoomMap:
+    def test_contains_target_marker(self, scene):
+        room, frame = scene
+        art = room_map(room.trajectory[0], 0, room.room,
+                       interfaces_mr=room.interfaces_mr)
+        assert "T" in art
+
+    def test_dimensions(self, scene):
+        room, _frame = scene
+        art = room_map(room.trajectory[0], 0, room.room, width=30, height=10)
+        lines = art.splitlines()
+        assert lines[0] == "+" + "-" * 30 + "+"
+        assert len(lines) == 10 + 3  # borders + legend
+
+    def test_rendered_users_uppercased(self, scene):
+        room, _frame = scene
+        rendered = np.zeros(15, dtype=bool)
+        rendered[1:] = True
+        art = room_map(room.trajectory[0], 0, room.room,
+                       interfaces_mr=room.interfaces_mr, rendered=rendered)
+        assert ("M" in art) or ("R" in art)
+
+    def test_out_of_room_positions_clamped(self):
+        from repro.geometry import Room
+        positions = np.array([[99.0, 99.0], [-5.0, -5.0]])
+        art = room_map(positions, 0, Room.square(4.0))
+        assert "T" in art  # no IndexError
+
+
+class TestPanoramaStrip:
+    def test_empty_when_nothing_rendered(self, scene):
+        _room, frame = scene
+        target_is_vr = not frame.interfaces_mr[frame.target]
+        strip = panorama_strip(frame, np.zeros(15, dtype=bool))
+        if target_is_vr:
+            assert set(strip.splitlines()[0]) <= {" "}
+
+    def test_rendered_users_appear(self, scene):
+        _room, frame = scene
+        rendered = np.zeros(15, dtype=bool)
+        rendered[frame.candidates()[:3]] = True
+        strip = panorama_strip(frame, rendered).splitlines()[0]
+        assert any(ch.isdigit() or ch == "x" for ch in strip)
+
+    def test_width_respected(self, scene):
+        _room, frame = scene
+        strip = panorama_strip(frame, np.zeros(15, dtype=bool), width=40)
+        assert len(strip.splitlines()[0]) == 40
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert utility_sparkline(np.array([])) == ""
+
+    def test_length_matches_input(self):
+        assert len(utility_sparkline(np.ones(10))) == 10
+
+    def test_downsamples_long_series(self):
+        assert len(utility_sparkline(np.ones(500), width=60)) == 60
+
+    def test_monotone_levels(self):
+        line = utility_sparkline(np.array([0.0, 0.5, 1.0]))
+        from repro.viz.ascii_art import SPARK_LEVELS
+        assert SPARK_LEVELS.index(line[0]) <= SPARK_LEVELS.index(line[1]) \
+            <= SPARK_LEVELS.index(line[2])
+
+    def test_all_zero_series(self):
+        line = utility_sparkline(np.zeros(5))
+        assert line == " " * 5
