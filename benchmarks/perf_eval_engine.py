@@ -1,0 +1,182 @@
+"""Perf harness for the multi-target evaluation engine.
+
+Times the three ways of evaluating one recommender for many targets of a
+room — the per-target reference engine, the batched/cached engine, and
+the forked-parallel batched engine — asserts that all produce identical
+metrics, and writes the measurements to ``BENCH_eval_engine.json``.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/perf_eval_engine.py
+
+or as a benchmark test::
+
+    PYTHONPATH=src pytest benchmarks/test_eval_engine.py
+
+Scaled to N = 128 users, T = 50 steps, 16 targets by default (the
+engine's acceptance scenario); ``REPRO_PERF_TINY=1`` shrinks it to a
+seconds-long CI smoke run that skips the speedup floor.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.experiments import room_config_for
+from repro.bench import BenchConfig
+from repro.core.evaluation import evaluate_targets
+from repro.datasets import generate_room
+from repro.models import NearestRecommender
+from repro.runtime import PERF
+
+__all__ = ["EngineBenchConfig", "run_eval_engine_bench", "main"]
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_eval_engine.json"
+
+#: Acceptance floor: the batched engine must beat the reference engine
+#: by at least this factor at the default scale.
+SPEEDUP_FLOOR = 3.0
+
+
+@dataclass(frozen=True)
+class EngineBenchConfig:
+    """Scale knobs for the evaluation-engine benchmark."""
+
+    num_users: int = 128
+    num_steps: int = 50
+    num_targets: int = 16
+    max_render: int = 8
+    repeats: int = 5
+    parallel_workers: int = 2
+    dataset: str = "smm"
+    seed: int = 0
+
+    @classmethod
+    def from_env(cls) -> "EngineBenchConfig":
+        if os.environ.get("REPRO_PERF_TINY"):
+            return cls(num_users=24, num_steps=8, num_targets=4, repeats=1)
+        return cls()
+
+    @property
+    def is_tiny(self) -> bool:
+        return self.num_users < 64
+
+
+def _fresh_room(config: EngineBenchConfig):
+    """A cold room: no DOGs or frames cached yet."""
+    bench = BenchConfig(num_users=config.num_users,
+                        num_steps=config.num_steps, seed=config.seed)
+    return generate_room(config.dataset,
+                         room_config_for(config.dataset, bench),
+                         seed=config.seed)
+
+
+def _episode_fingerprint(result) -> list:
+    """Order-sensitive exact fingerprint of an AggregateResult."""
+    return [(e.after_utility, e.preference, e.presence, e.occlusion_rate,
+             e.recommendations.tobytes()) for e in result.episodes]
+
+
+def _time_engine(config: EngineBenchConfig, targets, *, engine: str,
+                 workers: int | None = None, warm: bool = False):
+    """Best-of-``repeats`` wall time plus the run's aggregate result.
+
+    Every repeat starts from a freshly generated room (cold caches)
+    unless ``warm``, which pre-fills the caches once and times only the
+    evaluation — the "second recommender on the same room" case.
+    """
+    best = np.inf
+    result = None
+    for _ in range(config.repeats):
+        room = _fresh_room(config)
+        recommender = NearestRecommender()
+        if warm:
+            evaluate_targets(room, recommender, targets,
+                             max_render=config.max_render, engine="batched")
+        start = time.perf_counter()
+        result = evaluate_targets(room, recommender, targets,
+                                  max_render=config.max_render,
+                                  engine=engine, workers=workers)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_eval_engine_bench(config: EngineBenchConfig | None = None) -> dict:
+    """Run all engine variants and return the comparison record."""
+    config = config or EngineBenchConfig.from_env()
+    rng = np.random.default_rng(config.seed + 1)
+    targets = sorted(int(t) for t in
+                     _fresh_room(config).sample_targets(config.num_targets,
+                                                        rng))
+
+    reference_s, reference = _time_engine(config, targets,
+                                          engine="reference")
+    batched_s, batched = _time_engine(config, targets, engine="batched")
+
+    # Separate untimed pass for the instrumentation breakdown, so the
+    # timed batched run pays no collection overhead.
+    PERF.reset().enable()
+    evaluate_targets(_fresh_room(config), NearestRecommender(), targets,
+                     max_render=config.max_render, engine="batched")
+    instrumentation = PERF.report()
+    PERF.disable()
+
+    warm_s, warm = _time_engine(config, targets, engine="batched",
+                                warm=True)
+    parallel_s, parallel = _time_engine(config, targets, engine="batched",
+                                        workers=config.parallel_workers)
+
+    fingerprint = _episode_fingerprint(reference)
+    identical = all(_episode_fingerprint(r) == fingerprint
+                    for r in (batched, warm, parallel))
+
+    return {
+        "config": asdict(config),
+        "timings_s": {
+            "reference_serial": reference_s,
+            "batched": batched_s,
+            "batched_warm_caches": warm_s,
+            f"batched_parallel_w{config.parallel_workers}": parallel_s,
+        },
+        "speedup": {
+            "batched_vs_reference": reference_s / batched_s,
+            "warm_vs_reference": reference_s / warm_s,
+        },
+        "metrics_identical": bool(identical),
+        "instrumentation": instrumentation,
+    }
+
+
+def main() -> dict:
+    config = EngineBenchConfig.from_env()
+    record = run_eval_engine_bench(config)
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    timings = record["timings_s"]
+    speedup = record["speedup"]["batched_vs_reference"]
+    print(f"evaluation engine @ N={config.num_users} T={config.num_steps} "
+          f"targets={config.num_targets}")
+    for name, seconds in timings.items():
+        print(f"  {name:28s} {seconds * 1000.0:9.1f} ms")
+    print(f"  speedup (batched cold)       {speedup:9.2f}x")
+    print(f"  speedup (batched warm)       "
+          f"{record['speedup']['warm_vs_reference']:9.2f}x")
+    print(f"  metrics identical: {record['metrics_identical']}")
+    print(f"wrote {RESULT_PATH}")
+
+    if not record["metrics_identical"]:
+        raise SystemExit("engines disagree on metrics")
+    if not config.is_tiny and speedup < SPEEDUP_FLOOR:
+        raise SystemExit(f"speedup {speedup:.2f}x below the "
+                         f"{SPEEDUP_FLOOR}x floor")
+    return record
+
+
+if __name__ == "__main__":
+    main()

@@ -47,6 +47,8 @@ class BenchConfig:
     beta: float = 0.5             # paper default
     max_render: int = 8
     seed: int = 0
+    eval_engine: str = "batched"  # "batched" | "reference"
+    eval_workers: int = 0         # > 1 forks evaluation workers
     extra: dict = field(default_factory=dict)
 
     @classmethod
@@ -59,10 +61,13 @@ class BenchConfig:
             config = cls()
         overrides = {}
         for name in ("num_users", "num_steps", "train_targets",
-                     "eval_targets", "train_epochs", "seed"):
+                     "eval_targets", "train_epochs", "seed",
+                     "eval_workers"):
             env_name = f"REPRO_BENCH_{name.upper()}"
             if os.environ.get(env_name):
                 overrides[name] = _env_int(env_name, getattr(config, name))
+        if os.environ.get("REPRO_BENCH_EVAL_ENGINE"):
+            overrides["eval_engine"] = os.environ["REPRO_BENCH_EVAL_ENGINE"]
         return replace(config, **overrides) if overrides else config
 
     def scaled(self, **overrides) -> "BenchConfig":

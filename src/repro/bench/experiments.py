@@ -13,6 +13,7 @@ import numpy as np
 from ..core import AfterProblem, evaluate_targets, paired_p_value
 from ..datasets import RoomConfig, generate_room, hubs_config
 from ..models.poshgnn.loss import resolve_alpha
+from ..runtime import PERF
 from .config import TRAIN_ALPHA0, BenchConfig
 from .methods import ablation_methods, study_methods, table_methods
 from .tables import ResultTable
@@ -63,12 +64,18 @@ def _fit_and_evaluate(room, methods: dict, train_targets, eval_targets,
                                    max_render=config.max_render)
                       for t in train_targets]
     alpha = resolve_alpha(train_problems, "auto", alpha0=alpha0)
+    workers = config.eval_workers if config.eval_workers > 1 else None
     results = {}
     for name, method in methods.items():
-        method.fit(train_problems, epochs=config.train_epochs, alpha=alpha)
-        results[name] = evaluate_targets(room, method, eval_targets,
-                                         beta=config.beta,
-                                         max_render=config.max_render)
+        with PERF.scope(f"bench.fit.{name}"):
+            method.fit(train_problems, epochs=config.train_epochs,
+                       alpha=alpha)
+        with PERF.scope(f"bench.evaluate.{name}"):
+            results[name] = evaluate_targets(room, method, eval_targets,
+                                             beta=config.beta,
+                                             max_render=config.max_render,
+                                             engine=config.eval_engine,
+                                             workers=workers)
     return results
 
 

@@ -4,6 +4,22 @@ Walks an :class:`AfterProblem` step by step, timing each ``recommend``
 call, resolving visibility (including forced MR presence), and
 accumulating the paper's five reported metrics: AFTER utility, preference,
 social presence, view-occlusion rate, and running time per step.
+
+Two engines produce identical metrics:
+
+* ``"reference"`` — :func:`evaluate_episode`: one frame build and two
+  visibility resolutions per step, exactly as the metrics are defined.
+* ``"batched"`` — shares occlusion graphs and frames across
+  recommenders through the room caches (prebuilt with the batched
+  all-targets converter), assembles episode frames in vectorised
+  passes, and resolves visibility once per step on the present-user
+  subset.  Every array it produces is bit-identical to the reference
+  path; ``tests/core/test_engine_determinism.py`` asserts it.
+
+``evaluate_targets`` can additionally fan episodes out over forked
+worker processes (``workers=``); chunks are split deterministically and
+merged back in target order, so the aggregate is identical to a serial
+run.
 """
 
 from __future__ import annotations
@@ -13,7 +29,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..geometry import occlusion_rate, resolve_visibility
+from ..geometry import occlusion_rate, resolve_episode_visibility, \
+    resolve_visibility
+from ..runtime import PERF
 from .problem import AfterProblem
 from .recommender import Recommender
 from .utility import StepUtility, UtilityAccumulator, step_utility
@@ -42,12 +60,12 @@ class EpisodeResult:
         """
         if self.recommendations.shape[0] < 2:
             return 1.0
-        overlaps = []
-        for t in range(1, self.recommendations.shape[0]):
-            a = self.recommendations[t - 1]
-            b = self.recommendations[t]
-            union = int((a | b).sum())
-            overlaps.append(1.0 if union == 0 else int((a & b).sum()) / union)
+        a = self.recommendations[:-1]
+        b = self.recommendations[1:]
+        inter = (a & b).sum(axis=1)
+        union = (a | b).sum(axis=1)
+        overlaps = np.ones(union.shape[0], dtype=np.float64)
+        np.divide(inter, union, out=overlaps, where=union > 0)
         return float(np.mean(overlaps))
 
 
@@ -82,7 +100,11 @@ class AggregateResult:
 
 def evaluate_episode(problem: AfterProblem,
                      recommender: Recommender) -> EpisodeResult:
-    """Run ``recommender`` over the full episode of ``problem``."""
+    """Run ``recommender`` over the full episode of ``problem``.
+
+    This is the reference engine: frames are assembled per step and
+    visibility is resolved exactly as each metric is defined.
+    """
     recommender.reset(problem)
     accumulator = UtilityAccumulator(problem.beta)
     occlusion_rates: list[float] = []
@@ -92,21 +114,27 @@ def evaluate_episode(problem: AfterProblem,
     visible_previous = np.zeros(problem.num_users, dtype=bool)
 
     for t in range(problem.horizon + 1):
-        frame = problem.frame_at(t)
+        with PERF.scope("eval.frame"):
+            frame = problem.frame_at(t)
         start = time.perf_counter()
         rendered = np.asarray(recommender.recommend(frame), dtype=bool)
-        runtimes.append(time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        runtimes.append(elapsed)
+        PERF.add_time("eval.recommend", elapsed)
 
         rendered = rendered.copy()
         rendered[problem.target] = False
         recommendations[t] = rendered
 
-        visible = resolve_visibility(frame.graph, rendered, frame.forced)
+        with PERF.scope("eval.visibility"):
+            visible = resolve_visibility(frame.graph, rendered, frame.forced)
+            occlusion_rates.append(occlusion_rate(frame.graph, rendered,
+                                                  frame.forced))
         accumulator.add(step_utility(frame.preference, frame.presence,
                                      visible, visible_previous, rendered))
-        occlusion_rates.append(occlusion_rate(frame.graph, rendered,
-                                              frame.forced))
         visible_previous = visible
+    PERF.count("eval.steps", problem.horizon + 1)
+    PERF.count("eval.episodes")
 
     return EpisodeResult(
         after_utility=accumulator.total_after,
@@ -119,13 +147,151 @@ def evaluate_episode(problem: AfterProblem,
     )
 
 
+def _evaluate_episode_fast(problem: AfterProblem,
+                           recommender: Recommender) -> EpisodeResult:
+    """The batched engine's episode walk.
+
+    Identical metrics to :func:`evaluate_episode`: the prebuilt frames
+    equal the per-step builds array-for-array, and the episode-level
+    visibility resolution equals the two per-step resolutions.  The
+    recommender API never observes visibility — ``recommend`` sees only
+    the frame — so collecting all render masks first and resolving
+    visibility for the whole episode afterwards walks the exact same
+    computation.
+    """
+    recommender.reset(problem)
+    accumulator = UtilityAccumulator(problem.beta)
+    runtimes: list[float] = []
+    recommendations = np.zeros((problem.horizon + 1, problem.num_users),
+                               dtype=bool)
+    visible_previous = np.zeros(problem.num_users, dtype=bool)
+
+    with PERF.scope("eval.episode_frames"):
+        frames = problem.episode_frames()
+
+    with PERF.scope("eval.recommend"):
+        for frame in frames:
+            start = time.perf_counter()
+            rendered = recommender.recommend(frame)
+            runtimes.append(time.perf_counter() - start)
+            recommendations[frame.t] = rendered
+    recommendations[:, problem.target] = False
+
+    with PERF.scope("eval.visibility"):
+        visibility, occlusion_rates = resolve_episode_visibility(
+            problem.dog.snapshots, recommendations, frames[0].forced)
+
+    with PERF.scope("eval.utility"):
+        for frame in frames:
+            visible = visibility[frame.t]
+            accumulator.add(step_utility(frame.preference, frame.presence,
+                                         visible, visible_previous,
+                                         recommendations[frame.t]))
+            visible_previous = visible
+    PERF.count("eval.steps", problem.horizon + 1)
+    PERF.count("eval.episodes")
+
+    return EpisodeResult(
+        after_utility=accumulator.total_after,
+        preference=accumulator.total_preference,
+        presence=accumulator.total_presence,
+        occlusion_rate=float(np.mean(occlusion_rates)),
+        runtime_ms=float(np.mean(runtimes) * 1000.0),
+        per_step_after=accumulator.per_step_after(),
+        recommendations=recommendations,
+    )
+
+
+_ENGINES = ("batched", "reference")
+
+#: Inherited by forked evaluation workers (copy-on-write), so neither
+#: the room (with its prebuilt caches) nor the recommender is pickled.
+_PARALLEL_PAYLOAD = None
+
+
+def _evaluate_target(room, recommender: Recommender, target: int,
+                     beta: float, max_render: int,
+                     engine: str) -> EpisodeResult:
+    problem = AfterProblem(room, target, beta=beta, max_render=max_render)
+    if engine == "batched":
+        return _evaluate_episode_fast(problem, recommender)
+    return evaluate_episode(problem, recommender)
+
+
+def _parallel_worker(chunk) -> list:
+    room, recommender, beta, max_render, engine = _PARALLEL_PAYLOAD
+    return [_evaluate_target(room, recommender, int(target), beta,
+                             max_render, engine) for target in chunk]
+
+
+def _evaluate_parallel(room, recommender: Recommender, targets: list,
+                       beta: float, max_render: int, engine: str,
+                       workers: int):
+    """Fan targets out over forked workers; None if fork is unavailable.
+
+    Targets are split into contiguous chunks (``np.array_split`` in the
+    caller's order) and results are concatenated chunk by chunk, so the
+    episode list — and therefore the aggregate — matches a serial run
+    exactly.  Forking inherits the room caches and the recommender via
+    copy-on-write instead of pickling them.
+    """
+    import multiprocessing
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return None
+    workers = min(workers, len(targets))
+    chunks = [chunk.tolist() for chunk
+              in np.array_split(np.asarray(targets, dtype=np.int64), workers)
+              if chunk.size]
+
+    global _PARALLEL_PAYLOAD
+    context = multiprocessing.get_context("fork")
+    _PARALLEL_PAYLOAD = (room, recommender, beta, max_render, engine)
+    try:
+        with context.Pool(processes=len(chunks)) as pool:
+            per_chunk = pool.map(_parallel_worker, chunks)
+    finally:
+        _PARALLEL_PAYLOAD = None
+    return [episode for chunk in per_chunk for episode in chunk]
+
+
 def evaluate_targets(room, recommender: Recommender, targets,
-                     beta: float = 0.5, max_render: int = 8
-                     ) -> AggregateResult:
-    """Evaluate one recommender for several target users of a room."""
-    episodes = []
-    for target in targets:
-        problem = AfterProblem(room, int(target), beta=beta,
-                               max_render=max_render)
-        episodes.append(evaluate_episode(problem, recommender))
+                     beta: float = 0.5, max_render: int = 8, *,
+                     engine: str = "batched",
+                     workers: int | None = None) -> AggregateResult:
+    """Evaluate one recommender for several target users of a room.
+
+    Parameters
+    ----------
+    engine:
+        ``"batched"`` (default) shares graphs/frames through the room
+        caches and resolves visibility once per step; ``"reference"``
+        evaluates every target from scratch.  Both produce identical
+        metrics.
+    workers:
+        When > 1, evaluate episodes in that many forked worker
+        processes.  The merge is deterministic (chunked in target
+        order) and repeated runs with the same worker count are
+        identical; results also equal the serial run for recommenders
+        whose episodes are independent (Nearest, POSHGNN, ...).
+        Recommenders drawing from a sequential RNG across episodes
+        (Random, COMURNet) see a per-worker draw order instead of the
+        serial one.  Falls back to serial where ``fork`` is
+        unavailable.
+    """
+    if engine not in _ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected {_ENGINES}")
+    targets = [int(target) for target in np.asarray(targets).ravel()]
+    if engine == "batched":
+        with PERF.scope("eval.prebuild_dogs"):
+            room.prebuild_dogs(targets)
+
+    episodes = None
+    if workers is not None and workers > 1 and len(targets) > 1:
+        episodes = _evaluate_parallel(room, recommender, targets, beta,
+                                      max_render, engine, workers)
+    if episodes is None:
+        episodes = [_evaluate_target(room, recommender, target, beta,
+                                     max_render, engine)
+                    for target in targets]
     return AggregateResult.from_episodes(episodes)

@@ -26,9 +26,8 @@ def top_k_mask(scores: np.ndarray, k: int,
     if k <= 0:
         return mask
     order = np.argsort(-scores)[:k]
-    for idx in order:
-        if np.isfinite(scores[idx]) and scores[idx] > 0:
-            mask[idx] = True
+    top = scores[order]
+    mask[order[np.isfinite(top) & (top > 0)]] = True
     return mask
 
 

@@ -17,7 +17,8 @@ import numpy as np
 from ..geometry import StaticOcclusionGraph, forced_presence_mask, \
     physically_blocked_mask
 
-__all__ = ["Frame", "build_frame", "distance_normalise"]
+__all__ = ["Frame", "build_frame", "build_episode_frames",
+           "distance_normalise"]
 
 
 def distance_normalise(utilities: np.ndarray, distances: np.ndarray,
@@ -163,3 +164,83 @@ def build_frame(t: int, target: int, graph: StaticOcclusionGraph,
         raw_preference=raw_preference,
         raw_presence=raw_presence,
     )
+
+
+def build_episode_frames(target: int, graphs: list,
+                         preference_row: np.ndarray,
+                         presence_row: np.ndarray,
+                         interfaces_mr: np.ndarray) -> list:
+    """Assemble every frame of an episode in a few vectorised passes.
+
+    Semantically identical to calling :func:`build_frame` once per
+    snapshot in ``graphs`` — the per-step masks and normalised utilities
+    are computed with the same elementwise operations, broadcast over
+    the time axis — but roughly an order of magnitude cheaper in Python
+    dispatch.  Each returned :class:`Frame` owns its row of the episode
+    arrays, so per-frame mutation (e.g. block/allow-list pruning) stays
+    frame-local; the ``forced`` mask and ``interfaces_mr`` are constant
+    over the episode and shared across frames.
+    """
+    interfaces_mr = np.asarray(interfaces_mr, dtype=bool)
+    forced = forced_presence_mask(interfaces_mr, target)
+    steps = len(graphs)
+    count = graphs[0].num_users
+
+    distances = np.stack([graph.distances for graph in graphs])   # (T, N)
+
+    forced_idx = np.nonzero(forced)[0]
+    if forced_idx.size:
+        # physically_blocked_mask, broadcast over steps; one gather on
+        # the stacked adjacency beats T small per-step column gathers.
+        margin = graphs[0].body_radius
+        adjacency = np.stack([graph.adjacency for graph in graphs])
+        overlap = adjacency[:, :, forced_idx]                     # (T, N, F)
+        nearer = distances[:, forced_idx][:, None, :] \
+            < distances[:, :, None] - margin
+        blocked = (overlap & nearer).any(axis=2)
+        blocked[:, forced_idx] = False
+        blocked[:, target] = False
+    else:
+        blocked = np.zeros((steps, count), dtype=bool)
+
+    mask = np.ones((steps, count), dtype=np.float64)
+    mask[:, target] = 0.0
+    mask[blocked] = 0.0
+
+    raw_preference = np.repeat(
+        np.asarray(preference_row, dtype=np.float64)[None, :], steps, axis=0)
+    raw_presence = np.repeat(
+        np.asarray(presence_row, dtype=np.float64)[None, :], steps, axis=0)
+    raw_preference[:, target] = 0.0
+    raw_presence[:, target] = 0.0
+
+    preference = raw_preference.copy()
+    presence = raw_presence.copy()
+    preference[blocked] = 0.0
+    presence[blocked] = 0.0
+
+    # distance_normalise, broadcast over steps (same elementwise ops).
+    scale = np.maximum(distances.max(axis=1), 1e-9)[:, None]
+    damping = 1.0 + (distances / scale) ** 2
+    preference_hat = preference / damping
+    presence_hat = presence / damping
+
+    return [
+        Frame(
+            t=t,
+            target=target,
+            graph=graphs[t],
+            preference=preference[t],
+            presence=presence[t],
+            preference_hat=preference_hat[t],
+            presence_hat=presence_hat[t],
+            distances=graphs[t].distances,
+            interfaces_mr=interfaces_mr,
+            forced=forced,
+            blocked=blocked[t],
+            mask=mask[t],
+            raw_preference=raw_preference[t],
+            raw_presence=raw_presence[t],
+        )
+        for t in range(steps)
+    ]

@@ -15,8 +15,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..crowd import Trajectory
-from ..geometry import DEFAULT_BODY_RADIUS, DynamicOcclusionGraph, \
-    OcclusionGraphConverter, Room
+from ..geometry import BatchedOcclusionConverter, DEFAULT_BODY_RADIUS, \
+    DynamicOcclusionGraph, OcclusionGraphConverter, Room
 from ..social import SocialGraph
 
 __all__ = ["RoomConfig", "ConferenceRoom", "assign_interfaces"]
@@ -89,6 +89,7 @@ class ConferenceRoom:
     seed: int = 0
 
     _dog_cache: dict = field(default_factory=dict, repr=False, compare=False)
+    _frame_cache: dict = field(default_factory=dict, repr=False, compare=False)
 
     def __post_init__(self):
         count = self.trajectory.num_agents
@@ -134,6 +135,49 @@ class ConferenceRoom:
             self._dog_cache[target] = DynamicOcclusionGraph.from_trajectory(
                 self.trajectory.positions, target, self.converter())
         return self._dog_cache[target]
+
+    def prebuild_dogs(self, targets) -> None:
+        """Fill the DOG cache for many targets in one batched pass.
+
+        Uses :class:`~repro.geometry.BatchedOcclusionConverter`, which
+        produces graphs exactly equal to the per-target
+        :meth:`converter` path, so later :meth:`dog` calls are cache
+        hits regardless of which path built them.
+        """
+        missing = np.array(sorted({int(t) for t in np.asarray(targets).ravel()}
+                                  - set(self._dog_cache)), dtype=np.int64)
+        if missing.size == 0:
+            return
+        batched = BatchedOcclusionConverter.like(self.converter())
+        self._dog_cache.update(
+            batched.convert_dogs(self.trajectory.positions, missing))
+
+    def episode_frames(self, target: int) -> list:
+        """All frames of ``target``'s episode, built once and cached.
+
+        Frames depend only on the room and the target (not on the
+        recommender), so every evaluation of the same target shares
+        them.  Callers that mutate frames — block/allow-list problems —
+        must not use this cache; see
+        :meth:`~repro.core.problem.AfterProblem.episode_frames`.
+        """
+        frames = self._frame_cache.get(target)
+        if frames is None:
+            from ..core.scene import build_episode_frames
+            frames = build_episode_frames(
+                target=target,
+                graphs=self.dog(target).snapshots,
+                preference_row=self.preference[target],
+                presence_row=self.presence[target],
+                interfaces_mr=self.interfaces_mr,
+            )
+            self._frame_cache[target] = frames
+        return frames
+
+    def clear_caches(self) -> None:
+        """Drop cached DOGs and frames (e.g. after editing trajectories)."""
+        self._dog_cache.clear()
+        self._frame_cache.clear()
 
     def sample_targets(self, count: int, rng: np.random.Generator
                        ) -> np.ndarray:

@@ -13,6 +13,7 @@ from .arcs import (
     arc_of_user,
     arcs_intersect,
 )
+from .batched import BatchedOcclusionConverter, MultiTargetGraphs
 from .dog import DynamicOcclusionGraph, structural_delta
 from .occlusion import (
     DEFAULT_BODY_RADIUS,
@@ -24,7 +25,9 @@ from .visibility import (
     forced_presence_mask,
     occlusion_rate,
     physically_blocked_mask,
+    resolve_episode_visibility,
     resolve_visibility,
+    resolve_visibility_with_occlusion,
 )
 
 __all__ = [
@@ -33,6 +36,8 @@ __all__ = [
     "arc_of_user",
     "arcs_intersect",
     "arc_intersection_matrix",
+    "BatchedOcclusionConverter",
+    "MultiTargetGraphs",
     "DynamicOcclusionGraph",
     "structural_delta",
     "OcclusionGraphConverter",
@@ -44,6 +49,8 @@ __all__ = [
     "relative_angles",
     "forced_presence_mask",
     "resolve_visibility",
+    "resolve_visibility_with_occlusion",
+    "resolve_episode_visibility",
     "physically_blocked_mask",
     "occlusion_rate",
 ]

@@ -18,8 +18,9 @@ import numpy as np
 
 from .occlusion import StaticOcclusionGraph
 
-__all__ = ["resolve_visibility", "occlusion_rate", "forced_presence_mask",
-           "physically_blocked_mask"]
+__all__ = ["resolve_visibility", "resolve_visibility_with_occlusion",
+           "resolve_episode_visibility", "occlusion_rate",
+           "forced_presence_mask", "physically_blocked_mask"]
 
 
 def forced_presence_mask(interfaces_mr: np.ndarray, target: int) -> np.ndarray:
@@ -110,6 +111,119 @@ def resolve_visibility(graph: StaticOcclusionGraph, rendered: np.ndarray,
 
     visible &= ~(clutter | behind_physical | covered)
     return visible
+
+
+def resolve_visibility_with_occlusion(graph: StaticOcclusionGraph,
+                                      rendered: np.ndarray,
+                                      forced: np.ndarray | None = None,
+                                      depth_margin: float | None = None
+                                      ) -> tuple:
+    """``(resolve_visibility(...), occlusion_rate(...))`` in one pass.
+
+    The evaluation hot path needs both the visibility indicator and the
+    per-step occlusion rate for the *same* ``(graph, rendered, forced)``
+    triple; calling :func:`resolve_visibility` and
+    :func:`occlusion_rate` separately resolves visibility twice.  This
+    function resolves once, and restricts every pairwise operation to
+    the *present* users (at most ``max_render`` rendered avatars plus
+    the forced MR participants) instead of all ``N`` — exactly
+    equivalent, because every clutter/occlusion term is conjoined with a
+    present-user mask, so absent rows and columns never contribute.
+
+    Returns the boolean visibility array and the occlusion rate float,
+    each identical to its standalone counterpart.
+    """
+    rendered = np.asarray(rendered, dtype=bool)
+    if forced is None:
+        forced = np.zeros_like(rendered)
+    forced = np.asarray(forced, dtype=bool).copy()
+    if depth_margin is None:
+        depth_margin = graph.body_radius
+
+    forced[graph.target] = False
+    virtual = rendered.copy()
+    virtual[graph.target] = False
+    virtual &= ~forced
+    present = virtual | forced
+
+    visible = present.copy()
+    idx = np.nonzero(present)[0]
+    if idx.size:
+        sub_adjacency = graph.adjacency[np.ix_(idx, idx)]
+        sub_distances = graph.distances[idx]
+        sub_virtual = virtual[idx]
+        sub_forced = forced[idx]
+        nearer = sub_distances[None, :] < sub_distances[:, None] - depth_margin
+
+        clutter = (sub_adjacency & sub_virtual[None, :]).any(axis=1) \
+            & sub_virtual
+        behind_physical = (sub_adjacency & sub_forced[None, :]
+                           & nearer).any(axis=1) & sub_virtual
+        covered = (sub_adjacency & (sub_forced | sub_virtual)[None, :]
+                   & nearer).any(axis=1) & sub_forced
+        visible[idx] = ~(clutter | behind_physical | covered)
+
+    shown = rendered.copy()
+    shown[graph.target] = False
+    total = int(shown.sum())
+    if total == 0:
+        return visible, 0.0
+    occluded = int((shown & ~visible).sum())
+    return visible, occluded / total
+
+
+def resolve_episode_visibility(graphs: list, rendered: np.ndarray,
+                               forced: np.ndarray | None = None,
+                               depth_margin: float | None = None) -> tuple:
+    """Visibility and occlusion rates for a whole episode at once.
+
+    ``graphs`` is one target's snapshot list (length ``T``) and
+    ``rendered`` the ``(T, N)`` boolean render masks.  Step ``t`` of the
+    result equals ``resolve_visibility_with_occlusion(graphs[t],
+    rendered[t], forced)`` exactly — the per-step work is identical, but
+    the forced-mask preprocessing is hoisted out of the loop.  Returns
+    ``(visible, rates)`` of shapes ``(T, N)`` and ``(T,)``.
+    """
+    first = graphs[0]
+    target = first.target
+    rendered = np.asarray(rendered, dtype=bool)
+    if forced is None:
+        forced = np.zeros(rendered.shape[1], dtype=bool)
+    forced = np.asarray(forced, dtype=bool).copy()
+    if depth_margin is None:
+        depth_margin = first.body_radius
+    forced[target] = False
+    not_forced = ~forced
+
+    shown = rendered.copy()
+    shown[:, target] = False
+    visible = np.zeros_like(shown)
+    rates = np.zeros(len(graphs))
+    for t, graph in enumerate(graphs):
+        virtual = shown[t] & not_forced
+        present = virtual | forced
+        visible[t] = present
+        idx = np.nonzero(present)[0]
+        if idx.size:
+            sub_adjacency = graph.adjacency[np.ix_(idx, idx)]
+            sub_distances = graph.distances[idx]
+            sub_virtual = virtual[idx]
+            sub_forced = forced[idx]
+            nearer = sub_distances[None, :] \
+                < sub_distances[:, None] - depth_margin
+
+            clutter = (sub_adjacency & sub_virtual[None, :]).any(axis=1) \
+                & sub_virtual
+            behind_physical = (sub_adjacency & sub_forced[None, :]
+                               & nearer).any(axis=1) & sub_virtual
+            covered = (sub_adjacency & (sub_forced | sub_virtual)[None, :]
+                       & nearer).any(axis=1) & sub_forced
+            visible[t, idx] = ~(clutter | behind_physical | covered)
+
+        total = int(shown[t].sum())
+        if total:
+            rates[t] = int((shown[t] & ~visible[t]).sum()) / total
+    return visible, rates
 
 
 def physically_blocked_mask(graph: StaticOcclusionGraph,

@@ -12,6 +12,7 @@ import numpy as np  # noqa: F401  (used for best-epoch tracking)
 
 from ...core.problem import AfterProblem
 from ...nn import Adam, clip_grad_norm
+from ...runtime import PERF
 from .loss import POSHGNNLoss, resolve_alpha
 from .model import POSHGNN
 
@@ -46,8 +47,10 @@ class POSHGNNTrainer:
         best_state = None
         for epoch in range(self.epochs):
             epoch_loss = 0.0
-            for problem in problems:
-                epoch_loss += self._train_episode(problem)
+            with PERF.scope("train.epoch"):
+                for problem in problems:
+                    epoch_loss += self._train_episode(problem)
+            PERF.count("train.epochs")
             history.append(epoch_loss / len(problems))
             if history[-1] < best_loss:
                 best_loss = history[-1]
@@ -68,10 +71,16 @@ class POSHGNNTrainer:
         window_loss = None
         steps_in_window = 0
 
+        # Frames are identical every epoch; the cached episode build
+        # amortises MIA preprocessing across epochs and training targets.
+        with PERF.scope("train.episode_frames"):
+            frames = problem.episode_frames()
+
         for t in range(problem.horizon + 1):
-            frame = problem.frame_at(t)
-            new_recommendation, new_hidden, aggregated = self.model.step(
-                frame, hidden, recommendation)
+            frame = frames[t]
+            with PERF.scope("train.model_step"):
+                new_recommendation, new_hidden, aggregated = self.model.step(
+                    frame, hidden, recommendation)
             step_loss = loss_fn.step_loss(
                 new_recommendation, recommendation,
                 frame.preference_hat, frame.presence_hat,

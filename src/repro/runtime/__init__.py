@@ -1,0 +1,10 @@
+"""``repro.runtime`` — serving-path instrumentation.
+
+Lightweight wall-clock timers and counters shared by the evaluation
+engine, the POSHGNN trainer and the bench drivers.  See
+:mod:`repro.runtime.instrumentation`.
+"""
+
+from .instrumentation import PERF, Instrumentation, TimerStat
+
+__all__ = ["PERF", "Instrumentation", "TimerStat"]

@@ -1,0 +1,79 @@
+"""Property test: vectorised ``arcs_intersect`` vs scalar ``Arc.intersects``.
+
+The vectorised matrix must agree with the scalar pairwise predicate on
+arbitrary arc sets, including the wrap-around seam at +-pi and
+degenerate full-circle arcs (``half_width = pi``).
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Arc, arcs_intersect
+
+ANGLES = st.floats(min_value=-math.pi, max_value=math.pi,
+                   allow_nan=False, allow_infinity=False)
+HALF_WIDTHS = st.floats(min_value=0.0, max_value=math.pi,
+                        allow_nan=False, allow_infinity=False)
+ARCS = st.lists(st.tuples(ANGLES, HALF_WIDTHS), min_size=1, max_size=8)
+
+
+def _scalar_matrix(arcs):
+    count = len(arcs)
+    matrix = np.zeros((count, count), dtype=bool)
+    for i in range(count):
+        for j in range(count):
+            if i != j:
+                matrix[i, j] = arcs[i].intersects(arcs[j])
+    return matrix
+
+
+@settings(max_examples=120, deadline=None)
+@given(ARCS)
+def test_matches_scalar_arc_intersects(arc_params):
+    arcs = [Arc(center=c, half_width=h) for c, h in arc_params]
+    centers = np.array([a.center for a in arcs])
+    half_widths = np.array([a.half_width for a in arcs])
+    np.testing.assert_array_equal(arcs_intersect(centers, half_widths),
+                                  _scalar_matrix(arcs))
+
+
+@settings(max_examples=60, deadline=None)
+@given(HALF_WIDTHS, HALF_WIDTHS)
+def test_seam_opposite_centers(width_a, width_b):
+    """Arcs hugging the +-pi seam from either side."""
+    arcs = [Arc(center=math.pi, half_width=width_a),
+            Arc(center=-math.pi, half_width=width_b),
+            Arc(center=math.nextafter(math.pi, 0.0), half_width=width_a)]
+    centers = np.array([a.center for a in arcs])
+    half_widths = np.array([a.half_width for a in arcs])
+    np.testing.assert_array_equal(arcs_intersect(centers, half_widths),
+                                  _scalar_matrix(arcs))
+    # +pi and -pi describe the same direction: separation 0.
+    assert arcs_intersect(centers, half_widths)[0, 1] == (
+        width_a + width_b >= 0.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ANGLES, ANGLES, HALF_WIDTHS)
+def test_full_circle_arc_intersects_everything(center_a, center_b, width):
+    """A half_width = pi arc covers the whole circle."""
+    arcs = [Arc(center=center_a, half_width=math.pi),
+            Arc(center=center_b, half_width=width)]
+    centers = np.array([a.center for a in arcs])
+    half_widths = np.array([a.half_width for a in arcs])
+    matrix = arcs_intersect(centers, half_widths)
+    assert matrix[0, 1] and matrix[1, 0]
+    np.testing.assert_array_equal(matrix, _scalar_matrix(arcs))
+
+
+@settings(max_examples=60, deadline=None)
+@given(ARCS)
+def test_matrix_is_symmetric_with_false_diagonal(arc_params):
+    centers = np.array([c for c, _ in arc_params])
+    half_widths = np.array([h for _, h in arc_params])
+    matrix = arcs_intersect(centers, half_widths)
+    np.testing.assert_array_equal(matrix, matrix.T)
+    assert not matrix.diagonal().any()

@@ -1,0 +1,130 @@
+"""Numerical gradient checks for the autograd ops the models lean on.
+
+Each analytic gradient is compared against a central finite-difference
+estimate of the same scalar loss.  Covered: matmul (both operands),
+broadcast addition (gradient summed down to the broadcast shape),
+sigmoid/relu activations, and aggregation by a constant adjacency matrix
+(``Tensor(adjacency) @ h`` — the GNN propagation pattern from
+``repro.nn.layers``, where the adjacency itself carries no gradient).
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+
+
+def central_diff(fn, x, eps=1e-6):
+    """Central finite differences of scalar ``fn`` at ``x``."""
+    grad = np.zeros_like(x)
+    flat_x = x.reshape(-1)
+    flat_g = grad.reshape(-1)
+    for i in range(flat_x.size):
+        orig = flat_x[i]
+        flat_x[i] = orig + eps
+        hi = fn(x)
+        flat_x[i] = orig - eps
+        lo = fn(x)
+        flat_x[i] = orig
+        flat_g[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def assert_gradcheck(make_loss, *arrays, atol=1e-6):
+    """Backprop each input and compare with central differences."""
+    tensors = [Tensor(a.copy(), requires_grad=True) for a in arrays]
+    make_loss(*tensors).backward()
+    for slot, (tensor, array) in enumerate(zip(tensors, arrays)):
+        def numeric(x, slot=slot):
+            values = [a.copy() for a in arrays]
+            values[slot] = x
+            return make_loss(*[Tensor(v) for v in values]).item()
+        expected = central_diff(numeric, array.copy())
+        np.testing.assert_allclose(tensor.grad, expected, atol=atol,
+                                   err_msg=f"input {slot}")
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestMatmul:
+    def test_matrix_matrix(self, rng):
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(4, 2))
+        assert_gradcheck(lambda x, y: (x @ y).sum(), a, b)
+
+    def test_matrix_vector(self, rng):
+        a = rng.normal(size=(3, 4))
+        v = rng.normal(size=4)
+        assert_gradcheck(lambda x, y: (x @ y).sum(), a, v)
+
+    def test_nonuniform_upstream_gradient(self, rng):
+        a = rng.normal(size=(2, 3))
+        b = rng.normal(size=(3, 3))
+        assert_gradcheck(lambda x, y: ((x @ y) * (x @ y)).sum(), a, b,
+                         atol=1e-5)
+
+
+class TestBroadcastAdd:
+    def test_row_broadcast_sums_down(self, rng):
+        matrix = rng.normal(size=(4, 3))
+        row = rng.normal(size=(1, 3))
+        assert_gradcheck(lambda m, r: ((m + r) * (m + r)).sum(), matrix, row,
+                         atol=1e-5)
+
+    def test_scalar_shape_broadcast(self, rng):
+        matrix = rng.normal(size=(3, 2))
+        bias = rng.normal(size=(1, 1))
+        assert_gradcheck(lambda m, b: (m + b).sum(), matrix, bias)
+
+    def test_vector_against_matrix(self, rng):
+        matrix = rng.normal(size=(5, 4))
+        vector = rng.normal(size=4)
+        assert_gradcheck(lambda m, v: ((m + v) * m).sum(), matrix, vector,
+                         atol=1e-5)
+
+
+class TestActivations:
+    def test_sigmoid(self, rng):
+        x = rng.normal(size=(4, 3))
+        assert_gradcheck(lambda t: t.sigmoid().sum(), x)
+
+    def test_sigmoid_chained(self, rng):
+        x = rng.normal(size=6)
+        assert_gradcheck(lambda t: (t.sigmoid() * t).sum(), x, atol=1e-5)
+
+    def test_relu_away_from_kink(self, rng):
+        x = rng.normal(size=(5, 2))
+        # Keep samples off |x| < 1e-3 so the finite difference never
+        # straddles the kink at zero.
+        x = np.where(np.abs(x) < 1e-3, 0.5, x)
+        assert_gradcheck(lambda t: (t.relu() * t).sum(), x, atol=1e-5)
+
+
+class TestConstantAdjacencyAggregation:
+    def test_constant_matmul_tensor(self, rng):
+        adjacency = Tensor((rng.random((5, 5)) < 0.4).astype(np.float64))
+        features = rng.normal(size=(5, 3))
+
+        def loss(h):
+            aggregated = adjacency @ h
+            return (aggregated * aggregated).sum()
+
+        assert_gradcheck(loss, features, atol=1e-5)
+
+    def test_normalised_propagation(self, rng):
+        adjacency = (rng.random((6, 6)) < 0.5).astype(np.float64)
+        np.fill_diagonal(adjacency, 1.0)
+        adjacency /= adjacency.sum(axis=1, keepdims=True)
+        features = rng.normal(size=(6, 2))
+        assert_gradcheck(lambda h: (Tensor(adjacency) @ h).sigmoid().sum(),
+                         features, atol=1e-5)
+
+    def test_adjacency_receives_no_gradient_graph(self, rng):
+        adjacency = Tensor(np.eye(4))
+        h = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        (adjacency @ h).sum().backward()
+        np.testing.assert_allclose(h.grad, np.ones((4, 2)))
+        assert adjacency.grad is None
