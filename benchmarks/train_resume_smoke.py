@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Kill-and-resume training smoke test (CI tier-2).
+
+Proves the fault-tolerance story end to end on a tiny room:
+
+1. train an uninterrupted reference run (the "gold" trajectory);
+2. launch the same run in a **subprocess** that checkpoints every epoch
+   and hard-kills itself (``os._exit``) mid-run — no atexit handlers, no
+   cleanup, exactly like a pre-empted node;
+3. resume from the checkpoint directory in this process and assert the
+   final loss history and every model parameter are bit-identical to the
+   uninterrupted run.
+
+Exit code 0 on success.  Usage::
+
+    PYTHONPATH=src python benchmarks/train_resume_smoke.py
+
+The ``--phase child`` invocation is internal (the self-spawned run that
+gets killed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+import numpy as np
+
+from repro.core import AfterProblem
+from repro.datasets import RoomConfig, generate_timik_room
+from repro.models import POSHGNN
+from repro.models.poshgnn.trainer import POSHGNNTrainer
+
+NUM_USERS = 12
+NUM_STEPS = 6
+EPOCHS = 8
+KILL_AFTER = 4
+KILL_EXIT_CODE = 37
+
+
+def _problems():
+    room = generate_timik_room(
+        RoomConfig(num_users=NUM_USERS, num_steps=NUM_STEPS), seed=0)
+    return [AfterProblem(room, t) for t in (0, 1)]
+
+
+def _make_trainer(model, checkpoint_dir=None):
+    return POSHGNNTrainer(model, epochs=EPOCHS, shuffle=True, seed=3,
+                          checkpoint_dir=checkpoint_dir, save_every=1)
+
+
+def run_child(checkpoint_dir: str) -> None:
+    """Train with checkpoints and die abruptly mid-run."""
+
+    def kill_switch(trainer, epoch, history):
+        if epoch >= KILL_AFTER:
+            os._exit(KILL_EXIT_CODE)  # simulate a hard kill / pre-emption
+
+    model = POSHGNN(seed=0)
+    trainer = _make_trainer(model, checkpoint_dir)
+    trainer.on_epoch_end = kill_switch
+    trainer.train(_problems())
+    raise SystemExit("child was supposed to be killed mid-run")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--phase", default="driver",
+                        choices=["driver", "child"])
+    parser.add_argument("--checkpoint-dir", default=None)
+    args = parser.parse_args()
+
+    if args.phase == "child":
+        run_child(args.checkpoint_dir)
+        return 1  # unreachable
+
+    problems = _problems()
+
+    print(f"[1/3] uninterrupted reference run ({EPOCHS} epochs)")
+    gold_model = POSHGNN(seed=0)
+    gold = _make_trainer(gold_model).train(problems)
+
+    with tempfile.TemporaryDirectory(prefix="resume-smoke-") as directory:
+        print(f"[2/3] checkpointing run, hard-killed after epoch "
+              f"{KILL_AFTER} (subprocess)")
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        child = subprocess.run(
+            [sys.executable, os.path.abspath(__file__), "--phase", "child",
+             "--checkpoint-dir", directory],
+            env=env, timeout=600)
+        if child.returncode != KILL_EXIT_CODE:
+            print(f"FAIL: child exited {child.returncode}, expected "
+                  f"kill code {KILL_EXIT_CODE}")
+            return 1
+        saved = sorted(name for name in os.listdir(directory)
+                       if name.endswith(".npz"))
+        print(f"      child left checkpoints: {saved}")
+        if not saved:
+            print("FAIL: killed run left no checkpoints")
+            return 1
+
+        print(f"[3/3] resuming from {directory} to epoch {EPOCHS}")
+        resumed_model = POSHGNN(seed=0)
+        resumed = _make_trainer(resumed_model, directory).train(
+            problems, resume_from=directory)
+
+        manifest_path = os.path.join(directory, "manifest.json")
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        if manifest["resumed_from"] is None:
+            print("FAIL: manifest does not record the resume")
+            return 1
+
+    failures = []
+    if gold["loss"] != resumed["loss"]:
+        failures.append(f"loss history diverged:\n  gold    "
+                        f"{gold['loss']}\n  resumed {resumed['loss']}")
+    if gold["best_loss"] != resumed["best_loss"]:
+        failures.append("best_loss diverged")
+    gold_state = gold_model.state_dict()
+    resumed_state = resumed_model.state_dict()
+    for name in gold_state:
+        if not np.array_equal(gold_state[name], resumed_state[name]):
+            failures.append(f"parameter {name} not bit-identical")
+
+    if failures:
+        print("FAIL:")
+        for failure in failures:
+            print("  " + failure)
+        return 1
+    print(f"OK: resumed run is bit-identical to the uninterrupted run "
+          f"({len(gold_state)} parameter tensors, "
+          f"{len(gold['loss'])} epochs)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

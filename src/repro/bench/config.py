@@ -49,6 +49,7 @@ class BenchConfig:
     seed: int = 0
     eval_engine: str = "batched"  # "batched" | "reference"
     eval_workers: int = 0         # > 1 forks evaluation workers
+    run_dir: str | None = None    # training checkpoints + run manifests
     extra: dict = field(default_factory=dict)
 
     @classmethod
@@ -68,6 +69,8 @@ class BenchConfig:
                 overrides[name] = _env_int(env_name, getattr(config, name))
         if os.environ.get("REPRO_BENCH_EVAL_ENGINE"):
             overrides["eval_engine"] = os.environ["REPRO_BENCH_EVAL_ENGINE"]
+        if os.environ.get("REPRO_RUN_DIR"):
+            overrides["run_dir"] = os.environ["REPRO_RUN_DIR"]
         return replace(config, **overrides) if overrides else config
 
     def scaled(self, **overrides) -> "BenchConfig":

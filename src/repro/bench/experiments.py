@@ -8,12 +8,16 @@ files under ``benchmarks/`` are thin wrappers around these.
 
 from __future__ import annotations
 
+import os
+import time
+
 import numpy as np
 
 from ..core import AfterProblem, evaluate_targets, paired_p_value
 from ..datasets import RoomConfig, generate_room, hubs_config
 from ..models.poshgnn.loss import resolve_alpha
 from ..runtime import PERF
+from ..training import RunManifest
 from .config import TRAIN_ALPHA0, BenchConfig
 from .methods import ablation_methods, study_methods, table_methods
 from .tables import ResultTable
@@ -59,7 +63,14 @@ def prepare_room(dataset: str, config: BenchConfig,
 
 def _fit_and_evaluate(room, methods: dict, train_targets, eval_targets,
                       config: BenchConfig, alpha0: float) -> dict:
-    """Train each method and collect its AggregateResult."""
+    """Train each method and collect its AggregateResult.
+
+    With ``config.run_dir`` set (``REPRO_RUN_DIR``), checkpoint-capable
+    methods train under ``<run_dir>/<method>/`` and every fit leaves a
+    ``<run_dir>/bench_<method>.json`` manifest (history, wall-clock,
+    PERF deltas), so long table regenerations are resumable and
+    auditable.
+    """
     train_problems = [AfterProblem(room, t, beta=config.beta,
                                    max_render=config.max_render)
                       for t in train_targets]
@@ -67,9 +78,34 @@ def _fit_and_evaluate(room, methods: dict, train_targets, eval_targets,
     workers = config.eval_workers if config.eval_workers > 1 else None
     results = {}
     for name, method in methods.items():
+        fit_kwargs = {"epochs": config.train_epochs, "alpha": alpha}
+        slug = name.lower().replace(" ", "-").replace("/", "")
+        if config.run_dir and getattr(method, "supports_run_dir", False):
+            fit_kwargs["run_dir"] = os.path.join(config.run_dir, slug)
+        perf_mark = PERF.snapshot()
+        started = time.perf_counter()
         with PERF.scope(f"bench.fit.{name}"):
-            method.fit(train_problems, epochs=config.train_epochs,
-                       alpha=alpha)
+            history = method.fit(train_problems, **fit_kwargs)
+        fit_seconds = time.perf_counter() - started
+        if config.run_dir:
+            losses = list((history or {}).get("loss", [])) \
+                if isinstance(history, dict) else []
+            RunManifest(
+                kind="bench-fit",
+                config={"method": name, "alpha": alpha,
+                        "epochs": config.train_epochs,
+                        "train_targets": list(map(int, train_targets)),
+                        "seed": config.seed},
+                history=losses,
+                best_loss=(history or {}).get("best_loss")
+                if isinstance(history, dict) else None,
+                epochs_run=len(losses),
+                wall_clock_s=fit_seconds,
+                perf=PERF.delta_since(perf_mark),
+                guard_events=list((history or {}).get("guard_events", []))
+                if isinstance(history, dict) else [],
+                extra={"run_dir": fit_kwargs.get("run_dir")},
+            ).write(os.path.join(config.run_dir, f"bench_{slug}.json"))
         with PERF.scope(f"bench.evaluate.{name}"):
             results[name] = evaluate_targets(room, method, eval_targets,
                                              beta=config.beta,

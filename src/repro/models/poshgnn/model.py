@@ -146,7 +146,12 @@ class POSHGNN(Module, Recommender):
     #: Preservation-cap candidates explored during fitting (with LWP).
     preserve_grid = (1.0, 0.85)
 
-    def fit(self, problems: list, restarts: int = 2, **kwargs) -> dict:
+    #: ``fit`` accepts ``run_dir`` (checkpoints + manifest per attempt);
+    #: the bench drivers key off this to pass one through.
+    supports_run_dir = True
+
+    def fit(self, problems: list, restarts: int = 2,
+            run_dir: str | None = None, **kwargs) -> dict:
         """Train with multi-restart model selection.
 
         Gated recurrences are initialisation-sensitive, and the best
@@ -154,9 +159,13 @@ class POSHGNN(Module, Recommender):
         ``restarts`` seeds x the ``preserve_grid`` caps are each trained,
         and the model achieving the highest *training-episode* AFTER
         utility (the true objective — no test data involved) is kept.
-        Remaining kwargs go to
-        :class:`~repro.models.poshgnn.trainer.POSHGNNTrainer`.
+        With ``run_dir`` set, each attempt trains under
+        ``run_dir/attempt<i>-cap<c>`` with checkpoints and a manifest,
+        and a ``fit_manifest.json`` records which attempt won.  Remaining
+        kwargs go to :class:`~repro.models.poshgnn.trainer.POSHGNNTrainer`.
         """
+        import os
+
         from ...core.evaluation import evaluate_episode
         from .trainer import POSHGNNTrainer
 
@@ -167,23 +176,49 @@ class POSHGNN(Module, Recommender):
         best_state = None
         best_cap = self.max_preserve
         best_history: dict = {}
+        best_label = None
+        attempts: list[dict] = []
         for attempt in range(restarts):
             seed = self.seed + 1000 * attempt
             for cap in caps:
                 self.reinitialize(seed)
                 self.max_preserve = cap
-                trainer = POSHGNNTrainer(self, **kwargs)
+                label = f"attempt{attempt}-cap{int(round(100 * cap))}"
+                trainer_kwargs = dict(kwargs)
+                if run_dir is not None:
+                    trainer_kwargs["checkpoint_dir"] = os.path.join(
+                        run_dir, label)
+                trainer = POSHGNNTrainer(self, **trainer_kwargs)
                 history = trainer.train(problems)
                 utility = float(np.mean([
                     evaluate_episode(problem, self).after_utility
                     for problem in problems]))
+                attempts.append({"label": label, "seed": seed, "cap": cap,
+                                 "train_utility": utility,
+                                 "best_loss": history["best_loss"]})
                 if utility > best_utility:
                     best_utility = utility
                     best_state = self.state_dict()
                     best_cap = cap
                     best_history = history
+                    best_label = label
         if best_state is not None:
             self.max_preserve = best_cap
             self.load_state_dict(best_state)
         best_history["train_utility"] = best_utility
+        if run_dir is not None:
+            from ...training import RunManifest
+
+            RunManifest(
+                kind="poshgnn-fit",
+                config={"restarts": restarts, "caps": list(caps),
+                        "trainer": {key: value
+                                    for key, value in kwargs.items()
+                                    if isinstance(value,
+                                                  (int, float, str, bool))}},
+                best_loss=best_history.get("best_loss"),
+                extra={"attempts": attempts, "selected": best_label,
+                       "train_utility": best_utility},
+            ).write(os.path.join(run_dir, "fit_manifest.json"))
+            best_history["run_dir"] = run_dir
         return best_history

@@ -4,15 +4,43 @@ The paper trains with Adam at lr 1e-2 (Sec. V-A5).  Episodes are unrolled
 in windows; the recurrent carries (``h_{t-1}``, ``r_{t-1}``) are detached
 at window boundaries so the autograd graph stays bounded on long horizons
 (T = 100).
+
+The loop is fault tolerant (see docs/TRAINING.md):
+
+* **Checkpoint/resume** — with ``checkpoint_dir`` set, a versioned
+  :class:`~repro.training.TrainerCheckpoint` (model, full optimiser
+  state, epoch cursor, loss history, best snapshot, resolved alpha, RNG
+  state) is written atomically every ``save_every`` epochs, last-k plus
+  best retained.  ``train(..., resume_from=...)`` restarts mid-run
+  **bit-identically** to an uninterrupted run.
+* **Divergence guards** — a non-finite window loss or gradient norm
+  never reaches the optimiser: the epoch is rolled back to the last
+  recovery point and retried at a backed-off learning rate, bounded by
+  :class:`~repro.training.GuardConfig.max_retries`; optional patience
+  stops runs whose best loss has stagnated.
+* **Run manifest** — checkpointed runs keep a ``manifest.json`` next to
+  their checkpoints with losses, wall-clock, PERF deltas and every guard
+  event.
 """
 
 from __future__ import annotations
 
-import numpy as np  # noqa: F401  (used for best-epoch tracking)
+import time
+
+import numpy as np
 
 from ...core.problem import AfterProblem
 from ...nn import Adam, clip_grad_norm
 from ...runtime import PERF
+from ...training import (
+    CheckpointManager,
+    DivergenceGuard,
+    GuardConfig,
+    NonFiniteSignal,
+    RunManifest,
+    TrainerCheckpoint,
+    TrainingDiverged,
+)
 from .loss import POSHGNNLoss, resolve_alpha
 from .model import POSHGNN
 
@@ -20,50 +48,274 @@ __all__ = ["POSHGNNTrainer"]
 
 
 class POSHGNNTrainer:
-    """Trains a :class:`POSHGNN` on a set of problems (target episodes)."""
+    """Trains a :class:`POSHGNN` on a set of problems (target episodes).
+
+    Parameters
+    ----------
+    checkpoint_dir:
+        Directory for checkpoints + manifest; ``None`` (default) disables
+        persistence (guards still work off in-memory recovery points).
+    save_every / keep_last:
+        Checkpoint cadence in epochs and how many epoch files to retain
+        (``best.npz`` is kept on top).
+    guard:
+        Divergence/early-stop policy; defaults to ``GuardConfig()``
+        (rollback + lr backoff on, early stopping off).
+    shuffle / seed:
+        Optional per-epoch episode shuffling from a trainer-owned RNG
+        whose state is checkpointed, so resumed runs draw the same
+        orders an uninterrupted run would.
+    on_epoch_end:
+        Optional callback ``(trainer, epoch, history)`` after each
+        completed epoch (progress reporting, external kill switches).
+    """
 
     def __init__(self, model: POSHGNN, lr: float = 1e-2, alpha="auto",
                  epochs: int = 20, bptt_window: int = 10,
-                 grad_clip: float = 5.0, verbose: bool = False):
+                 grad_clip: float = 5.0, verbose: bool = False,
+                 seed: int = 0, shuffle: bool = False,
+                 checkpoint_dir=None, save_every: int = 1,
+                 keep_last: int = 3, guard: GuardConfig | None = None,
+                 on_epoch_end=None):
         if epochs < 1:
             raise ValueError("epochs must be positive")
         if bptt_window < 1:
             raise ValueError("bptt_window must be positive")
         self.model = model
-        self.alpha = alpha
+        self.alpha = alpha            # configured; never mutated by train()
+        self.resolved_alpha: float | None = None
         self.epochs = epochs
         self.bptt_window = bptt_window
         self.grad_clip = grad_clip
         self.verbose = verbose
+        self.shuffle = shuffle
+        self.rng = np.random.default_rng(seed)
+        self.checkpoint_dir = checkpoint_dir
+        self.save_every = save_every
+        self.keep_last = keep_last
+        self.guard_config = guard or GuardConfig()
+        self.on_epoch_end = on_epoch_end
         self.optimizer = Adam(model.parameters(), lr=lr)
 
-    def train(self, problems: list) -> dict:
-        """Run the full training loop; returns a loss history dict."""
+    # ------------------------------------------------------------------
+    # Recovery points
+    # ------------------------------------------------------------------
+    def _capture(self) -> dict:
+        """Snapshot model/optimiser/RNG for rollback or checkpointing."""
+        return {
+            "model": self.model.state_dict(),
+            "optim": self.optimizer.state_dict(),
+            "rng": self.rng.bit_generator.state,
+        }
+
+    def _restore(self, snapshot: dict) -> None:
+        self.model.load_state_dict(snapshot["model"])
+        self.optimizer.load_state_dict(snapshot["optim"])
+        self.rng.bit_generator.state = snapshot["rng"]
+
+    @staticmethod
+    def _scan_history(history: list, min_delta: float) -> tuple:
+        """Recompute (patience reference, best epoch) from a loss history."""
+        reference = np.inf
+        best_epoch = -1
+        for index, value in enumerate(history):
+            if value < reference - min_delta:
+                reference = value
+                best_epoch = index
+        return reference, best_epoch
+
+    # ------------------------------------------------------------------
+    # The training loop
+    # ------------------------------------------------------------------
+    def train(self, problems: list, resume_from=None) -> dict:
+        """Run the full training loop; returns a loss history dict.
+
+        ``resume_from`` accepts a checkpoint file or a checkpoint
+        directory (resolved to its newest epoch file); the run continues
+        from the stored epoch cursor bit-identically to a run that was
+        never interrupted.
+        """
         if not problems:
             raise ValueError("no training problems")
-        self.alpha = resolve_alpha(problems, self.alpha)
+
+        manager = None
+        if self.checkpoint_dir is not None:
+            manager = CheckpointManager(self.checkpoint_dir,
+                                        save_every=self.save_every,
+                                        keep_last=self.keep_last)
+        guard = DivergenceGuard(self.guard_config)
+
         history: list[float] = []
         best_loss = np.inf
         best_state = None
-        for epoch in range(self.epochs):
-            epoch_loss = 0.0
-            with PERF.scope("train.epoch"):
-                for problem in problems:
-                    epoch_loss += self._train_episode(problem)
+        epoch = 0
+        resumed_path = None
+        if resume_from is not None:
+            resumed_path = CheckpointManager.resolve(resume_from)
+            checkpoint = TrainerCheckpoint.load(resumed_path)
+            self.model.load_state_dict(checkpoint.model_state)
+            self.optimizer.load_state_dict(checkpoint.optimizer_state)
+            if checkpoint.rng_state is not None:
+                self.rng.bit_generator.state = checkpoint.rng_state
+            history = list(checkpoint.history)
+            best_loss = checkpoint.best_loss
+            best_state = checkpoint.best_state
+            epoch = checkpoint.epoch
+            guard.events = list(checkpoint.guard_events)
+            self.resolved_alpha = checkpoint.alpha
+            if self.resolved_alpha is None:
+                self.resolved_alpha = resolve_alpha(problems, self.alpha)
+        else:
+            self.resolved_alpha = resolve_alpha(problems, self.alpha)
+
+        patience_ref, best_epoch = self._scan_history(
+            history, self.guard_config.min_delta)
+        recovery = self._capture()
+        perf_mark = PERF.snapshot()
+        started = time.perf_counter()
+        early_stopped = False
+        best_dirty = False
+        start_epoch = epoch
+
+        while epoch < self.epochs:
+            order = list(range(len(problems)))
+            if self.shuffle:
+                self.rng.shuffle(order)
+            try:
+                epoch_loss = 0.0
+                with PERF.scope("train.epoch"):
+                    for index in order:
+                        epoch_loss += self._train_episode(
+                            problems[index], guard, epoch)
+            except NonFiniteSignal as signal:
+                # Roll back before deciding whether to retry, so even a
+                # TrainingDiverged escape leaves the model at its last
+                # good state instead of the poisoned one.  The live lr is
+                # read before the restore (the recovery snapshot holds
+                # the pre-backoff lr) so consecutive backoffs compound.
+                current_lr = self.optimizer.lr
+                self._restore(recovery)
+                PERF.count(f"train.guard.{signal.kind}")
+                try:
+                    self.optimizer.lr = guard.on_nonfinite(
+                        signal, current_lr)
+                except TrainingDiverged as exhausted:
+                    self.optimizer.lr = exhausted.lr_after
+                    raise
+                PERF.count("train.guard.rollbacks")
+                if self.verbose:
+                    print(f"epoch {epoch + 1}: non-finite {signal.kind}, "
+                          f"rolled back, lr -> {self.optimizer.lr:.2e}")
+                continue
+
             PERF.count("train.epochs")
+            guard.on_epoch_success()
             history.append(epoch_loss / len(problems))
+            epoch += 1
             if history[-1] < best_loss:
                 best_loss = history[-1]
                 best_state = self.model.state_dict()
+                best_dirty = True
+            if history[-1] < patience_ref - self.guard_config.min_delta:
+                patience_ref = history[-1]
+                best_epoch = epoch - 1
             if self.verbose:
-                print(f"epoch {epoch + 1}/{self.epochs}: "
+                print(f"epoch {epoch}/{self.epochs}: "
                       f"loss {history[-1]:.4f}")
+
+            recovery = self._capture()
+            if manager is not None and manager.due(epoch,
+                                                   final=epoch == self.epochs):
+                checkpoint = TrainerCheckpoint(
+                    model_state=recovery["model"],
+                    optimizer_state=recovery["optim"],
+                    epoch=epoch,
+                    history=list(history),
+                    best_loss=float(best_loss),
+                    best_state=best_state,
+                    alpha=self.resolved_alpha,
+                    rng_state=recovery["rng"],
+                    guard_events=list(guard.events),
+                )
+                manager.save(checkpoint, is_best=best_dirty)
+                best_dirty = False
+                PERF.count("train.checkpoints")
+                self._write_manifest(manager, guard, history, best_loss,
+                                     best_epoch, epoch - start_epoch,
+                                     time.perf_counter() - started,
+                                     perf_mark, resumed_path,
+                                     early_stopped=False)
+            if self.on_epoch_end is not None:
+                self.on_epoch_end(self, epoch, history)
+            if guard.should_stop_early(epoch, best_epoch):
+                early_stopped = True
+                PERF.count("train.early_stops")
+                break
+
         if best_state is not None:
             self.model.load_state_dict(best_state)
-        return {"loss": history, "best_loss": best_loss}
 
-    def _train_episode(self, problem: AfterProblem) -> float:
-        loss_fn = POSHGNNLoss(beta=problem.beta, alpha=self.alpha)
+        wall_clock = time.perf_counter() - started
+        result = {
+            "loss": history,
+            "best_loss": best_loss,
+            "alpha": self.resolved_alpha,
+            "epochs_run": epoch - start_epoch,
+            "early_stopped": early_stopped,
+            "guard_events": list(guard.events),
+            "wall_clock_s": wall_clock,
+        }
+        if manager is not None:
+            result["manifest_path"] = self._write_manifest(
+                manager, guard, history, best_loss, best_epoch,
+                epoch - start_epoch, wall_clock, perf_mark, resumed_path,
+                early_stopped)
+            result["checkpoint_dir"] = manager.directory
+        return result
+
+    # ------------------------------------------------------------------
+    def _write_manifest(self, manager, guard, history, best_loss,
+                        best_epoch, epochs_run, wall_clock, perf_mark,
+                        resumed_path, early_stopped) -> str:
+        manifest = RunManifest(
+            kind="poshgnn-train",
+            config={
+                "lr": self.optimizer.lr,
+                "alpha": self.alpha if self.alpha == "auto"
+                else float(self.alpha),
+                "resolved_alpha": self.resolved_alpha,
+                "epochs": self.epochs,
+                "bptt_window": self.bptt_window,
+                "grad_clip": self.grad_clip,
+                "shuffle": self.shuffle,
+                "save_every": self.save_every,
+                "keep_last": self.keep_last,
+                "guard": {
+                    "max_retries": self.guard_config.max_retries,
+                    "lr_backoff": self.guard_config.lr_backoff,
+                    "min_lr": self.guard_config.min_lr,
+                    "patience": self.guard_config.patience,
+                    "min_delta": self.guard_config.min_delta,
+                },
+            },
+            history=[float(value) for value in history],
+            best_loss=None if not np.isfinite(best_loss)
+            else float(best_loss),
+            best_epoch=best_epoch if best_epoch >= 0 else None,
+            epochs_run=epochs_run,
+            wall_clock_s=wall_clock,
+            perf=PERF.delta_since(perf_mark),
+            guard_events=list(guard.events),
+            checkpoints=[path for _, path in manager.epoch_checkpoints()],
+            resumed_from=resumed_path,
+            early_stopped=early_stopped,
+        )
+        return manifest.write(manager.manifest_path)
+
+    # ------------------------------------------------------------------
+    def _train_episode(self, problem: AfterProblem,
+                       guard: DivergenceGuard, epoch: int) -> float:
+        loss_fn = POSHGNNLoss(beta=problem.beta, alpha=self.resolved_alpha)
         self.model.mia.reset()
         hidden, recommendation = self.model.initial_state(problem.num_users)
 
@@ -93,11 +345,15 @@ class POSHGNNTrainer:
             end_of_window = steps_in_window >= self.bptt_window
             end_of_episode = t == problem.horizon
             if end_of_window or end_of_episode:
+                window_value = window_loss.item()
+                guard.check_loss(window_value, epoch)
                 self.optimizer.zero_grad()
                 window_loss.backward()
-                clip_grad_norm(self.model.parameters(), self.grad_clip)
+                norm = clip_grad_norm(self.model.parameters(),
+                                      self.grad_clip)
+                guard.check_grad_norm(norm, epoch)
                 self.optimizer.step()
-                total_loss += window_loss.item()
+                total_loss += window_value
                 window_loss = None
                 steps_in_window = 0
                 hidden = hidden.detach()

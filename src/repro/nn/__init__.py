@@ -29,7 +29,14 @@ from .layers import (
 )
 from .module import Module, Parameter
 from .optim import Adam, Optimizer, SGD, clip_grad_norm
-from .serialization import load_module, save_module
+from .serialization import (
+    atomic_savez,
+    flatten_state,
+    load_module,
+    normalize_npz_path,
+    save_module,
+    unflatten_state,
+)
 from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
 
 __all__ = [
@@ -58,4 +65,8 @@ __all__ = [
     "clip_grad_norm",
     "save_module",
     "load_module",
+    "atomic_savez",
+    "normalize_npz_path",
+    "flatten_state",
+    "unflatten_state",
 ]

@@ -102,17 +102,24 @@ class Module:
             (name, param.data.copy()) for name, param in self.named_parameters()
         )
 
-    def load_state_dict(self, state: dict) -> None:
-        """Load parameter values in-place from :meth:`state_dict` output."""
+    def load_state_dict(self, state: dict, strict: bool = True) -> None:
+        """Load parameter values in-place from :meth:`state_dict` output.
+
+        With ``strict=False`` keys absent on either side are skipped
+        instead of raising, which lets checkpoints restore into ablated
+        variants of a model; shape mismatches always raise.
+        """
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
-        if missing or unexpected:
+        if strict and (missing or unexpected):
             raise KeyError(
                 f"state_dict mismatch: missing={sorted(missing)}, "
                 f"unexpected={sorted(unexpected)}"
             )
         for name, values in state.items():
+            if name not in own:
+                continue
             values = np.asarray(values, dtype=np.float64)
             if values.shape != own[name].data.shape:
                 raise ValueError(

@@ -2,6 +2,11 @@
 
 The paper trains with Adam at learning rate 1e-2; SGD is provided for the
 ablation benches and as a sanity baseline.
+
+Optimisers are checkpointable: :meth:`Optimizer.state_dict` returns a
+flat, numpy-only mapping (hyperparameters plus per-parameter slot arrays)
+and :meth:`Optimizer.load_state_dict` restores it bit-identically, so a
+resumed run continues exactly where an uninterrupted one would be.
 """
 
 from __future__ import annotations
@@ -15,6 +20,11 @@ __all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm"]
 
 class Optimizer:
     """Base optimiser holding a fixed list of parameters."""
+
+    #: Scalar attributes captured by :meth:`state_dict` (subclasses extend).
+    _hyper_keys: tuple = ("lr",)
+    #: Per-parameter slot lists captured by :meth:`state_dict`.
+    _slot_keys: tuple = ()
 
     def __init__(self, parameters):
         self.parameters: list[Parameter] = list(parameters)
@@ -30,9 +40,61 @@ class Optimizer:
         """Apply one update using the accumulated gradients."""
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Full optimiser state: hyperparameters and slot-array copies.
+
+        The layout is flat and numpy-friendly so checkpoints can pack it
+        into ``.npz`` archives: ``{"hyper": {...}, "slots": {name:
+        [array, ...]}}`` with one slot array per managed parameter, in
+        parameter order.
+        """
+        return {
+            "hyper": {key: getattr(self, key) for key in self._hyper_keys},
+            "slots": {key: [np.array(slot, copy=True)
+                            for slot in getattr(self, "_" + key)]
+                      for key in self._slot_keys},
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state produced by :meth:`state_dict` (in-place)."""
+        hyper = state.get("hyper", {})
+        missing = set(self._hyper_keys) - set(hyper)
+        if missing:
+            raise KeyError(f"optimizer state missing hyperparameters: "
+                           f"{sorted(missing)}")
+        slots = state.get("slots", {})
+        missing = set(self._slot_keys) - set(slots)
+        if missing:
+            raise KeyError(f"optimizer state missing slots: "
+                           f"{sorted(missing)}")
+        for key in self._slot_keys:
+            values = slots[key]
+            if len(values) != len(self.parameters):
+                raise ValueError(
+                    f"slot {key!r} has {len(values)} entries for "
+                    f"{len(self.parameters)} parameters")
+            own = getattr(self, "_" + key)
+            for index, (slot, value) in enumerate(zip(own, values)):
+                value = np.asarray(value, dtype=np.float64)
+                if value.shape != slot.shape:
+                    raise ValueError(
+                        f"slot {key!r}[{index}] shape mismatch: "
+                        f"{value.shape} vs {slot.shape}")
+                slot[...] = value
+        for key in self._hyper_keys:
+            value = hyper[key]
+            current = getattr(self, key)
+            setattr(self, key, type(current)(value))
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
+
+    _hyper_keys = ("lr", "momentum")
+    _slot_keys = ("velocity",)
 
     def __init__(self, parameters, lr: float = 0.01, momentum: float = 0.0):
         super().__init__(parameters)
@@ -55,6 +117,10 @@ class SGD(Optimizer):
 
 class Adam(Optimizer):
     """Adam optimiser (Kingma & Ba, 2015)."""
+
+    _hyper_keys = ("lr", "beta1", "beta2", "eps", "weight_decay",
+                   "_step_count")
+    _slot_keys = ("m", "v")
 
     def __init__(self, parameters, lr: float = 0.01, betas: tuple = (0.9, 0.999),
                  eps: float = 1e-8, weight_decay: float = 0.0):
@@ -87,10 +153,23 @@ class Adam(Optimizer):
             param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
 
-def clip_grad_norm(parameters, max_norm: float) -> float:
-    """Clip gradients in-place to a global L2 norm; returns the norm."""
+def clip_grad_norm(parameters, max_norm: float,
+                   error_if_nonfinite: bool = False) -> float:
+    """Clip gradients in-place to a global L2 norm; returns the norm.
+
+    A NaN/inf gradient makes the global norm non-finite, in which case no
+    scaling is applied (a NaN scale would poison every gradient): the
+    non-finite norm is returned for the caller's divergence guard to act
+    on, or raised immediately with ``error_if_nonfinite=True``.
+    """
     parameters = [p for p in parameters if p.grad is not None]
     total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in parameters)))
+    if not np.isfinite(total):
+        if error_if_nonfinite:
+            raise ValueError(
+                f"non-finite gradient norm ({total}); gradients contain "
+                f"NaN or inf")
+        return total
     if total > max_norm and total > 0.0:
         scale = max_norm / total
         for param in parameters:

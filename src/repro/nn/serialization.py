@@ -1,30 +1,150 @@
 """Saving and loading model parameters.
 
 Checkpoints are plain ``.npz`` archives of the module's flat state dict,
-so they can be inspected with numpy alone.
+so they can be inspected with numpy alone.  Writes are atomic
+(write-to-temporary + :func:`os.replace`) so a crash mid-save never
+leaves a truncated archive where a good one used to be.
+
+Beyond module weights, this module provides the pack/unpack primitives
+the training runtime builds its checkpoint format on: nested
+dicts/lists of arrays and scalars are flattened to ``.npz`` keys with
+``/``-joined paths (:func:`flatten_state` / :func:`unflatten_state`) and
+written atomically (:func:`atomic_savez`).
 """
 
 from __future__ import annotations
 
 import os
+import tempfile
 
 import numpy as np
 
 from .module import Module
 
-__all__ = ["save_module", "load_module"]
+__all__ = [
+    "save_module",
+    "load_module",
+    "normalize_npz_path",
+    "atomic_savez",
+    "flatten_state",
+    "unflatten_state",
+]
+
+#: Marker suffix for list entries so unflattening can tell a list from a
+#: dict with integer-looking keys.
+_LIST_KEY = "#"
 
 
-def save_module(module: Module, path: str | os.PathLike) -> None:
-    """Write ``module``'s parameters to ``path`` as an ``.npz`` archive."""
+def normalize_npz_path(path: str | os.PathLike) -> str:
+    """Return ``path`` with the ``.npz`` suffix ``np.savez`` enforces.
+
+    ``np.savez("ckpt", ...)`` silently writes ``ckpt.npz``; loading the
+    same un-suffixed path then raises ``FileNotFoundError``.  Both the
+    save and load paths normalise through this helper so either spelling
+    round-trips.
+    """
+    path = os.fspath(path)
+    if not path.endswith(".npz"):
+        path += ".npz"
+    return path
+
+
+def atomic_savez(path: str | os.PathLike, **arrays) -> str:
+    """``np.savez`` to ``path`` atomically; returns the final path.
+
+    The archive is written to a temporary file in the destination
+    directory and moved into place with :func:`os.replace`, so readers
+    only ever see a complete archive.
+    """
+    path = normalize_npz_path(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(suffix=".npz", prefix=".tmp-",
+                                    dir=directory)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle, **arrays)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+    return path
+
+
+def save_module(module: Module, path: str | os.PathLike) -> str:
+    """Write ``module``'s parameters to ``path`` as an ``.npz`` archive.
+
+    Returns the path actually written (with the ``.npz`` suffix).
+    """
     state = module.state_dict()
     # npz keys cannot contain '/', dots are fine.
-    np.savez(path, **{name: value for name, value in state.items()})
+    return atomic_savez(path, **{name: value for name, value in state.items()})
 
 
 def load_module(module: Module, path: str | os.PathLike) -> Module:
     """Load parameters saved by :func:`save_module` into ``module``."""
-    with np.load(path) as archive:
+    with np.load(normalize_npz_path(path)) as archive:
         state = {name: archive[name] for name in archive.files}
     module.load_state_dict(state)
     return module
+
+
+# ----------------------------------------------------------------------
+# Nested-state flattening (checkpoint format plumbing)
+# ----------------------------------------------------------------------
+def flatten_state(tree: dict, prefix: str = "") -> dict:
+    """Flatten nested dicts/lists of arrays+scalars to ``{path: array}``.
+
+    Paths join levels with ``/`` (legal in npz keys); list items get a
+    trailing ``#<index>`` component.  Scalars (int/float/bool/str) become
+    0-d arrays and are restored to python scalars by
+    :func:`unflatten_state`.
+    """
+    flat: dict = {}
+    for key, value in tree.items():
+        key = str(key)
+        if "/" in key or key.startswith(_LIST_KEY):
+            raise ValueError(f"illegal state key {key!r}")
+        _flatten_value(flat, f"{prefix}{key}", value)
+    return flat
+
+
+def _flatten_value(flat: dict, path: str, value) -> None:
+    if isinstance(value, dict):
+        flat.update(flatten_state(value, path + "/"))
+    elif isinstance(value, (list, tuple)):
+        for index, item in enumerate(value):
+            _flatten_value(flat, f"{path}/{_LIST_KEY}{index}", item)
+    else:
+        flat[path] = np.asarray(value)
+
+
+def unflatten_state(flat: dict) -> dict:
+    """Invert :func:`flatten_state` back into nested dicts and lists."""
+    tree: dict = {}
+    for path in sorted(flat):
+        parts = path.split("/")
+        node = tree
+        for part in parts[:-1]:
+            node = node.setdefault(part, {})
+        node[parts[-1]] = _unpack_leaf(flat[path])
+    return _rebuild_lists(tree)
+
+
+def _unpack_leaf(value):
+    value = np.asarray(value)
+    if value.ndim == 0:
+        scalar = value.item()
+        return scalar
+    return value
+
+
+def _rebuild_lists(node):
+    if not isinstance(node, dict):
+        return node
+    rebuilt = {key: _rebuild_lists(value) for key, value in node.items()}
+    if rebuilt and all(key.startswith(_LIST_KEY) for key in rebuilt):
+        indexed = sorted(rebuilt.items(),
+                         key=lambda item: int(item[0][len(_LIST_KEY):]))
+        return [value for _, value in indexed]
+    return rebuilt

@@ -145,6 +145,40 @@ class Instrumentation:
         self.counters[name] = self.counters.get(name, 0) + increment
 
     # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Freeze current totals for a later :meth:`delta_since`."""
+        return {
+            "timers": {name: (stat.count, stat.total)
+                       for name, stat in self.timers.items()},
+            "counters": dict(self.counters),
+        }
+
+    def delta_since(self, snapshot: dict) -> dict:
+        """Timers/counters accumulated since ``snapshot`` was taken.
+
+        Lets a run (a training job, a bench driver) report only its own
+        share of the process-wide registry in its manifest.
+        """
+        timers = {}
+        for name, stat in self.timers.items():
+            count0, total0 = snapshot.get("timers", {}).get(name, (0, 0.0))
+            count = stat.count - count0
+            total = stat.total - total0
+            if count > 0:
+                timers[name] = {
+                    "count": count,
+                    "total_s": total,
+                    "mean_ms": total / count * 1000.0,
+                }
+        counters = {}
+        for name, value in self.counters.items():
+            delta = value - snapshot.get("counters", {}).get(name, 0)
+            if delta:
+                counters[name] = delta
+        return {"timers": dict(sorted(timers.items())),
+                "counters": dict(sorted(counters.items()))}
+
+    # ------------------------------------------------------------------
     def report(self) -> dict:
         """All timers and counters as a JSON-serialisable dict."""
         return {

@@ -1,0 +1,30 @@
+"""``repro.training`` — fault-tolerant training runtime.
+
+Checkpoint/resume, divergence guards and run manifests for the gradient
+trainers (see docs/TRAINING.md):
+
+* :class:`TrainerCheckpoint` / :class:`CheckpointManager` — versioned,
+  atomically-written ``.npz`` checkpoints with last-k + best retention.
+* :class:`DivergenceGuard` / :class:`GuardConfig` — non-finite loss and
+  gradient detection with rollback, lr backoff and early stopping;
+  :class:`TrainingDiverged` when the retry budget runs out.
+* :class:`RunManifest` — per-run metrics/provenance JSON written next to
+  the checkpoints and by the bench drivers.
+"""
+
+from .checkpoint import CHECKPOINT_VERSION, CheckpointManager, TrainerCheckpoint
+from .guards import DivergenceGuard, GuardConfig, NonFiniteSignal, TrainingDiverged
+from .manifest import MANIFEST_VERSION, RunManifest, write_json_atomic
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointManager",
+    "TrainerCheckpoint",
+    "DivergenceGuard",
+    "GuardConfig",
+    "NonFiniteSignal",
+    "TrainingDiverged",
+    "MANIFEST_VERSION",
+    "RunManifest",
+    "write_json_atomic",
+]

@@ -1,0 +1,151 @@
+"""Divergence guards for gradient training.
+
+Truncated-BPTT on recurrent GNNs can blow up: one overflowing window
+poisons the Adam moments and every parameter after it is NaN.  The
+guard turns that from a silent run-killer into a recoverable event:
+
+* :meth:`DivergenceGuard.check_loss` / :meth:`check_grad_norm` raise
+  :class:`NonFiniteSignal` *before* the poisoned update reaches the
+  optimiser;
+* the trainer catches the signal, rolls the model/optimiser/RNG back to
+  the last recovery point, and asks :meth:`DivergenceGuard.on_nonfinite`
+  for the backed-off learning rate;
+* retries are bounded — consecutive failures past ``max_retries`` raise
+  :class:`TrainingDiverged` (the run is preserved up to its last good
+  checkpoint);
+* :meth:`should_stop_early` implements patience-based early stopping on
+  a stagnant best loss.
+
+Every intervention is recorded in :attr:`DivergenceGuard.events` with
+enough context (epoch, kind, offending value, learning rates, retry
+count) for the run manifest to tell the story afterwards.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["GuardConfig", "DivergenceGuard", "NonFiniteSignal",
+           "TrainingDiverged"]
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """Knobs for divergence handling and early stopping."""
+
+    #: Consecutive non-finite epochs tolerated before giving up.
+    max_retries: int = 3
+    #: Learning-rate multiplier applied on each rollback.
+    lr_backoff: float = 0.5
+    #: Floor below which the learning rate is never backed off.
+    min_lr: float = 1e-8
+    #: Epochs without best-loss improvement before stopping (None = off).
+    patience: int | None = None
+    #: Improvement smaller than this does not reset patience.
+    min_delta: float = 0.0
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if not 0.0 < self.lr_backoff < 1.0:
+            raise ValueError("lr_backoff must be in (0, 1)")
+        if self.patience is not None and self.patience < 1:
+            raise ValueError("patience must be positive when set")
+
+
+class NonFiniteSignal(RuntimeError):
+    """A window produced a non-finite loss or gradient norm."""
+
+    def __init__(self, kind: str, value: float, epoch: int):
+        super().__init__(f"non-finite {kind} ({value}) in epoch {epoch}")
+        self.kind = kind
+        self.value = float(value)
+        self.epoch = int(epoch)
+
+
+class TrainingDiverged(RuntimeError):
+    """Retries exhausted: training cannot make finite progress."""
+
+
+class DivergenceGuard:
+    """Stateful watchdog owned by one training run."""
+
+    def __init__(self, config: GuardConfig | None = None):
+        self.config = config or GuardConfig()
+        self.events: list[dict] = []
+        self.retries = 0
+
+    # ------------------------------------------------------------------
+    # Detection (called inside the window loop)
+    # ------------------------------------------------------------------
+    def check_loss(self, value: float, epoch: int) -> None:
+        """Raise :class:`NonFiniteSignal` on a NaN/inf window loss."""
+        if not math.isfinite(value):
+            raise NonFiniteSignal("loss", value, epoch)
+
+    def check_grad_norm(self, norm: float, epoch: int) -> None:
+        """Raise :class:`NonFiniteSignal` on a NaN/inf gradient norm."""
+        if not math.isfinite(norm):
+            raise NonFiniteSignal("grad_norm", norm, epoch)
+
+    # ------------------------------------------------------------------
+    # Reaction (called from the epoch loop)
+    # ------------------------------------------------------------------
+    def on_nonfinite(self, signal: NonFiniteSignal, lr: float) -> float:
+        """Record the event and return the backed-off learning rate.
+
+        Raises :class:`TrainingDiverged` once ``max_retries`` consecutive
+        failures accumulate.
+        """
+        self.retries += 1
+        new_lr = max(self.config.min_lr, lr * self.config.lr_backoff)
+        self.events.append({
+            "type": f"nonfinite_{signal.kind}",
+            "epoch": signal.epoch,
+            "value": repr(signal.value),
+            "action": "rollback",
+            "lr_before": lr,
+            "lr_after": new_lr,
+            "retry": self.retries,
+        })
+        if self.retries > self.config.max_retries:
+            self.events.append({
+                "type": "diverged",
+                "epoch": signal.epoch,
+                "retries": self.retries,
+            })
+            exhausted = TrainingDiverged(
+                f"{self.retries} consecutive non-finite epochs "
+                f"(last: {signal}); model rolled back to last good state")
+            exhausted.lr_after = new_lr
+            raise exhausted from signal
+        return new_lr
+
+    def on_epoch_success(self) -> None:
+        """An epoch completed with finite losses; reset the retry budget."""
+        self.retries = 0
+
+    # ------------------------------------------------------------------
+    # Early stopping
+    # ------------------------------------------------------------------
+    def should_stop_early(self, epoch: int, best_epoch: int) -> bool:
+        """Whether best loss has stagnated past the configured patience.
+
+        ``epoch`` is the number of completed epochs; ``best_epoch`` the
+        (0-based) epoch that last improved the best loss by more than
+        ``min_delta``.
+        """
+        patience = self.config.patience
+        if patience is None or best_epoch < 0:
+            return False
+        stalled = epoch - 1 - best_epoch
+        if stalled >= patience:
+            self.events.append({
+                "type": "early_stop",
+                "epoch": epoch,
+                "best_epoch": best_epoch,
+                "stalled_epochs": stalled,
+            })
+            return True
+        return False

@@ -1,0 +1,81 @@
+"""Per-run training manifests.
+
+Every checkpointed training run writes a ``manifest.json`` next to its
+checkpoints describing what happened: configuration, per-epoch losses,
+wall-clock, PERF counters accumulated by the run, guard events
+(rollbacks, lr backoffs, early stops) and the checkpoint files on disk.
+The bench drivers write the same document per fitted method, so a whole
+table regeneration leaves an auditable trail of its training jobs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass, field
+
+__all__ = ["MANIFEST_VERSION", "RunManifest", "write_json_atomic"]
+
+MANIFEST_VERSION = 1
+
+
+def write_json_atomic(path: str | os.PathLike, payload: dict) -> str:
+    """Write ``payload`` as JSON via write-to-temporary + rename."""
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(suffix=".json", prefix=".tmp-",
+                                    dir=directory)
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+    return path
+
+
+@dataclass
+class RunManifest:
+    """JSON-serialisable record of one training (or fitting) run."""
+
+    kind: str                       # e.g. "poshgnn-train", "bench-fit"
+    config: dict = field(default_factory=dict)
+    history: list = field(default_factory=list)
+    best_loss: float | None = None
+    best_epoch: int | None = None
+    epochs_run: int = 0
+    wall_clock_s: float = 0.0
+    perf: dict = field(default_factory=dict)
+    guard_events: list = field(default_factory=list)
+    checkpoints: list = field(default_factory=list)
+    resumed_from: str | None = None
+    early_stopped: bool = False
+    extra: dict = field(default_factory=dict)
+    version: int = MANIFEST_VERSION
+
+    def to_dict(self) -> dict:
+        """Plain-dict view suitable for ``json.dump``."""
+        return asdict(self)
+
+    def write(self, path: str | os.PathLike) -> str:
+        """Atomically write this manifest as JSON; returns the path."""
+        return write_json_atomic(path, self.to_dict())
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "RunManifest":
+        """Read a manifest written by :meth:`write` (version-checked)."""
+        with open(path) as handle:
+            payload = json.load(handle)
+        version = payload.get("version", 0)
+        if version > MANIFEST_VERSION:
+            raise ValueError(
+                f"manifest {path!r} has version {version}; this build "
+                f"reads up to {MANIFEST_VERSION}")
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{key: value for key, value in payload.items()
+                      if key in known})

@@ -1,0 +1,128 @@
+"""Serialization path-normalisation, atomic writes, nested-state
+flattening, and the non-finite clip_grad_norm regression."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MLP,
+    Parameter,
+    atomic_savez,
+    clip_grad_norm,
+    flatten_state,
+    load_module,
+    normalize_npz_path,
+    save_module,
+    unflatten_state,
+)
+
+
+# ----------------------------------------------------------------------
+# save_module/load_module suffix round-trip (regression: np.savez appends
+# ".npz", so un-suffixed paths used to FileNotFoundError on load)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("save_name,load_name", [
+    ("ckpt", "ckpt"),
+    ("ckpt", "ckpt.npz"),
+    ("ckpt.npz", "ckpt"),
+    ("ckpt.npz", "ckpt.npz"),
+])
+def test_save_load_module_suffix_variants(tmp_path, save_name, load_name):
+    source = MLP([3, 4, 2], np.random.default_rng(0))
+    target = MLP([3, 4, 2], np.random.default_rng(1))
+    save_module(source, tmp_path / save_name)
+    load_module(target, tmp_path / load_name)
+    for (name_a, param_a), (name_b, param_b) in zip(
+            source.named_parameters(), target.named_parameters()):
+        assert name_a == name_b
+        assert np.array_equal(param_a.data, param_b.data)
+    # exactly one file, with the suffix, on disk
+    assert sorted(os.listdir(tmp_path)) == ["ckpt.npz"]
+
+
+def test_normalize_npz_path():
+    assert normalize_npz_path("a/b") == "a/b.npz"
+    assert normalize_npz_path("a/b.npz") == "a/b.npz"
+
+
+def test_save_module_returns_final_path(tmp_path):
+    module = MLP([2, 2], np.random.default_rng(0))
+    path = save_module(module, tmp_path / "weights")
+    assert path.endswith("weights.npz")
+    assert os.path.exists(path)
+
+
+# ----------------------------------------------------------------------
+# atomic_savez
+# ----------------------------------------------------------------------
+def test_atomic_savez_overwrites_without_temporaries(tmp_path):
+    path = tmp_path / "data"
+    atomic_savez(path, x=np.zeros(2))
+    atomic_savez(path, x=np.ones(2))
+    with np.load(str(path) + ".npz") as archive:
+        assert np.array_equal(archive["x"], np.ones(2))
+    assert sorted(os.listdir(tmp_path)) == ["data.npz"]
+
+
+# ----------------------------------------------------------------------
+# flatten/unflatten nested optimiser-style state
+# ----------------------------------------------------------------------
+def test_flatten_unflatten_round_trip():
+    tree = {
+        "hyper": {"lr": 0.01, "steps": 7},
+        "slots": {"m": [np.zeros((2, 3)), np.ones(4)],
+                  "v": [np.full((2, 3), 2.0), np.full(4, 3.0)]},
+    }
+    rebuilt = unflatten_state(flatten_state(tree))
+    assert rebuilt["hyper"]["lr"] == 0.01
+    assert rebuilt["hyper"]["steps"] == 7
+    for key in ("m", "v"):
+        assert isinstance(rebuilt["slots"][key], list)
+        for left, right in zip(tree["slots"][key], rebuilt["slots"][key]):
+            assert np.array_equal(left, right)
+
+
+def test_flatten_rejects_illegal_keys():
+    with pytest.raises(ValueError):
+        flatten_state({"a/b": 1.0})
+    with pytest.raises(ValueError):
+        flatten_state({"#0": 1.0})
+
+
+def test_flatten_long_lists_order_preserved():
+    tree = {"values": [np.full(1, float(i)) for i in range(12)]}
+    rebuilt = unflatten_state(flatten_state(tree))
+    assert [float(v[0]) for v in rebuilt["values"]] == [
+        float(i) for i in range(12)]
+
+
+# ----------------------------------------------------------------------
+# clip_grad_norm non-finite regression: a NaN norm used to compare False
+# against max_norm and silently pass the poisoned gradients through.
+# ----------------------------------------------------------------------
+def test_clip_grad_norm_returns_nonfinite_norm_untouched():
+    good = Parameter(np.zeros(3))
+    good.grad = np.full(3, 1e3)
+    bad = Parameter(np.zeros(2))
+    bad.grad = np.array([np.nan, 1.0])
+    norm = clip_grad_norm([good, bad], max_norm=1.0)
+    assert not np.isfinite(norm)
+    # no poisoned rescale was applied to the healthy gradient
+    assert np.array_equal(good.grad, np.full(3, 1e3))
+
+
+def test_clip_grad_norm_error_if_nonfinite():
+    param = Parameter(np.zeros(2))
+    param.grad = np.array([np.inf, 0.0])
+    with pytest.raises(ValueError, match="non-finite"):
+        clip_grad_norm([param], max_norm=1.0, error_if_nonfinite=True)
+
+
+def test_clip_grad_norm_finite_unchanged_behaviour():
+    param = Parameter(np.zeros(4))
+    param.grad = np.full(4, 2.0)
+    norm = clip_grad_norm([param], max_norm=1.0)
+    assert norm == pytest.approx(4.0)
+    assert np.linalg.norm(param.grad) == pytest.approx(1.0)

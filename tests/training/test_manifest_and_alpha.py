@@ -1,0 +1,122 @@
+"""Run manifests, PERF wiring, and the alpha re-resolution fix."""
+
+import json
+import os
+
+import pytest
+
+from repro.core import AfterProblem
+from repro.datasets import RoomConfig, generate_timik_room
+from repro.models import POSHGNN
+from repro.models.poshgnn.loss import resolve_alpha
+from repro.models.poshgnn.trainer import POSHGNNTrainer
+from repro.runtime import PERF
+
+
+def test_trainer_keeps_configured_alpha(problems):
+    """`train()` must not overwrite the configured "auto" sentinel."""
+    model = POSHGNN(seed=0)
+    trainer = POSHGNNTrainer(model, epochs=1, alpha="auto")
+    trainer.train(problems)
+    assert trainer.alpha == "auto"
+    assert trainer.resolved_alpha == pytest.approx(
+        resolve_alpha(problems, "auto"))
+
+
+def test_second_train_re_resolves_alpha(problems):
+    """A second train() on denser problems re-resolves "auto" freshly."""
+    dense_room = generate_timik_room(
+        RoomConfig(num_users=40, num_steps=6), seed=1)
+    dense_problems = [AfterProblem(dense_room, t) for t in (0, 1)]
+    expected_first = resolve_alpha(problems, "auto")
+    expected_second = resolve_alpha(dense_problems, "auto")
+    assert expected_first != pytest.approx(expected_second)
+
+    model = POSHGNN(seed=0)
+    trainer = POSHGNNTrainer(model, epochs=1, alpha="auto")
+    trainer.train(problems)
+    assert trainer.resolved_alpha == pytest.approx(expected_first)
+    trainer.train(dense_problems)
+    assert trainer.resolved_alpha == pytest.approx(expected_second)
+    assert trainer.alpha == "auto"
+
+
+def test_explicit_alpha_passes_through(problems):
+    model = POSHGNN(seed=0)
+    trainer = POSHGNNTrainer(model, epochs=1, alpha=0.125)
+    result = trainer.train(problems)
+    assert trainer.resolved_alpha == 0.125
+    assert result["alpha"] == 0.125
+
+
+def test_manifest_written_next_to_checkpoints(problems, tmp_path):
+    PERF.reset().enable()
+    try:
+        model = POSHGNN(seed=0)
+        trainer = POSHGNNTrainer(model, epochs=3,
+                                 checkpoint_dir=str(tmp_path),
+                                 save_every=2)
+        result = trainer.train(problems)
+    finally:
+        PERF.disable()
+
+    manifest_path = os.path.join(str(tmp_path), "manifest.json")
+    assert result["manifest_path"] == manifest_path
+    with open(manifest_path) as handle:
+        manifest = json.load(handle)
+    assert manifest["kind"] == "poshgnn-train"
+    assert manifest["history"] == result["loss"]
+    assert manifest["epochs_run"] == 3
+    assert manifest["wall_clock_s"] > 0.0
+    assert manifest["config"]["bptt_window"] == 10
+    assert manifest["config"]["resolved_alpha"] == pytest.approx(
+        result["alpha"])
+    # PERF deltas for this run were captured
+    assert manifest["perf"]["counters"]["train.epochs"] == 3
+    assert manifest["perf"]["counters"]["train.checkpoints"] >= 2
+    assert "train.epoch" in manifest["perf"]["timers"]
+    # checkpoints listed in the manifest exist on disk
+    assert manifest["checkpoints"]
+    for path in manifest["checkpoints"]:
+        assert os.path.exists(path)
+
+
+def test_fit_run_dir_layout(problems, tmp_path):
+    """POSHGNN.fit(run_dir=...) leaves per-attempt runs + a fit manifest."""
+    model = POSHGNN(seed=0)
+    history = model.fit(problems, restarts=1, epochs=2,
+                        run_dir=str(tmp_path))
+    assert history["run_dir"] == str(tmp_path)
+    with open(tmp_path / "fit_manifest.json") as handle:
+        fit_manifest = json.load(handle)
+    attempts = fit_manifest["extra"]["attempts"]
+    assert len(attempts) == len(model.preserve_grid)
+    assert fit_manifest["extra"]["selected"] in {
+        attempt["label"] for attempt in attempts}
+    for attempt in attempts:
+        attempt_dir = tmp_path / attempt["label"]
+        assert (attempt_dir / "manifest.json").exists()
+        assert (attempt_dir / "best.npz").exists()
+
+
+def test_bench_driver_writes_manifests(tmp_path, problems, room):
+    """_fit_and_evaluate surfaces per-method manifests under run_dir."""
+    from repro.bench.config import BenchConfig
+    from repro.bench.experiments import _fit_and_evaluate
+
+    config = BenchConfig(num_users=room.num_users, num_steps=6,
+                         train_targets=2, eval_targets=2, train_epochs=1,
+                         run_dir=str(tmp_path))
+    results = _fit_and_evaluate(
+        room, {"POSHGNN": POSHGNN(seed=0)},
+        train_targets=[0, 1], eval_targets=[2, 3],
+        config=config, alpha0=0.5)
+    assert "POSHGNN" in results
+    with open(tmp_path / "bench_poshgnn.json") as handle:
+        manifest = json.load(handle)
+    assert manifest["kind"] == "bench-fit"
+    assert manifest["config"]["method"] == "POSHGNN"
+    assert manifest["wall_clock_s"] > 0.0
+    assert manifest["history"]
+    # the fit itself trained under the run_dir with checkpoints
+    assert (tmp_path / "poshgnn" / "fit_manifest.json").exists()

@@ -1,0 +1,156 @@
+"""Resume must be bit-identical to an uninterrupted run."""
+
+import numpy as np
+import pytest
+
+from repro.models import POSHGNN
+from repro.models.poshgnn.trainer import POSHGNNTrainer
+from repro.nn import MLP, Adam, SGD
+from repro.training import TrainerCheckpoint
+
+
+def _assert_states_equal(left: dict, right: dict):
+    assert set(left) == set(right)
+    for name in left:
+        assert np.array_equal(left[name], right[name]), name
+
+
+def _train_straight(problems, epochs, **kwargs):
+    model = POSHGNN(seed=0)
+    trainer = POSHGNNTrainer(model, epochs=epochs, **kwargs)
+    result = trainer.train(problems)
+    return model, trainer, result
+
+
+@pytest.mark.parametrize("shuffle", [False, True])
+def test_interrupt_resume_bit_identical(problems, tmp_path, shuffle):
+    """5 epochs + checkpoint + 5 resumed == 10 epochs straight."""
+    directory = tmp_path / ("shuffled" if shuffle else "ordered")
+    model_a, trainer_a, result_a = _train_straight(
+        problems, 10, shuffle=shuffle, seed=3)
+
+    # Interrupted run: only 5 epochs, checkpointing every epoch.
+    model_b = POSHGNN(seed=0)
+    POSHGNNTrainer(model_b, epochs=5, shuffle=shuffle, seed=3,
+                   checkpoint_dir=str(directory)).train(problems)
+
+    # Fresh process stand-in: new model, new trainer, resumed mid-run.
+    model_c = POSHGNN(seed=0)
+    trainer_c = POSHGNNTrainer(model_c, epochs=10, shuffle=shuffle, seed=3)
+    result_c = trainer_c.train(problems, resume_from=str(directory))
+
+    assert result_a["loss"] == result_c["loss"]
+    assert result_a["best_loss"] == result_c["best_loss"]
+    _assert_states_equal(model_a.state_dict(), model_c.state_dict())
+
+    optim_a = trainer_a.optimizer.state_dict()
+    optim_c = trainer_c.optimizer.state_dict()
+    assert optim_a["hyper"] == optim_c["hyper"]
+    for key in ("m", "v"):
+        for left, right in zip(optim_a["slots"][key],
+                               optim_c["slots"][key]):
+            assert np.array_equal(left, right)
+
+
+def test_resume_from_explicit_file(problems, tmp_path):
+    model_a, _, result_a = _train_straight(problems, 6)
+
+    model_b = POSHGNN(seed=0)
+    POSHGNNTrainer(model_b, epochs=4, checkpoint_dir=str(tmp_path),
+                   save_every=2).train(problems)
+
+    model_c = POSHGNN(seed=0)
+    result_c = POSHGNNTrainer(model_c, epochs=6).train(
+        problems, resume_from=str(tmp_path / "ckpt-00004.npz"))
+    assert result_a["loss"] == result_c["loss"]
+    _assert_states_equal(model_a.state_dict(), model_c.state_dict())
+
+
+def test_resume_past_end_is_noop(problems, tmp_path):
+    model_a = POSHGNN(seed=0)
+    result_a = POSHGNNTrainer(model_a, epochs=4,
+                              checkpoint_dir=str(tmp_path)).train(problems)
+
+    model_b = POSHGNN(seed=0)
+    result_b = POSHGNNTrainer(model_b, epochs=4).train(
+        problems, resume_from=str(tmp_path))
+    assert result_b["epochs_run"] == 0
+    assert result_b["loss"] == result_a["loss"]
+    _assert_states_equal(model_a.state_dict(), model_b.state_dict())
+
+
+def test_checkpoint_preserves_best_model_selection(problems, tmp_path):
+    """The best-epoch snapshot survives interruption, not just the last."""
+    model_a, _, result_a = _train_straight(problems, 8)
+    model_b = POSHGNN(seed=0)
+    POSHGNNTrainer(model_b, epochs=7, checkpoint_dir=str(tmp_path),
+                   keep_last=2).train(problems)
+    model_c = POSHGNN(seed=0)
+    result_c = POSHGNNTrainer(model_c, epochs=8).train(
+        problems, resume_from=str(tmp_path))
+    assert result_a["best_loss"] == result_c["best_loss"]
+    _assert_states_equal(model_a.state_dict(), model_c.state_dict())
+
+
+# ----------------------------------------------------------------------
+# Optimizer round-trips through the checkpoint format
+# ----------------------------------------------------------------------
+def _step(optimizer, model, rng):
+    for param in model.parameters():
+        param.grad = rng.normal(size=param.data.shape)
+    optimizer.step()
+
+
+@pytest.mark.parametrize("factory", [
+    lambda params: Adam(params, lr=0.05, betas=(0.8, 0.95),
+                        weight_decay=1e-3),
+    lambda params: SGD(params, lr=0.05, momentum=0.9),
+])
+def test_optimizer_checkpoint_round_trip_resumes_identically(
+        tmp_path, factory):
+    """Continue-after-restore matches an uninterrupted optimiser."""
+    rng_a = np.random.default_rng(1)
+    model_a = MLP([3, 4, 2], np.random.default_rng(0))
+    optim_a = factory(model_a.parameters())
+    for _ in range(4):
+        _step(optim_a, model_a, rng_a)
+
+    # Same trajectory but checkpointed + restored after step 2.
+    rng_b = np.random.default_rng(1)
+    model_b = MLP([3, 4, 2], np.random.default_rng(0))
+    optim_b = factory(model_b.parameters())
+    for _ in range(2):
+        _step(optim_b, model_b, rng_b)
+    checkpoint = TrainerCheckpoint(model_state=model_b.state_dict(),
+                                   optimizer_state=optim_b.state_dict(),
+                                   epoch=2)
+    path = checkpoint.save(tmp_path / "optim")
+
+    model_c = MLP([3, 4, 2], np.random.default_rng(5))  # different init
+    optim_c = factory(model_c.parameters())
+    loaded = TrainerCheckpoint.load(path)
+    model_c.load_state_dict(loaded.model_state)
+    optim_c.load_state_dict(loaded.optimizer_state)
+    # burn the first two rounds of draws so run C sees rounds 3-4
+    rng_c = np.random.default_rng(1)
+    for _ in range(2):
+        for param in model_c.parameters():
+            rng_c.normal(size=param.data.shape)
+    for _ in range(2):
+        _step(optim_c, model_c, rng_c)
+
+    for left, right in zip(model_a.parameters(), model_c.parameters()):
+        assert np.array_equal(left.data, right.data)
+
+
+def test_optimizer_state_validation():
+    model = MLP([2, 2], np.random.default_rng(0))
+    optimizer = Adam(model.parameters())
+    state = optimizer.state_dict()
+    with pytest.raises(KeyError):
+        optimizer.load_state_dict({"hyper": {}, "slots": state["slots"]})
+    bad = {"hyper": state["hyper"],
+           "slots": {"m": state["slots"]["m"][:1],
+                     "v": state["slots"]["v"]}}
+    with pytest.raises(ValueError, match="entries"):
+        optimizer.load_state_dict(bad)
