@@ -16,6 +16,16 @@ or as a benchmark test::
 Scaled to N = 128 users, T = 50 steps, 16 targets by default (the
 engine's acceptance scenario); ``REPRO_PERF_TINY=1`` shrinks it to a
 seconds-long CI smoke run that skips the speedup floor.
+
+Alongside the timings the harness records an *instrumented* pass with
+the full observability stack enabled and writes ``trace.json`` — a
+Chrome/Perfetto ``trace_event`` file with the nested per-episode phases
+(frame build, recommend, visibility, utility) — openable directly at
+``ui.perfetto.dev``.  Gate a fresh run against the committed baseline
+with::
+
+    python -m repro.obs gate --baseline BENCH_eval_engine.json \
+        --current /tmp/new.json
 """
 
 from __future__ import annotations
@@ -33,11 +43,12 @@ from repro.bench import BenchConfig
 from repro.core.evaluation import evaluate_targets
 from repro.datasets import generate_room
 from repro.models import NearestRecommender
-from repro.runtime import PERF
+from repro.obs import PERF, TRACER, write_chrome_trace
 
 __all__ = ["EngineBenchConfig", "run_eval_engine_bench", "main"]
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_eval_engine.json"
+TRACE_PATH = Path(__file__).resolve().parent.parent / "trace.json"
 
 #: Acceptance floor: the batched engine must beat the reference engine
 #: by at least this factor at the default scale.
@@ -107,8 +118,13 @@ def _time_engine(config: EngineBenchConfig, targets, *, engine: str,
     return best, result
 
 
-def run_eval_engine_bench(config: EngineBenchConfig | None = None) -> dict:
-    """Run all engine variants and return the comparison record."""
+def run_eval_engine_bench(config: EngineBenchConfig | None = None,
+                          trace_path=None) -> dict:
+    """Run all engine variants and return the comparison record.
+
+    ``trace_path`` (optional) names a file for the Perfetto trace of
+    the instrumented pass — nested spans down to per-episode phases.
+    """
     config = config or EngineBenchConfig.from_env()
     rng = np.random.default_rng(config.seed + 1)
     targets = sorted(int(t) for t in
@@ -119,13 +135,18 @@ def run_eval_engine_bench(config: EngineBenchConfig | None = None) -> dict:
                                           engine="reference")
     batched_s, batched = _time_engine(config, targets, engine="batched")
 
-    # Separate untimed pass for the instrumentation breakdown, so the
-    # timed batched run pays no collection overhead.
+    # Separate untimed pass for the instrumentation breakdown and the
+    # trace, so the timed batched run pays no collection overhead.
     PERF.reset().enable()
+    TRACER.reset().enable()
     evaluate_targets(_fresh_room(config), NearestRecommender(), targets,
                      max_render=config.max_render, engine="batched")
     instrumentation = PERF.report()
     PERF.disable()
+    TRACER.disable()
+    if trace_path is not None:
+        write_chrome_trace(trace_path, TRACER.spans,
+                           process_labels={os.getpid(): "eval-engine"})
 
     warm_s, warm = _time_engine(config, targets, engine="batched",
                                 warm=True)
@@ -155,7 +176,7 @@ def run_eval_engine_bench(config: EngineBenchConfig | None = None) -> dict:
 
 def main() -> dict:
     config = EngineBenchConfig.from_env()
-    record = run_eval_engine_bench(config)
+    record = run_eval_engine_bench(config, trace_path=TRACE_PATH)
     RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
 
     timings = record["timings_s"]
@@ -169,6 +190,7 @@ def main() -> dict:
           f"{record['speedup']['warm_vs_reference']:9.2f}x")
     print(f"  metrics identical: {record['metrics_identical']}")
     print(f"wrote {RESULT_PATH}")
+    print(f"wrote {TRACE_PATH} (open at ui.perfetto.dev)")
 
     if not record["metrics_identical"]:
         raise SystemExit("engines disagree on metrics")

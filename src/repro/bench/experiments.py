@@ -16,7 +16,7 @@ import numpy as np
 from ..core import AfterProblem, evaluate_targets, paired_p_value
 from ..datasets import RoomConfig, generate_room, hubs_config
 from ..models.poshgnn.loss import resolve_alpha
-from ..runtime import PERF
+from ..obs import PERF
 from ..training import RunManifest
 from .config import TRAIN_ALPHA0, BenchConfig
 from .methods import ablation_methods, study_methods, table_methods
@@ -84,7 +84,7 @@ def _fit_and_evaluate(room, methods: dict, train_targets, eval_targets,
             fit_kwargs["run_dir"] = os.path.join(config.run_dir, slug)
         perf_mark = PERF.snapshot()
         started = time.perf_counter()
-        with PERF.scope(f"bench.fit.{name}"):
+        with PERF.scope(f"bench.fit.{name}", {"method": name}):
             history = method.fit(train_problems, **fit_kwargs)
         fit_seconds = time.perf_counter() - started
         if config.run_dir:
@@ -102,11 +102,16 @@ def _fit_and_evaluate(room, methods: dict, train_targets, eval_targets,
                 epochs_run=len(losses),
                 wall_clock_s=fit_seconds,
                 perf=PERF.delta_since(perf_mark),
+                metrics={metric: histogram.as_dict() for metric, histogram
+                         in sorted(PERF.histograms.items())
+                         if metric.startswith("train.")},
                 guard_events=list((history or {}).get("guard_events", []))
                 if isinstance(history, dict) else [],
+                events_path=(history or {}).get("events_path")
+                if isinstance(history, dict) else None,
                 extra={"run_dir": fit_kwargs.get("run_dir")},
             ).write(os.path.join(config.run_dir, f"bench_{slug}.json"))
-        with PERF.scope(f"bench.evaluate.{name}"):
+        with PERF.scope(f"bench.evaluate.{name}", {"method": name}):
             results[name] = evaluate_targets(room, method, eval_targets,
                                              beta=config.beta,
                                              max_render=config.max_render,

@@ -31,7 +31,7 @@ import numpy as np
 
 from ..geometry import occlusion_rate, resolve_episode_visibility, \
     resolve_visibility
-from ..runtime import PERF
+from ..obs import DEFAULT_VALUE_BOUNDARIES, PERF, TRACER
 from .problem import AfterProblem
 from .recommender import Recommender
 from .utility import StepUtility, UtilityAccumulator, step_utility
@@ -98,6 +98,21 @@ class AggregateResult:
         return np.array([e.after_utility for e in self.episodes])
 
 
+def _observe_step(util: StepUtility, beta: float, recommend_s: float,
+                  graph) -> None:
+    """Fold one step's metrics into the PERF histograms.
+
+    Only called while collection is enabled; the adjacency reduction is
+    the price of the occlusion-graph-size distribution, so it must stay
+    off the disabled path.
+    """
+    PERF.observe("eval.recommend_s", recommend_s)
+    PERF.observe("eval.step_after_utility", util.after(beta),
+                 boundaries=DEFAULT_VALUE_BOUNDARIES)
+    PERF.observe("eval.graph_edges", int(graph.adjacency.sum()) // 2,
+                 boundaries=DEFAULT_VALUE_BOUNDARIES)
+
+
 def evaluate_episode(problem: AfterProblem,
                      recommender: Recommender) -> EpisodeResult:
     """Run ``recommender`` over the full episode of ``problem``.
@@ -113,26 +128,32 @@ def evaluate_episode(problem: AfterProblem,
                                dtype=bool)
     visible_previous = np.zeros(problem.num_users, dtype=bool)
 
-    for t in range(problem.horizon + 1):
-        with PERF.scope("eval.frame"):
-            frame = problem.frame_at(t)
-        start = time.perf_counter()
-        rendered = np.asarray(recommender.recommend(frame), dtype=bool)
-        elapsed = time.perf_counter() - start
-        runtimes.append(elapsed)
-        PERF.add_time("eval.recommend", elapsed)
+    with PERF.scope("eval.episode", {"target": int(problem.target),
+                                     "engine": "reference"}):
+        for t in range(problem.horizon + 1):
+            with PERF.scope("eval.frame"):
+                frame = problem.frame_at(t)
+            start = time.perf_counter()
+            rendered = np.asarray(recommender.recommend(frame), dtype=bool)
+            elapsed = time.perf_counter() - start
+            runtimes.append(elapsed)
+            PERF.add_time("eval.recommend", elapsed)
 
-        rendered = rendered.copy()
-        rendered[problem.target] = False
-        recommendations[t] = rendered
+            rendered = rendered.copy()
+            rendered[problem.target] = False
+            recommendations[t] = rendered
 
-        with PERF.scope("eval.visibility"):
-            visible = resolve_visibility(frame.graph, rendered, frame.forced)
-            occlusion_rates.append(occlusion_rate(frame.graph, rendered,
-                                                  frame.forced))
-        accumulator.add(step_utility(frame.preference, frame.presence,
-                                     visible, visible_previous, rendered))
-        visible_previous = visible
+            with PERF.scope("eval.visibility"):
+                visible = resolve_visibility(frame.graph, rendered,
+                                             frame.forced)
+                occlusion_rates.append(occlusion_rate(frame.graph, rendered,
+                                                      frame.forced))
+            util = step_utility(frame.preference, frame.presence,
+                                visible, visible_previous, rendered)
+            accumulator.add(util)
+            visible_previous = visible
+            if PERF.enabled:
+                _observe_step(util, problem.beta, elapsed, frame.graph)
     PERF.count("eval.steps", problem.horizon + 1)
     PERF.count("eval.episodes")
 
@@ -166,28 +187,41 @@ def _evaluate_episode_fast(problem: AfterProblem,
                                dtype=bool)
     visible_previous = np.zeros(problem.num_users, dtype=bool)
 
-    with PERF.scope("eval.episode_frames"):
-        frames = problem.episode_frames()
+    with PERF.scope("eval.episode", {"target": int(problem.target),
+                                     "engine": "batched"}):
+        with PERF.scope("eval.episode_frames"):
+            frames = problem.episode_frames()
 
-    with PERF.scope("eval.recommend"):
-        for frame in frames:
-            start = time.perf_counter()
-            rendered = recommender.recommend(frame)
-            runtimes.append(time.perf_counter() - start)
-            recommendations[frame.t] = rendered
-    recommendations[:, problem.target] = False
+        with PERF.scope("eval.recommend"):
+            for frame in frames:
+                start = time.perf_counter()
+                rendered = recommender.recommend(frame)
+                elapsed = time.perf_counter() - start
+                runtimes.append(elapsed)
+                recommendations[frame.t] = rendered
+                if PERF.enabled:
+                    PERF.observe("eval.recommend_s", elapsed)
+        recommendations[:, problem.target] = False
 
-    with PERF.scope("eval.visibility"):
-        visibility, occlusion_rates = resolve_episode_visibility(
-            problem.dog.snapshots, recommendations, frames[0].forced)
+        with PERF.scope("eval.visibility"):
+            visibility, occlusion_rates = resolve_episode_visibility(
+                problem.dog.snapshots, recommendations, frames[0].forced)
 
-    with PERF.scope("eval.utility"):
-        for frame in frames:
-            visible = visibility[frame.t]
-            accumulator.add(step_utility(frame.preference, frame.presence,
-                                         visible, visible_previous,
-                                         recommendations[frame.t]))
-            visible_previous = visible
+        with PERF.scope("eval.utility"):
+            for frame in frames:
+                visible = visibility[frame.t]
+                util = step_utility(frame.preference, frame.presence,
+                                    visible, visible_previous,
+                                    recommendations[frame.t])
+                accumulator.add(util)
+                visible_previous = visible
+                if PERF.enabled:
+                    PERF.observe("eval.step_after_utility",
+                                 util.after(problem.beta),
+                                 boundaries=DEFAULT_VALUE_BOUNDARIES)
+                    PERF.observe("eval.graph_edges",
+                                 int(frame.graph.adjacency.sum()) // 2,
+                                 boundaries=DEFAULT_VALUE_BOUNDARIES)
     PERF.count("eval.steps", problem.horizon + 1)
     PERF.count("eval.episodes")
 
@@ -218,10 +252,22 @@ def _evaluate_target(room, recommender: Recommender, target: int,
     return evaluate_episode(problem, recommender)
 
 
-def _parallel_worker(chunk) -> list:
+def _parallel_worker(chunk) -> tuple:
+    """Evaluate one chunk in a forked worker.
+
+    The worker inherits the parent's PERF registry and tracer through
+    copy-on-write; both are reset on entry so the returned instrumentation
+    state and spans cover exactly this chunk's episodes, ready to be
+    merged back into the parent (they would otherwise die with the
+    fork).  Span timestamps stay on the parent timeline: the tracer
+    epoch is inherited and ``perf_counter`` is system-wide monotonic.
+    """
     room, recommender, beta, max_render, engine = _PARALLEL_PAYLOAD
-    return [_evaluate_target(room, recommender, int(target), beta,
-                             max_render, engine) for target in chunk]
+    PERF.reset()
+    TRACER.spans.clear()
+    episodes = [_evaluate_target(room, recommender, int(target), beta,
+                                 max_render, engine) for target in chunk]
+    return episodes, PERF.export_state(), TRACER.drain()
 
 
 def _evaluate_parallel(room, recommender: Recommender, targets: list,
@@ -234,6 +280,11 @@ def _evaluate_parallel(room, recommender: Recommender, targets: list,
     episode list — and therefore the aggregate — matches a serial run
     exactly.  Forking inherits the room caches and the recommender via
     copy-on-write instead of pickling them.
+
+    Each worker ships its PERF state and trace spans back alongside its
+    episodes; they are merged into the parent registry in chunk order,
+    so the merged timer/counter totals are deterministic and equal the
+    counts of a serial run.
     """
     import multiprocessing
 
@@ -252,7 +303,13 @@ def _evaluate_parallel(room, recommender: Recommender, targets: list,
             per_chunk = pool.map(_parallel_worker, chunks)
     finally:
         _PARALLEL_PAYLOAD = None
-    return [episode for chunk in per_chunk for episode in chunk]
+    episodes = []
+    for chunk_episodes, perf_state, spans in per_chunk:
+        episodes.extend(chunk_episodes)
+        PERF.merge_snapshot(perf_state)
+        TRACER.adopt(spans)
+    PERF.count("eval.parallel_chunks", len(per_chunk))
+    return episodes
 
 
 def evaluate_targets(room, recommender: Recommender, targets,
@@ -282,16 +339,19 @@ def evaluate_targets(room, recommender: Recommender, targets,
     if engine not in _ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected {_ENGINES}")
     targets = [int(target) for target in np.asarray(targets).ravel()]
-    if engine == "batched":
-        with PERF.scope("eval.prebuild_dogs"):
-            room.prebuild_dogs(targets)
+    with PERF.scope("eval.targets", {"engine": engine,
+                                     "num_targets": len(targets),
+                                     "workers": workers or 1}):
+        if engine == "batched":
+            with PERF.scope("eval.prebuild_dogs"):
+                room.prebuild_dogs(targets)
 
-    episodes = None
-    if workers is not None and workers > 1 and len(targets) > 1:
-        episodes = _evaluate_parallel(room, recommender, targets, beta,
-                                      max_render, engine, workers)
-    if episodes is None:
-        episodes = [_evaluate_target(room, recommender, target, beta,
-                                     max_render, engine)
-                    for target in targets]
+        episodes = None
+        if workers is not None and workers > 1 and len(targets) > 1:
+            episodes = _evaluate_parallel(room, recommender, targets, beta,
+                                          max_render, engine, workers)
+        if episodes is None:
+            episodes = [_evaluate_target(room, recommender, target, beta,
+                                         max_render, engine)
+                        for target in targets]
     return AggregateResult.from_episodes(episodes)

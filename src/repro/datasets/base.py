@@ -17,6 +17,7 @@ import numpy as np
 from ..crowd import Trajectory
 from ..geometry import BatchedOcclusionConverter, DEFAULT_BODY_RADIUS, \
     DynamicOcclusionGraph, OcclusionGraphConverter, Room
+from ..obs import EVENTS, PERF
 from ..social import SocialGraph
 
 __all__ = ["RoomConfig", "ConferenceRoom", "assign_interfaces"]
@@ -131,10 +132,18 @@ class ConferenceRoom:
 
     def dog(self, target: int) -> DynamicOcclusionGraph:
         """Dynamic occlusion graph for ``target`` (cached per target)."""
-        if target not in self._dog_cache:
-            self._dog_cache[target] = DynamicOcclusionGraph.from_trajectory(
-                self.trajectory.positions, target, self.converter())
-        return self._dog_cache[target]
+        cached = self._dog_cache.get(target)
+        if cached is None:
+            PERF.count("cache.dog.miss")
+            EVENTS.emit("cache.dog.miss", room=self.name,
+                        target=int(target))
+            with PERF.scope("room.build_dog"):
+                cached = DynamicOcclusionGraph.from_trajectory(
+                    self.trajectory.positions, target, self.converter())
+            self._dog_cache[target] = cached
+        else:
+            PERF.count("cache.dog.hit")
+        return cached
 
     def prebuild_dogs(self, targets) -> None:
         """Fill the DOG cache for many targets in one batched pass.
@@ -148,9 +157,14 @@ class ConferenceRoom:
                                   - set(self._dog_cache)), dtype=np.int64)
         if missing.size == 0:
             return
-        batched = BatchedOcclusionConverter.like(self.converter())
-        self._dog_cache.update(
-            batched.convert_dogs(self.trajectory.positions, missing))
+        PERF.count("cache.dog.prebuilt", int(missing.size))
+        EVENTS.emit("cache.prebuild", room=self.name,
+                    targets=int(missing.size))
+        with PERF.scope("room.prebuild_dogs",
+                        {"room": self.name, "targets": int(missing.size)}):
+            batched = BatchedOcclusionConverter.like(self.converter())
+            self._dog_cache.update(
+                batched.convert_dogs(self.trajectory.positions, missing))
 
     def episode_frames(self, target: int) -> list:
         """All frames of ``target``'s episode, built once and cached.
@@ -163,15 +177,21 @@ class ConferenceRoom:
         """
         frames = self._frame_cache.get(target)
         if frames is None:
+            PERF.count("cache.frames.miss")
+            EVENTS.emit("cache.frames.miss", room=self.name,
+                        target=int(target))
             from ..core.scene import build_episode_frames
-            frames = build_episode_frames(
-                target=target,
-                graphs=self.dog(target).snapshots,
-                preference_row=self.preference[target],
-                presence_row=self.presence[target],
-                interfaces_mr=self.interfaces_mr,
-            )
+            with PERF.scope("room.build_frames"):
+                frames = build_episode_frames(
+                    target=target,
+                    graphs=self.dog(target).snapshots,
+                    preference_row=self.preference[target],
+                    presence_row=self.presence[target],
+                    interfaces_mr=self.interfaces_mr,
+                )
             self._frame_cache[target] = frames
+        else:
+            PERF.count("cache.frames.hit")
         return frames
 
     def clear_caches(self) -> None:

@@ -35,6 +35,7 @@ import math
 
 import numpy as np
 
+from ..obs import PERF
 from .arcs import angular_separation
 from .dog import DynamicOcclusionGraph
 from .occlusion import (
@@ -213,9 +214,11 @@ class BatchedOcclusionConverter:
         if targets.size and (targets.min() < 0 or targets.max() >= count):
             raise IndexError(
                 f"targets out of range for {count} users: {targets}")
-        distances, centers, half_widths = self._polar_fields(floor, targets)
-        return self._frame_graphs(targets, distances, centers, half_widths,
-                                  facing)
+        with PERF.scope("geom.convert_frame"):
+            distances, centers, half_widths = self._polar_fields(floor,
+                                                                 targets)
+            return self._frame_graphs(targets, distances, centers,
+                                      half_widths, facing)
 
     def _adjacency_chunk(self, centers: np.ndarray, half_widths: np.ndarray,
                          out: np.ndarray) -> None:
@@ -267,14 +270,16 @@ class BatchedOcclusionConverter:
                          // max(1, 2 * targets.size * count))
         for start in range(0, horizon, step_chunk):
             stop = min(start + step_chunk, horizon)
-            distances, centers, half_widths = self._polar_fields(
-                trajectory[start:stop], targets)
-            for t in range(stop - start):
-                frame = self._frame_graphs(targets, distances[t],
-                                           centers[t], half_widths[t],
-                                           facing=0.0)
-                for slot in range(targets.size):
-                    per_target[slot].append(frame.graph(slot))
+            with PERF.scope("geom.polar_fields"):
+                distances, centers, half_widths = self._polar_fields(
+                    trajectory[start:stop], targets)
+            with PERF.scope("geom.frame_graphs"):
+                for t in range(stop - start):
+                    frame = self._frame_graphs(targets, distances[t],
+                                               centers[t], half_widths[t],
+                                               facing=0.0)
+                    for slot in range(targets.size):
+                        per_target[slot].append(frame.graph(slot))
         return per_target
 
     def convert_dogs(self, trajectory: np.ndarray, targets) -> dict:

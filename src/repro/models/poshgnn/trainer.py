@@ -25,13 +25,14 @@ The loop is fault tolerant (see docs/TRAINING.md):
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
 
 from ...core.problem import AfterProblem
 from ...nn import Adam, clip_grad_norm
-from ...runtime import PERF
+from ...obs import DEFAULT_VALUE_BOUNDARIES, PERF, EventLog
 from ...training import (
     CheckpointManager,
     DivergenceGuard,
@@ -139,11 +140,14 @@ class POSHGNNTrainer:
             raise ValueError("no training problems")
 
         manager = None
+        event_log = None
         if self.checkpoint_dir is not None:
             manager = CheckpointManager(self.checkpoint_dir,
                                         save_every=self.save_every,
                                         keep_last=self.keep_last)
-        guard = DivergenceGuard(self.guard_config)
+            event_log = EventLog(os.path.join(manager.directory,
+                                              "events.jsonl"))
+        guard = DivergenceGuard(self.guard_config, sink=event_log)
 
         history: list[float] = []
         best_loss = np.inf
@@ -176,107 +180,130 @@ class POSHGNNTrainer:
         early_stopped = False
         best_dirty = False
         start_epoch = epoch
+        if event_log is not None:
+            event_log.emit("train.start", epoch=epoch, epochs=self.epochs,
+                           resumed_from=resumed_path)
 
-        while epoch < self.epochs:
-            order = list(range(len(problems)))
-            if self.shuffle:
-                self.rng.shuffle(order)
-            try:
-                epoch_loss = 0.0
-                with PERF.scope("train.epoch"):
-                    for index in order:
-                        epoch_loss += self._train_episode(
-                            problems[index], guard, epoch)
-            except NonFiniteSignal as signal:
-                # Roll back before deciding whether to retry, so even a
-                # TrainingDiverged escape leaves the model at its last
-                # good state instead of the poisoned one.  The live lr is
-                # read before the restore (the recovery snapshot holds
-                # the pre-backoff lr) so consecutive backoffs compound.
-                current_lr = self.optimizer.lr
-                self._restore(recovery)
-                PERF.count(f"train.guard.{signal.kind}")
+        try:
+            while epoch < self.epochs:
+                order = list(range(len(problems)))
+                if self.shuffle:
+                    self.rng.shuffle(order)
                 try:
-                    self.optimizer.lr = guard.on_nonfinite(
-                        signal, current_lr)
-                except TrainingDiverged as exhausted:
-                    self.optimizer.lr = exhausted.lr_after
-                    raise
-                PERF.count("train.guard.rollbacks")
+                    epoch_loss = 0.0
+                    with PERF.scope("train.epoch", {"epoch": epoch}):
+                        for index in order:
+                            epoch_loss += self._train_episode(
+                                problems[index], guard, epoch)
+                except NonFiniteSignal as signal:
+                    # Roll back before deciding whether to retry, so even
+                    # a TrainingDiverged escape leaves the model at its
+                    # last good state instead of the poisoned one.  The
+                    # live lr is read before the restore (the recovery
+                    # snapshot holds the pre-backoff lr) so consecutive
+                    # backoffs compound.
+                    current_lr = self.optimizer.lr
+                    self._restore(recovery)
+                    PERF.count(f"train.guard.{signal.kind}")
+                    try:
+                        self.optimizer.lr = guard.on_nonfinite(
+                            signal, current_lr)
+                    except TrainingDiverged as exhausted:
+                        self.optimizer.lr = exhausted.lr_after
+                        raise
+                    PERF.count("train.guard.rollbacks")
+                    if self.verbose:
+                        print(f"epoch {epoch + 1}: non-finite "
+                              f"{signal.kind}, rolled back, "
+                              f"lr -> {self.optimizer.lr:.2e}")
+                    continue
+
+                PERF.count("train.epochs")
+                guard.on_epoch_success()
+                history.append(epoch_loss / len(problems))
+                epoch += 1
+                PERF.observe("train.epoch_loss", history[-1],
+                             boundaries=DEFAULT_VALUE_BOUNDARIES)
+                if history[-1] < best_loss:
+                    best_loss = history[-1]
+                    best_state = self.model.state_dict()
+                    best_dirty = True
+                if history[-1] < patience_ref - self.guard_config.min_delta:
+                    patience_ref = history[-1]
+                    best_epoch = epoch - 1
                 if self.verbose:
-                    print(f"epoch {epoch + 1}: non-finite {signal.kind}, "
-                          f"rolled back, lr -> {self.optimizer.lr:.2e}")
-                continue
+                    print(f"epoch {epoch}/{self.epochs}: "
+                          f"loss {history[-1]:.4f}")
 
-            PERF.count("train.epochs")
-            guard.on_epoch_success()
-            history.append(epoch_loss / len(problems))
-            epoch += 1
-            if history[-1] < best_loss:
-                best_loss = history[-1]
-                best_state = self.model.state_dict()
-                best_dirty = True
-            if history[-1] < patience_ref - self.guard_config.min_delta:
-                patience_ref = history[-1]
-                best_epoch = epoch - 1
-            if self.verbose:
-                print(f"epoch {epoch}/{self.epochs}: "
-                      f"loss {history[-1]:.4f}")
+                recovery = self._capture()
+                if manager is not None and \
+                        manager.due(epoch, final=epoch == self.epochs):
+                    checkpoint = TrainerCheckpoint(
+                        model_state=recovery["model"],
+                        optimizer_state=recovery["optim"],
+                        epoch=epoch,
+                        history=list(history),
+                        best_loss=float(best_loss),
+                        best_state=best_state,
+                        alpha=self.resolved_alpha,
+                        rng_state=recovery["rng"],
+                        guard_events=list(guard.events),
+                    )
+                    saved_path = manager.save(checkpoint,
+                                              is_best=best_dirty)
+                    event_log.emit("checkpoint.save", epoch=epoch,
+                                   path=saved_path, best=best_dirty)
+                    best_dirty = False
+                    PERF.count("train.checkpoints")
+                    self._write_manifest(manager, guard, history, best_loss,
+                                         best_epoch, epoch - start_epoch,
+                                         time.perf_counter() - started,
+                                         perf_mark, resumed_path,
+                                         early_stopped=False,
+                                         event_log=event_log)
+                if self.on_epoch_end is not None:
+                    self.on_epoch_end(self, epoch, history)
+                if guard.should_stop_early(epoch, best_epoch):
+                    early_stopped = True
+                    PERF.count("train.early_stops")
+                    break
 
-            recovery = self._capture()
-            if manager is not None and manager.due(epoch,
-                                                   final=epoch == self.epochs):
-                checkpoint = TrainerCheckpoint(
-                    model_state=recovery["model"],
-                    optimizer_state=recovery["optim"],
-                    epoch=epoch,
-                    history=list(history),
-                    best_loss=float(best_loss),
-                    best_state=best_state,
-                    alpha=self.resolved_alpha,
-                    rng_state=recovery["rng"],
-                    guard_events=list(guard.events),
-                )
-                manager.save(checkpoint, is_best=best_dirty)
-                best_dirty = False
-                PERF.count("train.checkpoints")
-                self._write_manifest(manager, guard, history, best_loss,
-                                     best_epoch, epoch - start_epoch,
-                                     time.perf_counter() - started,
-                                     perf_mark, resumed_path,
-                                     early_stopped=False)
-            if self.on_epoch_end is not None:
-                self.on_epoch_end(self, epoch, history)
-            if guard.should_stop_early(epoch, best_epoch):
-                early_stopped = True
-                PERF.count("train.early_stops")
-                break
+            if best_state is not None:
+                self.model.load_state_dict(best_state)
 
-        if best_state is not None:
-            self.model.load_state_dict(best_state)
-
-        wall_clock = time.perf_counter() - started
-        result = {
-            "loss": history,
-            "best_loss": best_loss,
-            "alpha": self.resolved_alpha,
-            "epochs_run": epoch - start_epoch,
-            "early_stopped": early_stopped,
-            "guard_events": list(guard.events),
-            "wall_clock_s": wall_clock,
-        }
-        if manager is not None:
-            result["manifest_path"] = self._write_manifest(
-                manager, guard, history, best_loss, best_epoch,
-                epoch - start_epoch, wall_clock, perf_mark, resumed_path,
-                early_stopped)
-            result["checkpoint_dir"] = manager.directory
-        return result
+            wall_clock = time.perf_counter() - started
+            result = {
+                "loss": history,
+                "best_loss": best_loss,
+                "alpha": self.resolved_alpha,
+                "epochs_run": epoch - start_epoch,
+                "early_stopped": early_stopped,
+                "guard_events": list(guard.events),
+                "wall_clock_s": wall_clock,
+            }
+            if manager is not None:
+                event_log.emit("train.complete",
+                               epochs_run=epoch - start_epoch,
+                               early_stopped=early_stopped,
+                               wall_clock_s=wall_clock)
+                result["manifest_path"] = self._write_manifest(
+                    manager, guard, history, best_loss, best_epoch,
+                    epoch - start_epoch, wall_clock, perf_mark,
+                    resumed_path, early_stopped, event_log=event_log)
+                result["checkpoint_dir"] = manager.directory
+                result["events_path"] = event_log.path
+            return result
+        finally:
+            if event_log is not None:
+                event_log.close()
 
     # ------------------------------------------------------------------
     def _write_manifest(self, manager, guard, history, best_loss,
                         best_epoch, epochs_run, wall_clock, perf_mark,
-                        resumed_path, early_stopped) -> str:
+                        resumed_path, early_stopped, event_log=None) -> str:
+        metrics = {name: histogram.as_dict()
+                   for name, histogram in sorted(PERF.histograms.items())
+                   if name.startswith("train.")}
         manifest = RunManifest(
             kind="poshgnn-train",
             config={
@@ -305,7 +332,11 @@ class POSHGNNTrainer:
             epochs_run=epochs_run,
             wall_clock_s=wall_clock,
             perf=PERF.delta_since(perf_mark),
+            metrics=metrics,
             guard_events=list(guard.events),
+            events_path=event_log.path if event_log is not None else None,
+            events_summary=event_log.summary()
+            if event_log is not None else {},
             checkpoints=[path for _, path in manager.epoch_checkpoints()],
             resumed_from=resumed_path,
             early_stopped=early_stopped,
@@ -348,10 +379,15 @@ class POSHGNNTrainer:
                 window_value = window_loss.item()
                 guard.check_loss(window_value, epoch)
                 self.optimizer.zero_grad()
-                window_loss.backward()
+                with PERF.scope("train.backward"):
+                    window_loss.backward()
                 norm = clip_grad_norm(self.model.parameters(),
                                       self.grad_clip)
                 guard.check_grad_norm(norm, epoch)
+                PERF.observe("train.grad_norm", norm,
+                             boundaries=DEFAULT_VALUE_BOUNDARIES)
+                PERF.observe("train.window_loss", window_value,
+                             boundaries=DEFAULT_VALUE_BOUNDARIES)
                 self.optimizer.step()
                 total_loss += window_value
                 window_loss = None

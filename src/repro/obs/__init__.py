@@ -1,0 +1,76 @@
+"""``repro.obs`` — end-to-end tracing, metrics and run events.
+
+The observability subsystem behind every hot path in the repo (see
+docs/OBSERVABILITY.md):
+
+* :data:`PERF` / :class:`Instrumentation` — flat wall-clock timers,
+  event counters and fixed-boundary :class:`Histogram` metrics with
+  p50/p90/p99 estimates, mergeable across forked workers
+  (:meth:`Instrumentation.merge_snapshot`).
+* :data:`TRACER` / :class:`Tracer` — hierarchical, thread- and
+  fork-aware spans exportable to Chrome/Perfetto ``trace_event`` JSON
+  (:func:`write_chrome_trace`) and text call trees
+  (:func:`span_tree_report`).
+* :data:`EVENTS` / :class:`EventLog` — schema-versioned JSONL run
+  events (guard rollbacks, checkpoint saves, cache misses) summarised
+  by :class:`~repro.training.RunManifest`.
+* :func:`compare_benchmarks` / :class:`GateReport` — the
+  bench-regression gate behind ``python -m repro.obs gate``.
+
+Everything is disabled by default and near-free when disabled, so the
+instrumentation stays permanently wired into the evaluation engine, the
+POSHGNN trainer, the geometry cache layers and the bench drivers.
+``repro.runtime`` remains as a compatibility shim re-exporting
+:data:`PERF`.
+"""
+
+from .events import EVENT_SCHEMA_VERSION, EVENTS, EventLog, read_events
+from .gate import (
+    DEFAULT_MIN_TIME,
+    DEFAULT_THRESHOLD,
+    GateReport,
+    TimerComparison,
+    compare_benchmarks,
+    load_bench_timings,
+)
+from .instrumentation import (
+    DEFAULT_LATENCY_BOUNDARIES,
+    DEFAULT_VALUE_BOUNDARIES,
+    PERF,
+    Histogram,
+    Instrumentation,
+    TimerStat,
+)
+from .perfetto import (
+    load_chrome_trace,
+    span_tree_report,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from .trace import TRACER, SpanRecord, Tracer
+
+__all__ = [
+    "PERF",
+    "Instrumentation",
+    "TimerStat",
+    "Histogram",
+    "DEFAULT_LATENCY_BOUNDARIES",
+    "DEFAULT_VALUE_BOUNDARIES",
+    "TRACER",
+    "Tracer",
+    "SpanRecord",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "load_chrome_trace",
+    "span_tree_report",
+    "EVENTS",
+    "EventLog",
+    "read_events",
+    "EVENT_SCHEMA_VERSION",
+    "GateReport",
+    "TimerComparison",
+    "compare_benchmarks",
+    "load_bench_timings",
+    "DEFAULT_THRESHOLD",
+    "DEFAULT_MIN_TIME",
+]

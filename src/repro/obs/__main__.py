@@ -1,0 +1,118 @@
+"""Command-line observability tools.
+
+Render text reports from trace/metric files and gate benchmark runs
+against a committed baseline::
+
+    python -m repro.obs gate --baseline BENCH_eval_engine.json \\
+        --current /tmp/new.json [--threshold 0.25] [--report-only]
+    python -m repro.obs trace trace.json
+    python -m repro.obs metrics BENCH_eval_engine.json
+
+``gate`` exits nonzero when any compared timer slowed down by more than
+the threshold (``--report-only`` always exits zero, for informational
+CI jobs).  ``trace`` prints the aggregated span call tree of a Perfetto
+trace; ``metrics`` prints the timers/counters/histograms of a
+``PERF.report()`` document or a bench record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .gate import DEFAULT_MIN_TIME, DEFAULT_THRESHOLD, compare_benchmarks
+from .perfetto import load_chrome_trace, span_tree_report
+
+
+def _cmd_gate(args) -> int:
+    timers = [name.strip() for name in args.timers.split(",")
+              if name.strip()] if args.timers else None
+    report = compare_benchmarks(args.baseline, args.current,
+                                threshold=args.threshold, timers=timers,
+                                min_time=args.min_time)
+    print(report.render())
+    if args.report_only:
+        return 0
+    return 0 if report.ok else 1
+
+
+def _cmd_trace(args) -> int:
+    spans = load_chrome_trace(args.trace)
+    print(span_tree_report(spans))
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    with open(args.metrics) as handle:
+        document = json.load(handle)
+    if "instrumentation" in document:
+        document = document["instrumentation"]
+    timers = document.get("timers", {})
+    counters = document.get("counters", {})
+    histograms = document.get("histograms", {})
+    if not (timers or counters or histograms):
+        print("no metrics found", file=sys.stderr)
+        return 1
+    for name, stat in sorted(timers.items()):
+        print(f"{name:36s} {stat['count']:8d} calls "
+              f"{stat['total_s'] * 1000.0:12.2f} ms total "
+              f"{stat['mean_ms']:10.4f} ms/call")
+    for name, value in sorted(counters.items()):
+        print(f"{name:36s} {value:8d}")
+    for name, stat in sorted(histograms.items()):
+        print(f"{name:36s} {stat['count']:8d} obs      "
+              f"p50={stat['p50']:.4g} p90={stat['p90']:.4g} "
+              f"p99={stat['p99']:.4g}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.obs`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="trace/metric reports and the bench-regression gate")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    gate = commands.add_parser(
+        "gate", help="compare a benchmark run against a baseline")
+    gate.add_argument("--baseline", required=True,
+                      help="committed baseline JSON (e.g. "
+                           "BENCH_eval_engine.json)")
+    gate.add_argument("--current", required=True,
+                      help="freshly produced benchmark JSON")
+    gate.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                      help="tolerated fractional slowdown "
+                           "(default %(default)s = +25%%)")
+    gate.add_argument("--timers", default=None,
+                      help="comma-separated timer names to compare "
+                           "(default: all)")
+    gate.add_argument("--min-time", type=float, default=DEFAULT_MIN_TIME,
+                      help="skip baseline timers below this many seconds "
+                           "(default %(default)s)")
+    gate.add_argument("--report-only", action="store_true",
+                      help="print the comparison but always exit zero")
+    gate.set_defaults(run=_cmd_gate)
+
+    trace = commands.add_parser(
+        "trace", help="aggregated span tree of a Perfetto trace file")
+    trace.add_argument("trace", help="trace_event JSON written by the "
+                                     "tracer")
+    trace.set_defaults(run=_cmd_trace)
+
+    metrics = commands.add_parser(
+        "metrics", help="timers/counters/histograms of a metrics file")
+    metrics.add_argument("metrics", help="PERF.report() JSON or a bench "
+                                         "record")
+    metrics.set_defaults(run=_cmd_metrics)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.run(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

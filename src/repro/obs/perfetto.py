@@ -1,0 +1,144 @@
+"""Chrome/Perfetto ``trace_event`` export and text trace reports.
+
+Spans recorded by :class:`~repro.obs.trace.Tracer` serialise to the
+`trace_event JSON format <https://ui.perfetto.dev>`_: one complete event
+(``"ph": "X"``) per span with microsecond ``ts``/``dur`` on a
+``(pid, tid)`` track, plus ``"M"`` metadata events naming the tracks.
+Load the file at ``ui.perfetto.dev`` (or ``chrome://tracing``) to see
+the nested per-episode phases of a bench run.
+
+:func:`span_tree_report` renders the same spans as an indented,
+aggregated call tree for terminals (used by ``python -m repro.obs
+trace``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from .trace import SpanRecord
+
+__all__ = ["to_chrome_trace", "write_chrome_trace", "load_chrome_trace",
+           "span_tree_report"]
+
+
+def to_chrome_trace(spans, process_labels: dict | None = None) -> dict:
+    """Spans as a Chrome ``trace_event`` document (a JSON-able dict).
+
+    ``process_labels`` optionally maps pid -> display name; unlabeled
+    processes are named ``repro[<pid>]``.
+    """
+    process_labels = process_labels or {}
+    events = []
+    tracks = set()
+    for span in spans:
+        tracks.add((span.pid, span.tid))
+    for pid, tid in sorted(tracks):
+        if (pid, 0) not in tracks:
+            events.append({
+                "ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+                "args": {"name": process_labels.get(pid, f"repro[{pid}]")},
+            })
+            tracks.add((pid, 0))
+        events.append({
+            "ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+            "args": {"name": f"thread-{tid}"},
+        })
+    for span in spans:
+        event = {
+            "name": span.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": span.ts_us,
+            "dur": span.dur_us,
+            "pid": span.pid,
+            "tid": span.tid,
+        }
+        args = dict(span.attrs) if span.attrs else {}
+        args["depth"] = span.depth
+        event["args"] = args
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, spans,
+                       process_labels: dict | None = None) -> str:
+    """Write :func:`to_chrome_trace` JSON to ``path``; returns the path."""
+    path = os.fspath(path)
+    document = to_chrome_trace(spans, process_labels)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=1)
+        handle.write("\n")
+    return path
+
+
+def load_chrome_trace(path) -> list:
+    """Read a trace written by :func:`write_chrome_trace` back to spans.
+
+    Only complete (``"ph": "X"``) events are materialised; metadata
+    events contribute nothing to reports.
+    """
+    with open(path) as handle:
+        document = json.load(handle)
+    events = document["traceEvents"] if isinstance(document, dict) \
+        else document
+    spans = []
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        args = dict(event.get("args") or {})
+        depth = args.pop("depth", 0)
+        spans.append(SpanRecord(
+            name=event["name"], ts_us=float(event["ts"]),
+            dur_us=float(event.get("dur", 0.0)), pid=int(event["pid"]),
+            tid=int(event["tid"]), depth=int(depth),
+            attrs=args or None))
+    return spans
+
+
+def _aggregate_paths(spans) -> dict:
+    """Aggregate spans into (path tuple) -> [count, total_us]."""
+    aggregate: dict[tuple, list] = {}
+    by_track: dict[tuple, list] = {}
+    for span in spans:
+        by_track.setdefault((span.pid, span.tid), []).append(span)
+    for track_spans in by_track.values():
+        stack: list[str] = []
+        for span in sorted(track_spans, key=lambda s: (s.ts_us, -s.depth)):
+            del stack[span.depth:]
+            stack.append(span.name)
+            path = tuple(stack)
+            entry = aggregate.setdefault(path, [0, 0.0])
+            entry[0] += 1
+            entry[1] += span.dur_us
+    return aggregate
+
+
+def span_tree_report(spans) -> str:
+    """Indented text rendering of the aggregated span tree.
+
+    Sibling paths are ordered by total time, children indent under
+    their parents, and identical paths across threads/processes are
+    folded together — the classic profiler "call tree" view.
+    """
+    aggregate = _aggregate_paths(spans)
+    if not aggregate:
+        return "(no spans)"
+
+    def sort_key(path: tuple):
+        key = []
+        for depth in range(len(path)):
+            prefix = path[:depth + 1]
+            key.append(-aggregate.get(prefix, [0, 0.0])[1])
+            key.append(prefix[-1])
+        return key
+
+    lines = [f"{'span':48s} {'calls':>8s} {'total ms':>12s} "
+             f"{'mean ms':>10s}"]
+    for path in sorted(aggregate, key=sort_key):
+        count, total_us = aggregate[path]
+        label = "  " * (len(path) - 1) + path[-1]
+        lines.append(f"{label:48s} {count:8d} {total_us / 1000.0:12.3f} "
+                     f"{total_us / 1000.0 / count:10.4f}")
+    return "\n".join(lines)

@@ -1,8 +1,9 @@
-"""``repro.runtime`` — serving-path instrumentation.
+"""``repro.runtime`` — serving-path instrumentation (compat shim).
 
-Lightweight wall-clock timers and counters shared by the evaluation
-engine, the POSHGNN trainer and the bench drivers.  See
-:mod:`repro.runtime.instrumentation`.
+The runtime registry was subsumed by the :mod:`repro.obs` observability
+subsystem; ``repro.runtime.PERF`` *is* ``repro.obs.PERF`` so existing
+call sites and enable/report sequences keep working unchanged.  New
+code should import from :mod:`repro.obs`.
 """
 
 from .instrumentation import PERF, Instrumentation, TimerStat

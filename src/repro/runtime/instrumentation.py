@@ -1,203 +1,26 @@
-"""Lightweight timers and counters for the serving/evaluation hot path.
+"""Compatibility shim — the registry moved to :mod:`repro.obs`.
 
-The evaluation engine, the POSHGNN trainer and the bench drivers all
-report where their wall-clock goes through one shared
-:class:`Instrumentation` registry.  Scopes are context managers::
+The flat timer/counter registry that used to live here grew into the
+full observability subsystem (hierarchical spans, histogram metrics,
+cross-process merging); see :mod:`repro.obs.instrumentation`.  This
+module keeps the historical import path working::
 
-    from repro.runtime import PERF
+    from repro.runtime import PERF            # same object as repro.obs.PERF
+    from repro.runtime.instrumentation import Instrumentation, TimerStat
 
-    with PERF.scope("eval.recommend"):
-        rendered = recommender.recommend(frame)
-    PERF.count("eval.steps")
-
-Instrumentation is **disabled by default** and near-free when disabled
-(a single attribute check returns a shared no-op context manager), so it
-can stay wired into hot loops permanently.  Enable it around a region of
-interest::
-
-    PERF.enable()
-    ...workload...
-    print(PERF.report())
+New code should import from :mod:`repro.obs` directly.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+from ..obs.instrumentation import (     # noqa: F401  (re-exports)
+    _NULL_SCOPE,
+    _NullScope,
+    _Scope,
+    PERF,
+    Histogram,
+    Instrumentation,
+    TimerStat,
+)
 
 __all__ = ["TimerStat", "Instrumentation", "PERF"]
-
-
-@dataclass
-class TimerStat:
-    """Accumulated wall-clock statistics for one named scope."""
-
-    count: int = 0
-    total: float = 0.0
-    min: float = field(default=float("inf"))
-    max: float = 0.0
-
-    def add(self, seconds: float) -> None:
-        """Fold one measured duration into the statistics."""
-        self.count += 1
-        self.total += seconds
-        if seconds < self.min:
-            self.min = seconds
-        if seconds > self.max:
-            self.max = seconds
-
-    @property
-    def mean(self) -> float:
-        """Mean seconds per call (0 when never hit)."""
-        return self.total / self.count if self.count else 0.0
-
-    def as_dict(self) -> dict:
-        """JSON-friendly summary of this timer."""
-        return {
-            "count": self.count,
-            "total_s": self.total,
-            "mean_ms": self.mean * 1000.0,
-            "min_ms": (self.min if self.count else 0.0) * 1000.0,
-            "max_ms": self.max * 1000.0,
-        }
-
-
-class _NullScope:
-    """Shared no-op context manager returned while disabled."""
-
-    __slots__ = ()
-
-    def __enter__(self):
-        return self
-
-    def __exit__(self, exc_type, exc, tb):
-        return False
-
-
-_NULL_SCOPE = _NullScope()
-
-
-class _Scope:
-    """Context manager that adds its elapsed time to a timer."""
-
-    __slots__ = ("_stat", "_start")
-
-    def __init__(self, stat: TimerStat):
-        self._stat = stat
-
-    def __enter__(self):
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, exc_type, exc, tb):
-        self._stat.add(time.perf_counter() - self._start)
-        return False
-
-
-class Instrumentation:
-    """A named registry of wall-clock timers and event counters."""
-
-    def __init__(self, enabled: bool = False):
-        self.enabled = enabled
-        self.timers: dict[str, TimerStat] = {}
-        self.counters: dict[str, int] = {}
-
-    # ------------------------------------------------------------------
-    def enable(self) -> "Instrumentation":
-        """Turn collection on (returns self for chaining)."""
-        self.enabled = True
-        return self
-
-    def disable(self) -> "Instrumentation":
-        """Turn collection off; recorded statistics are kept."""
-        self.enabled = False
-        return self
-
-    def reset(self) -> "Instrumentation":
-        """Drop all recorded statistics."""
-        self.timers.clear()
-        self.counters.clear()
-        return self
-
-    # ------------------------------------------------------------------
-    def scope(self, name: str):
-        """Context manager timing the ``with`` block under ``name``."""
-        if not self.enabled:
-            return _NULL_SCOPE
-        stat = self.timers.get(name)
-        if stat is None:
-            stat = self.timers[name] = TimerStat()
-        return _Scope(stat)
-
-    def add_time(self, name: str, seconds: float) -> None:
-        """Record an externally measured duration under ``name``."""
-        if not self.enabled:
-            return
-        stat = self.timers.get(name)
-        if stat is None:
-            stat = self.timers[name] = TimerStat()
-        stat.add(seconds)
-
-    def count(self, name: str, increment: int = 1) -> None:
-        """Bump the counter ``name`` by ``increment``."""
-        if not self.enabled:
-            return
-        self.counters[name] = self.counters.get(name, 0) + increment
-
-    # ------------------------------------------------------------------
-    def snapshot(self) -> dict:
-        """Freeze current totals for a later :meth:`delta_since`."""
-        return {
-            "timers": {name: (stat.count, stat.total)
-                       for name, stat in self.timers.items()},
-            "counters": dict(self.counters),
-        }
-
-    def delta_since(self, snapshot: dict) -> dict:
-        """Timers/counters accumulated since ``snapshot`` was taken.
-
-        Lets a run (a training job, a bench driver) report only its own
-        share of the process-wide registry in its manifest.
-        """
-        timers = {}
-        for name, stat in self.timers.items():
-            count0, total0 = snapshot.get("timers", {}).get(name, (0, 0.0))
-            count = stat.count - count0
-            total = stat.total - total0
-            if count > 0:
-                timers[name] = {
-                    "count": count,
-                    "total_s": total,
-                    "mean_ms": total / count * 1000.0,
-                }
-        counters = {}
-        for name, value in self.counters.items():
-            delta = value - snapshot.get("counters", {}).get(name, 0)
-            if delta:
-                counters[name] = delta
-        return {"timers": dict(sorted(timers.items())),
-                "counters": dict(sorted(counters.items()))}
-
-    # ------------------------------------------------------------------
-    def report(self) -> dict:
-        """All timers and counters as a JSON-serialisable dict."""
-        return {
-            "timers": {name: stat.as_dict()
-                       for name, stat in sorted(self.timers.items())},
-            "counters": dict(sorted(self.counters.items())),
-        }
-
-    def summary(self) -> str:
-        """Human-readable one-line-per-entry summary."""
-        lines = []
-        for name, stat in sorted(self.timers.items()):
-            lines.append(f"{name:32s} {stat.count:7d} calls "
-                         f"{stat.total * 1000.0:10.2f} ms total "
-                         f"{stat.mean * 1e6:9.1f} us/call")
-        for name, value in sorted(self.counters.items()):
-            lines.append(f"{name:32s} {value:7d}")
-        return "\n".join(lines)
-
-
-#: Process-wide default registry, disabled until a caller enables it.
-PERF = Instrumentation(enabled=False)

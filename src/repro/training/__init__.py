@@ -14,7 +14,12 @@ trainers (see docs/TRAINING.md):
 
 from .checkpoint import CHECKPOINT_VERSION, CheckpointManager, TrainerCheckpoint
 from .guards import DivergenceGuard, GuardConfig, NonFiniteSignal, TrainingDiverged
-from .manifest import MANIFEST_VERSION, RunManifest, write_json_atomic
+from .manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    MANIFEST_VERSION,
+    RunManifest,
+    write_json_atomic,
+)
 
 __all__ = [
     "CHECKPOINT_VERSION",
@@ -24,6 +29,7 @@ __all__ = [
     "GuardConfig",
     "NonFiniteSignal",
     "TrainingDiverged",
+    "MANIFEST_SCHEMA_VERSION",
     "MANIFEST_VERSION",
     "RunManifest",
     "write_json_atomic",

@@ -18,7 +18,11 @@ guard turns that from a silent run-killer into a recoverable event:
 
 Every intervention is recorded in :attr:`DivergenceGuard.events` with
 enough context (epoch, kind, offending value, learning rates, retry
-count) for the run manifest to tell the story afterwards.
+count) for the run manifest to tell the story afterwards.  A guard can
+additionally be bound to an :class:`~repro.obs.EventLog` sink, in which
+case every intervention is also emitted as a structured run event
+(``guard.nonfinite_loss``, ``guard.diverged``, ``guard.early_stop``,
+...) into the run's JSONL log as it happens.
 """
 
 from __future__ import annotations
@@ -69,12 +73,25 @@ class TrainingDiverged(RuntimeError):
 
 
 class DivergenceGuard:
-    """Stateful watchdog owned by one training run."""
+    """Stateful watchdog owned by one training run.
 
-    def __init__(self, config: GuardConfig | None = None):
+    ``sink`` optionally names an :class:`~repro.obs.EventLog`; every
+    recorded guard event is then also emitted there (prefixed
+    ``guard.``) as it happens.
+    """
+
+    def __init__(self, config: GuardConfig | None = None, sink=None):
         self.config = config or GuardConfig()
         self.events: list[dict] = []
         self.retries = 0
+        self.sink = sink
+
+    def _record(self, event: dict) -> None:
+        self.events.append(event)
+        if self.sink is not None:
+            payload = {key: value for key, value in event.items()
+                       if key != "type"}
+            self.sink.emit(f"guard.{event['type']}", **payload)
 
     # ------------------------------------------------------------------
     # Detection (called inside the window loop)
@@ -100,7 +117,7 @@ class DivergenceGuard:
         """
         self.retries += 1
         new_lr = max(self.config.min_lr, lr * self.config.lr_backoff)
-        self.events.append({
+        self._record({
             "type": f"nonfinite_{signal.kind}",
             "epoch": signal.epoch,
             "value": repr(signal.value),
@@ -110,7 +127,7 @@ class DivergenceGuard:
             "retry": self.retries,
         })
         if self.retries > self.config.max_retries:
-            self.events.append({
+            self._record({
                 "type": "diverged",
                 "epoch": signal.epoch,
                 "retries": self.retries,
@@ -141,7 +158,7 @@ class DivergenceGuard:
             return False
         stalled = epoch - 1 - best_epoch
         if stalled >= patience:
-            self.events.append({
+            self._record({
                 "type": "early_stop",
                 "epoch": epoch,
                 "best_epoch": best_epoch,

@@ -6,6 +6,13 @@ wall-clock, PERF counters accumulated by the run, guard events
 (rollbacks, lr backoffs, early stops) and the checkpoint files on disk.
 The bench drivers write the same document per fitted method, so a whole
 table regeneration leaves an auditable trail of its training jobs.
+
+Schema v2 adds observability fields: ``schema_version`` (explicit,
+replacing the ``version`` key of v1 files, which :meth:`RunManifest.load`
+still reads), ``events_path``/``events_summary`` pointing at the run's
+JSONL event log (the manifest *summarises* the log — per-type counts —
+instead of duplicating its records), and ``metrics`` with the run's
+histogram quantiles (grad norms, window losses, ...).
 """
 
 from __future__ import annotations
@@ -15,9 +22,14 @@ import os
 import tempfile
 from dataclasses import asdict, dataclass, field
 
-__all__ = ["MANIFEST_VERSION", "RunManifest", "write_json_atomic"]
+__all__ = ["MANIFEST_SCHEMA_VERSION", "MANIFEST_VERSION", "RunManifest",
+           "write_json_atomic"]
 
-MANIFEST_VERSION = 1
+#: Current manifest document schema.
+MANIFEST_SCHEMA_VERSION = 2
+
+#: Backwards-compatible alias (the v1 name of the constant).
+MANIFEST_VERSION = MANIFEST_SCHEMA_VERSION
 
 
 def write_json_atomic(path: str | os.PathLike, payload: dict) -> str:
@@ -51,12 +63,15 @@ class RunManifest:
     epochs_run: int = 0
     wall_clock_s: float = 0.0
     perf: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
     guard_events: list = field(default_factory=list)
+    events_path: str | None = None
+    events_summary: dict = field(default_factory=dict)
     checkpoints: list = field(default_factory=list)
     resumed_from: str | None = None
     early_stopped: bool = False
     extra: dict = field(default_factory=dict)
-    version: int = MANIFEST_VERSION
+    schema_version: int = MANIFEST_SCHEMA_VERSION
 
     def to_dict(self) -> dict:
         """Plain-dict view suitable for ``json.dump``."""
@@ -68,14 +83,20 @@ class RunManifest:
 
     @classmethod
     def load(cls, path: str | os.PathLike) -> "RunManifest":
-        """Read a manifest written by :meth:`write` (version-checked)."""
+        """Read a manifest written by :meth:`write` (version-checked).
+
+        v1 files (whose version lived under the ``version`` key) load
+        with their original schema number preserved.
+        """
         with open(path) as handle:
             payload = json.load(handle)
-        version = payload.get("version", 0)
-        if version > MANIFEST_VERSION:
+        version = payload.get("schema_version", payload.get("version", 0))
+        if version > MANIFEST_SCHEMA_VERSION:
             raise ValueError(
-                f"manifest {path!r} has version {version}; this build "
-                f"reads up to {MANIFEST_VERSION}")
+                f"manifest {path!r} has schema version {version}; this "
+                f"build reads up to {MANIFEST_SCHEMA_VERSION}")
+        payload = dict(payload)
+        payload["schema_version"] = version
         known = {f for f in cls.__dataclass_fields__}
         return cls(**{key: value for key, value in payload.items()
                       if key in known})

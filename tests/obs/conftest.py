@@ -1,0 +1,17 @@
+"""Shared fixtures for observability tests: a tiny room + episodes."""
+
+import pytest
+
+from repro.core import AfterProblem
+from repro.datasets import RoomConfig, generate_timik_room
+
+
+@pytest.fixture(scope="session")
+def room():
+    """Tiny short-horizon room so training-backed tests stay fast."""
+    return generate_timik_room(RoomConfig(num_users=12, num_steps=6), seed=0)
+
+
+@pytest.fixture(scope="session")
+def problems(room):
+    return [AfterProblem(room, t) for t in (0, 1)]

@@ -1,0 +1,136 @@
+"""Structured run events: JSONL log, guard sink, trainer integration."""
+
+import json
+import os
+
+import pytest
+
+from repro.models import POSHGNN
+from repro.models.poshgnn.trainer import POSHGNNTrainer
+from repro.obs import EVENT_SCHEMA_VERSION, EventLog, read_events
+from repro.training import (
+    MANIFEST_SCHEMA_VERSION,
+    DivergenceGuard,
+    NonFiniteSignal,
+    RunManifest,
+)
+
+
+class TestEventLog:
+    def test_in_memory_records(self):
+        log = EventLog()
+        record = log.emit("cache.miss", room="timik", target=3)
+        assert record["schema"] == EVENT_SCHEMA_VERSION
+        assert record["seq"] == 0
+        assert record["type"] == "cache.miss"
+        assert record["target"] == 3
+        assert record["t"] > 0
+        assert log.records == [record]
+
+    def test_seq_monotonic_and_counts(self):
+        log = EventLog()
+        log.emit("a")
+        log.emit("b")
+        log.emit("a")
+        assert [r["seq"] for r in log.records] == [0, 1, 2]
+        assert log.counts == {"a": 2, "b": 1}
+        summary = log.summary()
+        assert summary == {"path": None, "events": 3,
+                           "by_type": {"a": 2, "b": 1}}
+
+    def test_disabled_log_drops_events(self):
+        log = EventLog(enabled=False)
+        assert log.emit("x") is None
+        assert log.records == [] and log.counts == {}
+        log.enable()
+        assert log.emit("x")["seq"] == 0
+
+    def test_file_backed_log_round_trips(self, tmp_path):
+        path = tmp_path / "nested" / "events.jsonl"   # exercises makedirs
+        with EventLog(path) as log:
+            log.emit("guard.early_stop", epoch=5)
+            log.emit("checkpoint.save", epoch=5, best=True)
+        records = read_events(path)
+        assert [r["type"] for r in records] == ["guard.early_stop",
+                                                "checkpoint.save"]
+        assert records[1]["best"] is True
+        # file-backed logs stream to disk instead of accumulating memory
+        assert log.records == []
+        assert log.summary()["events"] == 2
+
+    def test_read_events_rejects_newer_schema(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(json.dumps({"schema": EVENT_SCHEMA_VERSION + 1,
+                                    "seq": 0, "t": 0.0, "type": "x"}) + "\n")
+        with pytest.raises(ValueError, match="schema"):
+            read_events(path)
+
+    def test_read_events_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"schema": 1, "seq": 0, "t": 0.0, "type": "a"}\n'
+                        "\n")
+        assert len(read_events(path)) == 1
+
+
+class TestGuardSink:
+    def test_nonfinite_rollback_is_emitted(self):
+        sink = EventLog()
+        guard = DivergenceGuard(sink=sink)
+        guard.on_nonfinite(NonFiniteSignal("loss", float("nan"), epoch=2),
+                           lr=0.1)
+        assert len(sink.records) == 1
+        event = sink.records[0]
+        assert event["type"] == "guard.nonfinite_loss"
+        assert event["epoch"] == 2
+        assert event["retry"] == 1
+        assert event["lr_after"] == pytest.approx(0.05)
+        # the in-object event list still works without the 'guard.' prefix
+        assert guard.events[0]["type"] == "nonfinite_loss"
+
+    def test_guard_without_sink_still_records(self):
+        guard = DivergenceGuard()
+        guard.on_nonfinite(NonFiniteSignal("grad_norm", float("inf"), 0),
+                           lr=0.1)
+        assert guard.events[0]["type"] == "nonfinite_grad_norm"
+
+
+class TestTrainerIntegration:
+    @pytest.fixture(scope="class")
+    def trained(self, problems, tmp_path_factory):
+        from repro.obs import PERF
+
+        directory = tmp_path_factory.mktemp("run")
+        model = POSHGNN(seed=0)
+        trainer = POSHGNNTrainer(model, epochs=2,
+                                 checkpoint_dir=str(directory),
+                                 save_every=1)
+        PERF.reset().enable()
+        try:
+            result = trainer.train(problems)
+        finally:
+            PERF.disable().reset()
+        return directory, result
+
+    def test_events_jsonl_written(self, trained):
+        directory, result = trained
+        events_path = os.path.join(str(directory), "events.jsonl")
+        assert result["events_path"] == events_path
+        records = read_events(events_path)
+        kinds = [r["type"] for r in records]
+        assert kinds[0] == "train.start"
+        assert kinds[-1] == "train.complete"
+        assert kinds.count("checkpoint.save") == 2
+        saves = [r for r in records if r["type"] == "checkpoint.save"]
+        for save in saves:
+            assert os.path.exists(save["path"])
+
+    def test_manifest_is_schema_v2_with_observability_fields(self, trained):
+        directory, _ = trained
+        manifest = RunManifest.load(os.path.join(str(directory),
+                                                 "manifest.json"))
+        assert manifest.schema_version == MANIFEST_SCHEMA_VERSION == 2
+        assert manifest.events_path.endswith("events.jsonl")
+        assert manifest.events_summary["events"] >= 4
+        assert manifest.events_summary["by_type"]["checkpoint.save"] == 2
+        assert "train.epoch_loss" in manifest.metrics
+        assert manifest.metrics["train.epoch_loss"]["count"] == 2

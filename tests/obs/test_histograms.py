@@ -1,0 +1,189 @@
+"""Histogram buckets/quantiles and timer/registry merge semantics."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BOUNDARIES,
+    DEFAULT_VALUE_BOUNDARIES,
+    Histogram,
+    Instrumentation,
+    TimerStat,
+)
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        histogram = Histogram(boundaries=(1.0, 2.0, 5.0))
+        for value in (0.5, 1.5, 1.7, 3.0, 99.0):
+            histogram.observe(value)
+        # buckets: <=1, (1,2], (2,5], overflow
+        assert histogram.bucket_counts == [1, 2, 1, 1]
+        assert histogram.count == 5
+        assert histogram.total == pytest.approx(0.5 + 1.5 + 1.7 + 3.0 + 99.0)
+        assert histogram.min == 0.5 and histogram.max == 99.0
+        assert histogram.mean == pytest.approx(histogram.total / 5)
+
+    def test_invalid_boundaries_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(boundaries=())
+        with pytest.raises(ValueError):
+            Histogram(boundaries=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            Histogram(boundaries=(2.0, 1.0))
+
+    def test_default_ladders_are_ascending(self):
+        for ladder in (DEFAULT_LATENCY_BOUNDARIES, DEFAULT_VALUE_BOUNDARIES):
+            assert all(a < b for a, b in zip(ladder, ladder[1:]))
+
+    def test_quantile_single_observation_is_exact(self):
+        histogram = Histogram(boundaries=(10.0,))
+        histogram.observe(5.0)
+        for q in (0.0, 0.5, 0.9, 1.0):
+            assert histogram.quantile(q) == 5.0
+
+    def test_quantile_interpolates_within_bucket(self):
+        histogram = Histogram(boundaries=(25.0, 50.0, 75.0, 100.0))
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        # rank 50 lands in the (50, 75] bucket after 49 earlier values.
+        assert histogram.quantile(0.50) == pytest.approx(51.0)
+        p90, p99 = histogram.quantile(0.90), histogram.quantile(0.99)
+        assert 80.0 <= p90 <= 100.0
+        assert p90 <= p99 <= 100.0
+
+    def test_quantile_clamped_to_observed_range(self):
+        histogram = Histogram(boundaries=(100.0,))
+        histogram.observe(2.0)
+        histogram.observe(3.0)
+        assert histogram.quantile(0.99) <= 3.0
+        assert histogram.quantile(0.01) >= 2.0
+
+    def test_quantile_edge_cases(self):
+        histogram = Histogram(boundaries=(1.0,))
+        assert math.isnan(histogram.quantile(0.5))       # empty
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_as_dict_reports_p50_p90_p99(self):
+        histogram = Histogram(boundaries=(1.0, 2.0))
+        histogram.observe(0.5)
+        summary = histogram.as_dict()
+        assert summary["count"] == 1
+        assert summary["min"] == 0.5 and summary["max"] == 0.5
+        assert summary["p50"] == summary["p90"] == summary["p99"] == 0.5
+        empty = Histogram(boundaries=(1.0,)).as_dict()
+        assert empty["count"] == 0
+        assert math.isnan(empty["p50"])
+
+    def test_merge_equals_single_histogram(self):
+        a = Histogram(boundaries=(1.0, 2.0, 5.0))
+        b = Histogram(boundaries=(1.0, 2.0, 5.0))
+        combined = Histogram(boundaries=(1.0, 2.0, 5.0))
+        for value in (0.5, 1.5, 9.0):
+            a.observe(value)
+            combined.observe(value)
+        for value in (0.1, 4.0):
+            b.observe(value)
+            combined.observe(value)
+        a.merge(b)
+        assert a.bucket_counts == combined.bucket_counts
+        assert a.count == combined.count
+        assert a.total == pytest.approx(combined.total)
+        assert a.min == combined.min and a.max == combined.max
+
+    def test_merge_rejects_different_boundaries(self):
+        with pytest.raises(ValueError):
+            Histogram(boundaries=(1.0,)).merge(Histogram(boundaries=(2.0,)))
+
+    def test_state_round_trip(self):
+        histogram = Histogram(boundaries=(1.0, 2.0))
+        histogram.observe(0.3)
+        histogram.observe(1.8)
+        restored = Histogram.from_state(histogram.state())
+        assert restored.boundaries == histogram.boundaries
+        assert restored.bucket_counts == histogram.bucket_counts
+        assert restored.count == histogram.count
+        assert restored.min == histogram.min
+        assert restored.max == histogram.max
+
+
+class TestTimerStatMerge:
+    def test_merge_folds_count_total_min_max(self):
+        a = TimerStat()
+        b = TimerStat()
+        for seconds in (0.2, 0.4):
+            a.add(seconds)
+        for seconds in (0.1, 0.9):
+            b.add(seconds)
+        a.merge(b)
+        assert a.count == 4
+        assert a.total == pytest.approx(1.6)
+        assert a.min == 0.1 and a.max == 0.9
+
+    def test_merge_with_empty_is_identity(self):
+        a = TimerStat()
+        a.add(0.5)
+        a.merge(TimerStat())
+        assert a.count == 1
+        assert a.min == 0.5 and a.max == 0.5
+        empty = TimerStat()
+        empty.merge(a)
+        assert empty.count == 1
+        assert empty.min == 0.5 and empty.max == 0.5
+
+    def test_state_round_trip(self):
+        stat = TimerStat()
+        stat.add(0.25)
+        stat.add(0.75)
+        restored = TimerStat.from_state(stat.state())
+        assert restored == stat
+
+
+class TestRegistryMerge:
+    def _populated(self):
+        perf = Instrumentation(enabled=True)
+        with perf.scope("work"):
+            pass
+        perf.count("steps", 3)
+        perf.observe("latency", 0.5, boundaries=(1.0, 2.0))
+        return perf
+
+    def test_export_state_round_trips_into_empty_registry(self):
+        source = self._populated()
+        target = Instrumentation(enabled=True)
+        target.merge_snapshot(source.export_state())
+        assert target.timers["work"].count == 1
+        assert target.counters == {"steps": 3}
+        assert target.histograms["latency"].count == 1
+        assert target.histograms["latency"].min == 0.5
+
+    def test_merge_adds_into_existing_entries(self):
+        source = self._populated()
+        target = self._populated()
+        target.merge_snapshot(source.export_state())
+        assert target.timers["work"].count == 2
+        assert target.counters == {"steps": 6}
+        assert target.histograms["latency"].count == 2
+
+    def test_merge_applies_even_while_disabled(self):
+        """The parent registry may be disabled when workers report in."""
+        source = self._populated()
+        target = Instrumentation(enabled=False)
+        target.merge_snapshot(source.export_state())
+        assert target.timers["work"].count == 1
+        assert target.counters == {"steps": 3}
+
+    def test_observe_respects_enabled_flag(self):
+        perf = Instrumentation(enabled=False)
+        perf.observe("latency", 1.0)
+        perf.count("steps")
+        assert perf.histograms == {} and perf.counters == {}
+
+    def test_report_includes_histogram_section(self):
+        report = self._populated().report()
+        assert report["histograms"]["latency"]["count"] == 1
+        assert "p99" in report["histograms"]["latency"]
+        assert Instrumentation(enabled=True).report().get("histograms") \
+            is None

@@ -1,0 +1,102 @@
+"""Fork-parallel evaluation must not lose instrumentation.
+
+The acceptance bar for the fork fix: a parallel ``evaluate_targets``
+run produces the *same merged timer/counter counts* as a serial run of
+the identical workload, and its trace contains the child processes'
+per-episode spans (which previously died with the fork).
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.core.evaluation import evaluate_targets
+from repro.datasets import RoomConfig, generate_room
+from repro.models import NearestRecommender
+from repro.obs import PERF, TRACER
+
+TARGETS = [0, 2, 5, 9, 11]
+
+fork_available = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable")
+
+
+def _fresh_room():
+    return generate_room("smm", RoomConfig(num_users=16, num_steps=6),
+                         seed=4)
+
+
+def _instrumented_run(workers=None):
+    """Timer counts + counters of one cold evaluate_targets run."""
+    room = _fresh_room()
+    PERF.reset().enable()
+    try:
+        evaluate_targets(room, NearestRecommender(), TARGETS,
+                         engine="batched", workers=workers)
+        timer_counts = {name: stat.count
+                        for name, stat in PERF.timers.items()}
+        counters = dict(PERF.counters)
+        histogram_counts = {name: histogram.count
+                            for name, histogram in PERF.histograms.items()}
+    finally:
+        PERF.disable().reset()
+    return timer_counts, counters, histogram_counts
+
+
+@fork_available
+def test_parallel_merged_counts_equal_serial():
+    serial_timers, serial_counters, serial_histograms = _instrumented_run()
+    timers, counters, histograms = _instrumented_run(workers=2)
+    # the chunk-merge bookkeeping counter is parallel-only by design
+    assert counters.pop("eval.parallel_chunks") == 2
+    assert timers == serial_timers
+    assert counters == serial_counters
+    assert histograms == serial_histograms
+    # sanity: the workload actually ran episodes in the workers
+    assert timers["eval.episode"] == len(TARGETS)
+    assert serial_counters["eval.episodes"] == len(TARGETS)
+
+
+@fork_available
+def test_parallel_spans_cross_the_fork():
+    room = _fresh_room()
+    TRACER.reset().enable()
+    try:
+        evaluate_targets(room, NearestRecommender(), TARGETS,
+                         engine="batched", workers=2)
+        spans = list(TRACER.spans)
+    finally:
+        TRACER.disable().reset()
+    pids = {span.pid for span in spans}
+    assert os.getpid() in pids          # parent recorded eval.targets
+    assert len(pids) >= 2               # child spans were adopted
+    episode_spans = [s for s in spans if s.name == "eval.episode"]
+    assert len(episode_spans) == len(TARGETS)
+    assert all(span.pid != os.getpid() for span in episode_spans)
+    # episode phases survived with their nesting depths intact
+    child_names = {s.name for s in spans if s.pid != os.getpid()}
+    assert {"eval.episode_frames", "eval.recommend",
+            "eval.visibility", "eval.utility"} <= child_names
+    targets = sorted(span.attrs["target"] for span in episode_spans)
+    assert targets == sorted(TARGETS)
+
+
+@fork_available
+def test_parallel_timer_totals_are_positive_and_exact():
+    """Merged totals cover the children's work, not just the parent's."""
+    room = _fresh_room()
+    PERF.reset().enable()
+    try:
+        evaluate_targets(room, NearestRecommender(), TARGETS,
+                         engine="batched", workers=2)
+        episode = PERF.timers["eval.episode"]
+        assert episode.count == len(TARGETS)
+        assert episode.total > 0.0
+        assert 0.0 < episode.min <= episode.max
+        # parent-side umbrella scope spans the whole run
+        assert PERF.timers["eval.targets"].count == 1
+        assert PERF.timers["eval.targets"].total >= episode.max
+    finally:
+        PERF.disable().reset()

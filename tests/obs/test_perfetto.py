@@ -1,0 +1,114 @@
+"""Chrome/Perfetto trace export: JSON shape, round trip, tree report."""
+
+import json
+
+from repro.obs import (
+    Tracer,
+    load_chrome_trace,
+    span_tree_report,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def _traced_spans():
+    tracer = Tracer(enabled=True)
+    with tracer.span("outer", {"target": 1}):
+        with tracer.span("inner"):
+            pass
+        with tracer.span("inner"):
+            pass
+    return tracer.spans
+
+
+class TestChromeTraceShape:
+    def test_document_layout(self):
+        document = to_chrome_trace(_traced_spans())
+        assert set(document) == {"traceEvents", "displayTimeUnit"}
+        assert document["displayTimeUnit"] == "ms"
+
+    def test_complete_events_carry_required_fields(self):
+        events = to_chrome_trace(_traced_spans())["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 3
+        for event in complete:
+            assert set(event) >= {"name", "cat", "ph", "ts", "dur",
+                                  "pid", "tid", "args"}
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert "depth" in event["args"]
+
+    def test_metadata_events_name_tracks(self):
+        events = to_chrome_trace(_traced_spans(),
+                                 process_labels=None)["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        names = {e["name"] for e in metadata}
+        assert names == {"process_name", "thread_name"}
+
+    def test_process_labels_applied(self):
+        spans = _traced_spans()
+        pid = spans[0].pid
+        events = to_chrome_trace(spans,
+                                 process_labels={pid: "bench"})["traceEvents"]
+        process = next(e for e in events if e["ph"] == "M"
+                       and e["name"] == "process_name")
+        assert process["args"]["name"] == "bench"
+
+    def test_attrs_become_args(self):
+        events = to_chrome_trace(_traced_spans())["traceEvents"]
+        outer = next(e for e in events if e.get("name") == "outer"
+                     and e["ph"] == "X")
+        assert outer["args"]["target"] == 1
+
+    def test_document_is_json_serialisable(self):
+        json.dumps(to_chrome_trace(_traced_spans()))
+
+
+class TestRoundTrip:
+    def test_write_then_load_preserves_spans(self, tmp_path):
+        spans = _traced_spans()
+        path = write_chrome_trace(tmp_path / "trace.json", spans)
+        loaded = load_chrome_trace(path)
+        assert len(loaded) == len(spans)
+        for original, restored in zip(spans, loaded):
+            assert restored.name == original.name
+            assert restored.depth == original.depth
+            assert restored.pid == original.pid
+            assert restored.tid == original.tid
+            assert restored.attrs == original.attrs
+            assert restored.ts_us == original.ts_us
+
+    def test_load_skips_metadata_events(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "trace.json", _traced_spans())
+        with open(path) as handle:
+            events = json.load(handle)["traceEvents"]
+        assert any(e["ph"] == "M" for e in events)
+        assert all(s.name in {"outer", "inner"}
+                   for s in load_chrome_trace(path))
+
+    def test_tracer_export_helper(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        with tracer.span("root"):
+            pass
+        path = tracer.export_chrome_trace(tmp_path / "t.json")
+        assert load_chrome_trace(path)[0].name == "root"
+
+
+class TestSpanTreeReport:
+    def test_nesting_and_aggregation(self):
+        report = span_tree_report(_traced_spans())
+        lines = report.splitlines()
+        outer_line = next(line for line in lines
+                          if line.startswith("outer"))
+        inner_line = next(line for line in lines
+                          if line.lstrip().startswith("inner"))
+        # children indent under their parent and aggregate call counts
+        assert inner_line.startswith("  inner")
+        assert lines.index(outer_line) < lines.index(inner_line)
+        assert inner_line.split()[1] == "2"
+        assert outer_line.split()[1] == "1"
+
+    def test_empty(self):
+        assert span_tree_report([]) == "(no spans)"

@@ -43,6 +43,7 @@ def test_public_api_documented(module_name):
     "repro.core", "repro.models", "repro.geometry", "repro.datasets",
     "repro.nn", "repro.mwis", "repro.crowd", "repro.social", "repro.study",
     "repro.bench", "repro.viz", "repro.training", "repro.runtime",
+    "repro.obs",
 ])
 def test_public_methods_documented(module_name):
     """Public methods of exported classes must have docstrings."""

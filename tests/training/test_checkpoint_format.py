@@ -155,7 +155,17 @@ class TestRunManifest:
 
     def test_newer_version_rejected(self, tmp_path):
         manifest = RunManifest(kind="x")
-        manifest.version += 1
+        manifest.schema_version += 1
         path = manifest.write(tmp_path / "m.json")
         with pytest.raises(ValueError, match="version"):
             RunManifest.load(path)
+
+    def test_v1_manifest_loads(self, tmp_path):
+        """Pre-observability manifests (``version`` key) still load."""
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({"kind": "poshgnn-train",
+                                    "history": [1.0], "version": 1}))
+        loaded = RunManifest.load(path)
+        assert loaded.kind == "poshgnn-train"
+        assert loaded.schema_version == 1
+        assert loaded.events_path is None
