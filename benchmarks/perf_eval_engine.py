@@ -21,7 +21,8 @@ Alongside the timings the harness records an *instrumented* pass with
 the full observability stack enabled and writes ``trace.json`` — a
 Chrome/Perfetto ``trace_event`` file with the nested per-episode phases
 (frame build, recommend, visibility, utility) — openable directly at
-``ui.perfetto.dev``.  Gate a fresh run against the committed baseline
+``ui.perfetto.dev``.  The trace lands under ``REPRO_RUN_DIR`` when that
+is set (next to the run's manifests), else at the repo root.  Gate a fresh run against the committed baseline
 with::
 
     python -m repro.obs gate --baseline BENCH_eval_engine.json \
@@ -48,7 +49,19 @@ from repro.obs import PERF, TRACER, write_chrome_trace
 __all__ = ["EngineBenchConfig", "run_eval_engine_bench", "main"]
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_eval_engine.json"
-TRACE_PATH = Path(__file__).resolve().parent.parent / "trace.json"
+
+
+def default_trace_path() -> Path:
+    """Where the Perfetto trace lands: the bench run directory.
+
+    With ``REPRO_RUN_DIR`` set the trace sits next to the run's other
+    artifacts (manifests, checkpoints); otherwise it falls back to the
+    repo root (gitignored).
+    """
+    run_dir = os.environ.get("REPRO_RUN_DIR")
+    if run_dir:
+        return Path(run_dir) / "trace.json"
+    return Path(__file__).resolve().parent.parent / "trace.json"
 
 #: Acceptance floor: the batched engine must beat the reference engine
 #: by at least this factor at the default scale.
@@ -176,7 +189,9 @@ def run_eval_engine_bench(config: EngineBenchConfig | None = None,
 
 def main() -> dict:
     config = EngineBenchConfig.from_env()
-    record = run_eval_engine_bench(config, trace_path=TRACE_PATH)
+    trace_path = default_trace_path()
+    trace_path.parent.mkdir(parents=True, exist_ok=True)
+    record = run_eval_engine_bench(config, trace_path=trace_path)
     RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
 
     timings = record["timings_s"]
@@ -190,7 +205,7 @@ def main() -> dict:
           f"{record['speedup']['warm_vs_reference']:9.2f}x")
     print(f"  metrics identical: {record['metrics_identical']}")
     print(f"wrote {RESULT_PATH}")
-    print(f"wrote {TRACE_PATH} (open at ui.perfetto.dev)")
+    print(f"wrote {trace_path} (open at ui.perfetto.dev)")
 
     if not record["metrics_identical"]:
         raise SystemExit("engines disagree on metrics")

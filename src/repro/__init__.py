@@ -25,7 +25,8 @@ Subpackages
 ``repro.core``      the AFTER problem, utility, and evaluation harness
 ``repro.models``    POSHGNN and the seven paper baselines
 ``repro.training``  fault-tolerant training runtime (checkpoints, guards)
-``repro.runtime``   serving-path instrumentation (PERF timers/counters)
+``repro.obs``       observability: spans, histograms, run events
+``repro.runtime``   deprecated compat shim re-exporting ``repro.obs``
 ``repro.study``     simulated XR user study (Fig. 4, Table VIII)
 ``repro.bench``     experiment drivers for every paper table and figure
 """

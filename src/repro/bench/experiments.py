@@ -8,6 +8,7 @@ files under ``benchmarks/`` are thin wrappers around these.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 
@@ -19,7 +20,12 @@ from ..models.poshgnn.loss import resolve_alpha
 from ..obs import PERF
 from ..training import RunManifest
 from .config import TRAIN_ALPHA0, BenchConfig
-from .methods import ablation_methods, study_methods, table_methods
+from .methods import (
+    ablation_methods,
+    method_slug,
+    study_methods,
+    table_methods,
+)
 from .tables import ResultTable
 
 __all__ = [
@@ -61,6 +67,23 @@ def prepare_room(dataset: str, config: BenchConfig,
     return room, train_targets, eval_targets
 
 
+def _bench_fit_complete(manifest_path: str | None) -> bool:
+    """Whether a ``bench_<slug>.json`` records a *finished* fit.
+
+    Anything short of a readable bench-fit manifest with
+    ``extra.complete`` — missing file, interrupted write, older schema
+    without the flag — means the method must be (re)fitted.
+    """
+    if manifest_path is None or not os.path.exists(manifest_path):
+        return False
+    try:
+        manifest = RunManifest.load(manifest_path)
+    except (ValueError, KeyError, json.JSONDecodeError):
+        return False
+    return manifest.kind == "bench-fit" \
+        and bool(manifest.extra.get("complete"))
+
+
 def _fit_and_evaluate(room, methods: dict, train_targets, eval_targets,
                       config: BenchConfig, alpha0: float) -> dict:
     """Train each method and collect its AggregateResult.
@@ -68,8 +91,11 @@ def _fit_and_evaluate(room, methods: dict, train_targets, eval_targets,
     With ``config.run_dir`` set (``REPRO_RUN_DIR``), checkpoint-capable
     methods train under ``<run_dir>/<method>/`` and every fit leaves a
     ``<run_dir>/bench_<method>.json`` manifest (history, wall-clock,
-    PERF deltas), so long table regenerations are resumable and
-    auditable.
+    PERF deltas, ``extra.complete``), making long table regenerations
+    resumable: a re-run skips methods whose manifest is complete and
+    whose fitted model restores from its checkpoints, and
+    resume-capable methods continue a half-finished fit from their
+    per-attempt checkpoints instead of starting over.
     """
     train_problems = [AfterProblem(room, t, beta=config.beta,
                                    max_render=config.max_render)
@@ -79,38 +105,58 @@ def _fit_and_evaluate(room, methods: dict, train_targets, eval_targets,
     results = {}
     for name, method in methods.items():
         fit_kwargs = {"epochs": config.train_epochs, "alpha": alpha}
-        slug = name.lower().replace(" ", "-").replace("/", "")
-        if config.run_dir and getattr(method, "supports_run_dir", False):
-            fit_kwargs["run_dir"] = os.path.join(config.run_dir, slug)
-        perf_mark = PERF.snapshot()
-        started = time.perf_counter()
-        with PERF.scope(f"bench.fit.{name}", {"method": name}):
-            history = method.fit(train_problems, **fit_kwargs)
-        fit_seconds = time.perf_counter() - started
+        slug = method_slug(name)
+        method_run_dir = None
+        manifest_path = None
         if config.run_dir:
-            losses = list((history or {}).get("loss", [])) \
-                if isinstance(history, dict) else []
-            RunManifest(
-                kind="bench-fit",
-                config={"method": name, "alpha": alpha,
-                        "epochs": config.train_epochs,
-                        "train_targets": list(map(int, train_targets)),
-                        "seed": config.seed},
-                history=losses,
-                best_loss=(history or {}).get("best_loss")
-                if isinstance(history, dict) else None,
-                epochs_run=len(losses),
-                wall_clock_s=fit_seconds,
-                perf=PERF.delta_since(perf_mark),
-                metrics={metric: histogram.as_dict() for metric, histogram
-                         in sorted(PERF.histograms.items())
-                         if metric.startswith("train.")},
-                guard_events=list((history or {}).get("guard_events", []))
-                if isinstance(history, dict) else [],
-                events_path=(history or {}).get("events_path")
-                if isinstance(history, dict) else None,
-                extra={"run_dir": fit_kwargs.get("run_dir")},
-            ).write(os.path.join(config.run_dir, f"bench_{slug}.json"))
+            manifest_path = os.path.join(config.run_dir,
+                                         f"bench_{slug}.json")
+            if getattr(method, "supports_run_dir", False):
+                method_run_dir = os.path.join(config.run_dir, slug)
+                fit_kwargs["run_dir"] = method_run_dir
+
+        restorable = getattr(method, "restore_fit", None)
+        if method_run_dir is not None and restorable is not None \
+                and _bench_fit_complete(manifest_path) \
+                and restorable(method_run_dir):
+            print(f"bench: skipping fit of {name} — complete manifest "
+                  f"and checkpoints under {method_run_dir}")
+        else:
+            if method_run_dir is not None \
+                    and getattr(method, "supports_resume_from", False) \
+                    and os.path.isdir(method_run_dir):
+                fit_kwargs["resume_from"] = method_run_dir
+            perf_mark = PERF.snapshot()
+            started = time.perf_counter()
+            with PERF.scope(f"bench.fit.{name}", {"method": name}):
+                history = method.fit(train_problems, **fit_kwargs)
+            fit_seconds = time.perf_counter() - started
+            if config.run_dir:
+                losses = list((history or {}).get("loss", [])) \
+                    if isinstance(history, dict) else []
+                RunManifest(
+                    kind="bench-fit",
+                    config={"method": name, "alpha": alpha,
+                            "epochs": config.train_epochs,
+                            "train_targets": list(map(int, train_targets)),
+                            "seed": config.seed},
+                    history=losses,
+                    best_loss=(history or {}).get("best_loss")
+                    if isinstance(history, dict) else None,
+                    epochs_run=len(losses),
+                    wall_clock_s=fit_seconds,
+                    perf=PERF.delta_since(perf_mark),
+                    metrics={metric: histogram.as_dict()
+                             for metric, histogram
+                             in sorted(PERF.histograms.items())
+                             if metric.startswith("train.")},
+                    guard_events=list((history or {}).get("guard_events",
+                                                          []))
+                    if isinstance(history, dict) else [],
+                    events_path=(history or {}).get("events_path")
+                    if isinstance(history, dict) else None,
+                    extra={"run_dir": method_run_dir, "complete": True},
+                ).write(manifest_path)
         with PERF.scope(f"bench.evaluate.{name}", {"method": name}):
             results[name] = evaluate_targets(room, method, eval_targets,
                                              beta=config.beta,

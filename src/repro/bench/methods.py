@@ -16,10 +16,20 @@ from ..models import (
 from .config import BenchConfig
 
 __all__ = ["table_methods", "ablation_methods", "study_methods",
-           "LEARNED_METHODS"]
+           "method_slug", "LEARNED_METHODS"]
 
 #: Methods whose ``fit`` performs gradient training on episodes.
 LEARNED_METHODS = ("POSHGNN", "DCRNN", "TGCN")
+
+
+def method_slug(name: str) -> str:
+    """Filesystem-safe slug of a bench method name.
+
+    Keys the per-method artefacts under a bench run directory: the
+    training subdirectory ``<run_dir>/<slug>/`` and the
+    ``bench_<slug>.json`` manifest the resume logic checks.
+    """
+    return name.lower().replace(" ", "-").replace("/", "")
 
 
 def table_methods(config: BenchConfig) -> dict:

@@ -150,8 +150,13 @@ class POSHGNN(Module, Recommender):
     #: the bench drivers key off this to pass one through.
     supports_run_dir = True
 
+    #: ``fit`` accepts ``resume_from=<previous run_dir>`` to continue a
+    #: killed multi-restart fit from its per-attempt checkpoints.
+    supports_resume_from = True
+
     def fit(self, problems: list, restarts: int = 2,
-            run_dir: str | None = None, **kwargs) -> dict:
+            run_dir: str | None = None, resume_from: str | None = None,
+            **kwargs) -> dict:
         """Train with multi-restart model selection.
 
         Gated recurrences are initialisation-sensitive, and the best
@@ -161,64 +166,81 @@ class POSHGNN(Module, Recommender):
         utility (the true objective — no test data involved) is kept.
         With ``run_dir`` set, each attempt trains under
         ``run_dir/attempt<i>-cap<c>`` with checkpoints and a manifest,
-        and a ``fit_manifest.json`` records which attempt won.  Remaining
+        and a ``fit_manifest.json`` records which attempt won.
+        ``resume_from=<previous run_dir>`` continues a killed fit:
+        completed attempts fast-forward from their final checkpoint, the
+        interrupted one resumes mid-run bit-identically.  Remaining
         kwargs go to :class:`~repro.models.poshgnn.trainer.POSHGNNTrainer`.
         """
         import os
 
         from ...core.evaluation import evaluate_episode
+        from ...training import CheckpointManager
+        from ...training.engine import RestartAttempt, run_restarts
         from .trainer import POSHGNNTrainer
 
         if restarts < 1:
             raise ValueError("restarts must be positive")
         caps = self.preserve_grid if self.use_lwp else (1.0,)
-        best_utility = -np.inf
-        best_state = None
-        best_cap = self.max_preserve
-        best_history: dict = {}
-        best_label = None
-        attempts: list[dict] = []
-        for attempt in range(restarts):
-            seed = self.seed + 1000 * attempt
-            for cap in caps:
-                self.reinitialize(seed)
-                self.max_preserve = cap
-                label = f"attempt{attempt}-cap{int(round(100 * cap))}"
-                trainer_kwargs = dict(kwargs)
-                if run_dir is not None:
-                    trainer_kwargs["checkpoint_dir"] = os.path.join(
-                        run_dir, label)
-                trainer = POSHGNNTrainer(self, **trainer_kwargs)
-                history = trainer.train(problems)
-                utility = float(np.mean([
-                    evaluate_episode(problem, self).after_utility
-                    for problem in problems]))
-                attempts.append({"label": label, "seed": seed, "cap": cap,
-                                 "train_utility": utility,
-                                 "best_loss": history["best_loss"]})
-                if utility > best_utility:
-                    best_utility = utility
-                    best_state = self.state_dict()
-                    best_cap = cap
-                    best_history = history
-                    best_label = label
-        if best_state is not None:
-            self.max_preserve = best_cap
-            self.load_state_dict(best_state)
-        best_history["train_utility"] = best_utility
-        if run_dir is not None:
-            from ...training import RunManifest
+        attempts = [
+            RestartAttempt(
+                label=f"attempt{attempt}-cap{int(round(100 * cap))}",
+                seed=self.seed + 1000 * attempt,
+                params={"cap": cap})
+            for attempt in range(restarts)
+            for cap in caps]
 
-            RunManifest(
-                kind="poshgnn-fit",
-                config={"restarts": restarts, "caps": list(caps),
-                        "trainer": {key: value
-                                    for key, value in kwargs.items()
-                                    if isinstance(value,
-                                                  (int, float, str, bool))}},
-                best_loss=best_history.get("best_loss"),
-                extra={"attempts": attempts, "selected": best_label,
-                       "train_utility": best_utility},
-            ).write(os.path.join(run_dir, "fit_manifest.json"))
-            best_history["run_dir"] = run_dir
-        return best_history
+        def prepare(attempt):
+            self.reinitialize(attempt.seed)
+            self.max_preserve = attempt.params["cap"]
+
+        def train(attempt):
+            trainer_kwargs = dict(kwargs)
+            if run_dir is not None:
+                trainer_kwargs["checkpoint_dir"] = os.path.join(
+                    run_dir, attempt.label)
+            attempt_resume = None
+            if resume_from is not None:
+                candidate = os.path.join(os.fspath(resume_from),
+                                         attempt.label)
+                if os.path.isdir(candidate):
+                    try:
+                        attempt_resume = CheckpointManager.resolve(candidate)
+                    except FileNotFoundError:
+                        attempt_resume = None
+            return POSHGNNTrainer(self, **trainer_kwargs).train(
+                problems, resume_from=attempt_resume)
+
+        def score(attempt):
+            return np.mean([evaluate_episode(problem, self).after_utility
+                            for problem in problems])
+
+        def apply_params(params):
+            self.max_preserve = params["cap"]
+
+        return run_restarts(
+            self, attempts, prepare=prepare, train=train, score=score,
+            apply_params=apply_params, run_dir=run_dir,
+            manifest_kind="poshgnn-fit",
+            manifest_config={
+                "restarts": restarts, "caps": list(caps),
+                "trainer": {key: value for key, value in kwargs.items()
+                            if isinstance(value, (int, float, str, bool))}})
+
+    def restore_fit(self, run_dir: str) -> bool:
+        """Restore a completed :meth:`fit` from its run directory.
+
+        Loads the selected model state from ``run_dir/model.npz`` and
+        re-applies the winning preservation cap; returns ``False`` (model
+        untouched) when the directory holds no complete fit — which is
+        how the bench drivers decide between skipping and re-fitting.
+        """
+        from ...training.engine import load_fit
+
+        extra = load_fit(self, run_dir)
+        if extra is None:
+            return False
+        cap = extra.get("selected_params", {}).get("cap")
+        if cap is not None:
+            self.max_preserve = cap
+        return True

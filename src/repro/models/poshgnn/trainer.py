@@ -5,7 +5,13 @@ in windows; the recurrent carries (``h_{t-1}``, ``r_{t-1}``) are detached
 at window boundaries so the autograd graph stays bounded on long horizons
 (T = 100).
 
-The loop is fault tolerant (see docs/TRAINING.md):
+The fault-tolerant loop itself — epochs, checkpoint/resume, divergence
+guards, run manifests, event logs — lives in
+:class:`repro.training.engine.TrainingEngine` and is shared with the
+trainable baselines; this module supplies the POSHGNN-specific
+:class:`~repro.training.engine.TrainableSpec`: one truncated-BPTT
+episode over cached MIA-preprocessed frames, the POSHGNN loss with its
+resolved alpha, and the Adam optimiser state.  See docs/TRAINING.md:
 
 * **Checkpoint/resume** — with ``checkpoint_dir`` set, a versioned
   :class:`~repro.training.TrainerCheckpoint` (model, full optimiser
@@ -25,36 +31,28 @@ The loop is fault tolerant (see docs/TRAINING.md):
 
 from __future__ import annotations
 
-import os
-import time
-
 import numpy as np
 
 from ...core.problem import AfterProblem
 from ...nn import Adam, clip_grad_norm
-from ...obs import DEFAULT_VALUE_BOUNDARIES, PERF, EventLog
-from ...training import (
-    CheckpointManager,
-    DivergenceGuard,
-    GuardConfig,
-    NonFiniteSignal,
-    RunManifest,
-    TrainerCheckpoint,
-    TrainingDiverged,
-)
+from ...obs import DEFAULT_VALUE_BOUNDARIES, PERF
+from ...training import GuardConfig
+from ...training.engine import TrainableSpec, TrainingEngine
+from ...training.guards import DivergenceGuard
 from .loss import POSHGNNLoss, resolve_alpha
 from .model import POSHGNN
 
 __all__ = ["POSHGNNTrainer"]
 
 
-class POSHGNNTrainer:
+class POSHGNNTrainer(TrainableSpec):
     """Trains a :class:`POSHGNN` on a set of problems (target episodes).
 
     Parameters
     ----------
     checkpoint_dir:
-        Directory for checkpoints + manifest; ``None`` (default) disables
+        Directory (or any :class:`repro.training.storage.CheckpointStore`)
+        for checkpoints + manifest; ``None`` (default) disables
         persistence (guards still work off in-memory recovery points).
     save_every / keep_last:
         Checkpoint cadence in epochs and how many epoch files to retain
@@ -70,6 +68,8 @@ class POSHGNNTrainer:
         Optional callback ``(trainer, epoch, history)`` after each
         completed epoch (progress reporting, external kill switches).
     """
+
+    manifest_kind = "poshgnn-train"
 
     def __init__(self, model: POSHGNN, lr: float = 1e-2, alpha="auto",
                  epochs: int = 20, bptt_window: int = 10,
@@ -99,31 +99,71 @@ class POSHGNNTrainer:
         self.optimizer = Adam(model.parameters(), lr=lr)
 
     # ------------------------------------------------------------------
-    # Recovery points
+    # TrainableSpec interface (consumed by TrainingEngine)
     # ------------------------------------------------------------------
-    def _capture(self) -> dict:
-        """Snapshot model/optimiser/RNG for rollback or checkpointing."""
+    def resolve_alpha(self, problems: list) -> float:
+        """Resolve the configured alpha against this problem set."""
+        return resolve_alpha(problems, self.alpha)
+
+    def set_resolved_alpha(self, value) -> None:
+        """Record the alpha this run trains with (fresh or resumed)."""
+        self.resolved_alpha = value
+
+    def capture_state(self) -> dict:
+        """Snapshot model + optimiser state for rollback/checkpointing."""
         return {
             "model": self.model.state_dict(),
             "optim": self.optimizer.state_dict(),
-            "rng": self.rng.bit_generator.state,
         }
 
-    def _restore(self, snapshot: dict) -> None:
+    def restore_state(self, snapshot: dict) -> None:
+        """Restore a :meth:`capture_state` snapshot."""
         self.model.load_state_dict(snapshot["model"])
         self.optimizer.load_state_dict(snapshot["optim"])
-        self.rng.bit_generator.state = snapshot["rng"]
 
-    @staticmethod
-    def _scan_history(history: list, min_delta: float) -> tuple:
-        """Recompute (patience reference, best epoch) from a loss history."""
-        reference = np.inf
-        best_epoch = -1
-        for index, value in enumerate(history):
-            if value < reference - min_delta:
-                reference = value
-                best_epoch = index
-        return reference, best_epoch
+    def model_state(self) -> dict:
+        """The model's state dict (best-epoch snapshots)."""
+        return self.model.state_dict()
+
+    def load_model_state(self, state: dict) -> None:
+        """Load a best-epoch model snapshot."""
+        self.model.load_state_dict(state)
+
+    @property
+    def lr(self) -> float:
+        """Live Adam learning rate (the guard backs it off on rollback)."""
+        return self.optimizer.lr
+
+    @lr.setter
+    def lr(self, value: float) -> None:
+        self.optimizer.lr = value
+
+    def train_episode(self, problem: AfterProblem,
+                      guard: DivergenceGuard, epoch: int) -> float:
+        """One truncated-BPTT episode; returns its summed window loss."""
+        return self._train_episode(problem, guard, epoch)
+
+    def manifest_config(self) -> dict:
+        """Configuration block recorded in the run manifest."""
+        return {
+            "lr": self.optimizer.lr,
+            "alpha": self.alpha if self.alpha == "auto"
+            else float(self.alpha),
+            "resolved_alpha": self.resolved_alpha,
+            "epochs": self.epochs,
+            "bptt_window": self.bptt_window,
+            "grad_clip": self.grad_clip,
+            "shuffle": self.shuffle,
+            "save_every": self.save_every,
+            "keep_last": self.keep_last,
+            "guard": {
+                "max_retries": self.guard_config.max_retries,
+                "lr_backoff": self.guard_config.lr_backoff,
+                "min_lr": self.guard_config.min_lr,
+                "patience": self.guard_config.patience,
+                "min_delta": self.guard_config.min_delta,
+            },
+        }
 
     # ------------------------------------------------------------------
     # The training loop
@@ -136,212 +176,21 @@ class POSHGNNTrainer:
         from the stored epoch cursor bit-identically to a run that was
         never interrupted.
         """
-        if not problems:
-            raise ValueError("no training problems")
-
-        manager = None
-        event_log = None
-        if self.checkpoint_dir is not None:
-            manager = CheckpointManager(self.checkpoint_dir,
-                                        save_every=self.save_every,
-                                        keep_last=self.keep_last)
-            event_log = EventLog(os.path.join(manager.directory,
-                                              "events.jsonl"))
-        guard = DivergenceGuard(self.guard_config, sink=event_log)
-
-        history: list[float] = []
-        best_loss = np.inf
-        best_state = None
-        epoch = 0
-        resumed_path = None
-        if resume_from is not None:
-            resumed_path = CheckpointManager.resolve(resume_from)
-            checkpoint = TrainerCheckpoint.load(resumed_path)
-            self.model.load_state_dict(checkpoint.model_state)
-            self.optimizer.load_state_dict(checkpoint.optimizer_state)
-            if checkpoint.rng_state is not None:
-                self.rng.bit_generator.state = checkpoint.rng_state
-            history = list(checkpoint.history)
-            best_loss = checkpoint.best_loss
-            best_state = checkpoint.best_state
-            epoch = checkpoint.epoch
-            guard.events = list(checkpoint.guard_events)
-            self.resolved_alpha = checkpoint.alpha
-            if self.resolved_alpha is None:
-                self.resolved_alpha = resolve_alpha(problems, self.alpha)
-        else:
-            self.resolved_alpha = resolve_alpha(problems, self.alpha)
-
-        patience_ref, best_epoch = self._scan_history(
-            history, self.guard_config.min_delta)
-        recovery = self._capture()
-        perf_mark = PERF.snapshot()
-        started = time.perf_counter()
-        early_stopped = False
-        best_dirty = False
-        start_epoch = epoch
-        if event_log is not None:
-            event_log.emit("train.start", epoch=epoch, epochs=self.epochs,
-                           resumed_from=resumed_path)
-
-        try:
-            while epoch < self.epochs:
-                order = list(range(len(problems)))
-                if self.shuffle:
-                    self.rng.shuffle(order)
-                try:
-                    epoch_loss = 0.0
-                    with PERF.scope("train.epoch", {"epoch": epoch}):
-                        for index in order:
-                            epoch_loss += self._train_episode(
-                                problems[index], guard, epoch)
-                except NonFiniteSignal as signal:
-                    # Roll back before deciding whether to retry, so even
-                    # a TrainingDiverged escape leaves the model at its
-                    # last good state instead of the poisoned one.  The
-                    # live lr is read before the restore (the recovery
-                    # snapshot holds the pre-backoff lr) so consecutive
-                    # backoffs compound.
-                    current_lr = self.optimizer.lr
-                    self._restore(recovery)
-                    PERF.count(f"train.guard.{signal.kind}")
-                    try:
-                        self.optimizer.lr = guard.on_nonfinite(
-                            signal, current_lr)
-                    except TrainingDiverged as exhausted:
-                        self.optimizer.lr = exhausted.lr_after
-                        raise
-                    PERF.count("train.guard.rollbacks")
-                    if self.verbose:
-                        print(f"epoch {epoch + 1}: non-finite "
-                              f"{signal.kind}, rolled back, "
-                              f"lr -> {self.optimizer.lr:.2e}")
-                    continue
-
-                PERF.count("train.epochs")
-                guard.on_epoch_success()
-                history.append(epoch_loss / len(problems))
-                epoch += 1
-                PERF.observe("train.epoch_loss", history[-1],
-                             boundaries=DEFAULT_VALUE_BOUNDARIES)
-                if history[-1] < best_loss:
-                    best_loss = history[-1]
-                    best_state = self.model.state_dict()
-                    best_dirty = True
-                if history[-1] < patience_ref - self.guard_config.min_delta:
-                    patience_ref = history[-1]
-                    best_epoch = epoch - 1
-                if self.verbose:
-                    print(f"epoch {epoch}/{self.epochs}: "
-                          f"loss {history[-1]:.4f}")
-
-                recovery = self._capture()
-                if manager is not None and \
-                        manager.due(epoch, final=epoch == self.epochs):
-                    checkpoint = TrainerCheckpoint(
-                        model_state=recovery["model"],
-                        optimizer_state=recovery["optim"],
-                        epoch=epoch,
-                        history=list(history),
-                        best_loss=float(best_loss),
-                        best_state=best_state,
-                        alpha=self.resolved_alpha,
-                        rng_state=recovery["rng"],
-                        guard_events=list(guard.events),
-                    )
-                    saved_path = manager.save(checkpoint,
-                                              is_best=best_dirty)
-                    event_log.emit("checkpoint.save", epoch=epoch,
-                                   path=saved_path, best=best_dirty)
-                    best_dirty = False
-                    PERF.count("train.checkpoints")
-                    self._write_manifest(manager, guard, history, best_loss,
-                                         best_epoch, epoch - start_epoch,
-                                         time.perf_counter() - started,
-                                         perf_mark, resumed_path,
-                                         early_stopped=False,
-                                         event_log=event_log)
-                if self.on_epoch_end is not None:
-                    self.on_epoch_end(self, epoch, history)
-                if guard.should_stop_early(epoch, best_epoch):
-                    early_stopped = True
-                    PERF.count("train.early_stops")
-                    break
-
-            if best_state is not None:
-                self.model.load_state_dict(best_state)
-
-            wall_clock = time.perf_counter() - started
-            result = {
-                "loss": history,
-                "best_loss": best_loss,
-                "alpha": self.resolved_alpha,
-                "epochs_run": epoch - start_epoch,
-                "early_stopped": early_stopped,
-                "guard_events": list(guard.events),
-                "wall_clock_s": wall_clock,
-            }
-            if manager is not None:
-                event_log.emit("train.complete",
-                               epochs_run=epoch - start_epoch,
-                               early_stopped=early_stopped,
-                               wall_clock_s=wall_clock)
-                result["manifest_path"] = self._write_manifest(
-                    manager, guard, history, best_loss, best_epoch,
-                    epoch - start_epoch, wall_clock, perf_mark,
-                    resumed_path, early_stopped, event_log=event_log)
-                result["checkpoint_dir"] = manager.directory
-                result["events_path"] = event_log.path
-            return result
-        finally:
-            if event_log is not None:
-                event_log.close()
-
-    # ------------------------------------------------------------------
-    def _write_manifest(self, manager, guard, history, best_loss,
-                        best_epoch, epochs_run, wall_clock, perf_mark,
-                        resumed_path, early_stopped, event_log=None) -> str:
-        metrics = {name: histogram.as_dict()
-                   for name, histogram in sorted(PERF.histograms.items())
-                   if name.startswith("train.")}
-        manifest = RunManifest(
-            kind="poshgnn-train",
-            config={
-                "lr": self.optimizer.lr,
-                "alpha": self.alpha if self.alpha == "auto"
-                else float(self.alpha),
-                "resolved_alpha": self.resolved_alpha,
-                "epochs": self.epochs,
-                "bptt_window": self.bptt_window,
-                "grad_clip": self.grad_clip,
-                "shuffle": self.shuffle,
-                "save_every": self.save_every,
-                "keep_last": self.keep_last,
-                "guard": {
-                    "max_retries": self.guard_config.max_retries,
-                    "lr_backoff": self.guard_config.lr_backoff,
-                    "min_lr": self.guard_config.min_lr,
-                    "patience": self.guard_config.patience,
-                    "min_delta": self.guard_config.min_delta,
-                },
-            },
-            history=[float(value) for value in history],
-            best_loss=None if not np.isfinite(best_loss)
-            else float(best_loss),
-            best_epoch=best_epoch if best_epoch >= 0 else None,
-            epochs_run=epochs_run,
-            wall_clock_s=wall_clock,
-            perf=PERF.delta_since(perf_mark),
-            metrics=metrics,
-            guard_events=list(guard.events),
-            events_path=event_log.path if event_log is not None else None,
-            events_summary=event_log.summary()
-            if event_log is not None else {},
-            checkpoints=[path for _, path in manager.epoch_checkpoints()],
-            resumed_from=resumed_path,
-            early_stopped=early_stopped,
+        engine = TrainingEngine(
+            self,
+            epochs=self.epochs,
+            shuffle=self.shuffle,
+            rng=self.rng,
+            store=self.checkpoint_dir,
+            save_every=self.save_every,
+            keep_last=self.keep_last,
+            guard=self.guard_config,
+            verbose=self.verbose,
+            on_epoch_end=None if self.on_epoch_end is None
+            else lambda _engine, epoch, history:
+            self.on_epoch_end(self, epoch, history),
         )
-        return manifest.write(manager.manifest_path)
+        return engine.train(problems, resume_from=resume_from)
 
     # ------------------------------------------------------------------
     def _train_episode(self, problem: AfterProblem,

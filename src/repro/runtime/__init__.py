@@ -1,9 +1,14 @@
 """``repro.runtime`` — serving-path instrumentation (compat shim).
 
+.. deprecated::
+    This package is a compatibility shim and will be removed in a
+    future release; import from :mod:`repro.obs` instead.
+
 The runtime registry was subsumed by the :mod:`repro.obs` observability
 subsystem; ``repro.runtime.PERF`` *is* ``repro.obs.PERF`` so existing
-call sites and enable/report sequences keep working unchanged.  New
-code should import from :mod:`repro.obs`.
+call sites and enable/report sequences keep working unchanged.  No
+internal code imports it any more — it exists solely for out-of-tree
+callers of the historical path.
 """
 
 from .instrumentation import PERF, Instrumentation, TimerStat

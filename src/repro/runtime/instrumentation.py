@@ -1,5 +1,9 @@
 """Compatibility shim — the registry moved to :mod:`repro.obs`.
 
+.. deprecated::
+    Import from :mod:`repro.obs` instead; this module will be removed
+    in a future release.
+
 The flat timer/counter registry that used to live here grew into the
 full observability subsystem (hierarchical spans, histogram metrics,
 cross-process merging); see :mod:`repro.obs.instrumentation`.  This

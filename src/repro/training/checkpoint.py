@@ -13,9 +13,12 @@ holding a JSON document (version, cursors, history, RNG state).  Writes
 go through :func:`repro.nn.serialization.atomic_savez`, so a crash
 mid-save never corrupts the previous checkpoint.
 
-:class:`CheckpointManager` layers cadence and retention on top: save
-every ``save_every`` epochs, keep the last ``keep_last`` epoch files
-plus ``best.npz``.
+:class:`CheckpointManager` layers cadence and retention on top of a
+pluggable :class:`~repro.training.storage.CheckpointStore` backend:
+save every ``save_every`` epochs, keep the last ``keep_last`` epoch
+archives plus ``best.npz``.  A plain directory path is shorthand for
+:class:`~repro.training.storage.LocalDirectoryStore`, the historical
+(and byte-identical) layout.
 """
 
 from __future__ import annotations
@@ -33,12 +36,39 @@ from ..nn.serialization import (
     normalize_npz_path,
     unflatten_state,
 )
+from .manifest import RunManifest
+from .storage import (
+    CheckpointStore,
+    LocalDirectoryStore,
+    ShardedDirectoryStore,
+)
 
-__all__ = ["CHECKPOINT_VERSION", "TrainerCheckpoint", "CheckpointManager"]
+__all__ = ["CHECKPOINT_VERSION", "TrainerCheckpoint", "CheckpointManager",
+           "open_directory_store"]
 
 CHECKPOINT_VERSION = 1
 
 _EPOCH_FILE = re.compile(r"^ckpt-(\d+)\.npz$")
+
+
+def open_directory_store(directory: str | os.PathLike) -> CheckpointStore:
+    """Open an existing run directory with the right store backend.
+
+    A directory holding a ``.store.json`` marker (or ``shard-*/``
+    subdirectories) was written by a
+    :class:`~repro.training.storage.ShardedDirectoryStore` — the marker
+    records its fanout; anything else is the flat local layout.  Used to
+    resume runs without knowing how they were stored.
+    """
+    directory = os.fspath(directory)
+    if os.path.isdir(directory) and (
+            os.path.exists(os.path.join(directory,
+                                        ShardedDirectoryStore.MARKER))
+            or any(entry.startswith("shard-")
+                   and os.path.isdir(os.path.join(directory, entry))
+                   for entry in os.listdir(directory))):
+        return ShardedDirectoryStore(directory)
+    return LocalDirectoryStore(directory)
 
 
 @dataclass
@@ -57,8 +87,8 @@ class TrainerCheckpoint:
     version: int = CHECKPOINT_VERSION
 
     # ------------------------------------------------------------------
-    def save(self, path: str | os.PathLike) -> str:
-        """Atomically write this checkpoint; returns the final path."""
+    def to_arrays(self) -> dict:
+        """Flatten into the ``{npz entry: array}`` archive layout."""
         meta = {
             "version": self.version,
             "epoch": int(self.epoch),
@@ -77,33 +107,36 @@ class TrainerCheckpoint:
                 arrays[f"best/{name}"] = np.asarray(value)
         for path_key, value in flatten_state(self.optimizer_state).items():
             arrays[f"optim/{path_key}"] = value
-        return atomic_savez(path, **arrays)
+        return arrays
+
+    def save(self, path: str | os.PathLike) -> str:
+        """Atomically write this checkpoint; returns the final path."""
+        return atomic_savez(path, **self.to_arrays())
 
     # ------------------------------------------------------------------
     @classmethod
-    def load(cls, path: str | os.PathLike) -> "TrainerCheckpoint":
-        """Read a checkpoint written by :meth:`save`."""
-        path = normalize_npz_path(path)
-        with np.load(path) as archive:
-            if "meta" not in archive.files:
-                raise ValueError(f"{path!r} is not a trainer checkpoint "
-                                 f"(no meta entry)")
-            meta = json.loads(str(archive["meta"]))
-            version = meta.get("version", 0)
-            if version > CHECKPOINT_VERSION:
-                raise ValueError(
-                    f"checkpoint {path!r} has format version {version}; "
-                    f"this build reads up to {CHECKPOINT_VERSION}")
-            model_state: dict = {}
-            best_state: dict = {}
-            optim_flat: dict = {}
-            for key in archive.files:
-                if key.startswith("model/"):
-                    model_state[key[len("model/"):]] = archive[key]
-                elif key.startswith("best/"):
-                    best_state[key[len("best/"):]] = archive[key]
-                elif key.startswith("optim/"):
-                    optim_flat[key[len("optim/"):]] = archive[key]
+    def from_arrays(cls, arrays: dict,
+                    source: str = "<arrays>") -> "TrainerCheckpoint":
+        """Rebuild a checkpoint from its archive-entry dict."""
+        if "meta" not in arrays:
+            raise ValueError(f"{source!r} is not a trainer checkpoint "
+                             f"(no meta entry)")
+        meta = json.loads(str(arrays["meta"]))
+        version = meta.get("version", 0)
+        if version > CHECKPOINT_VERSION:
+            raise ValueError(
+                f"checkpoint {source!r} has format version {version}; "
+                f"this build reads up to {CHECKPOINT_VERSION}")
+        model_state: dict = {}
+        best_state: dict = {}
+        optim_flat: dict = {}
+        for key, value in arrays.items():
+            if key.startswith("model/"):
+                model_state[key[len("model/"):]] = value
+            elif key.startswith("best/"):
+                best_state[key[len("best/"):]] = value
+            elif key.startswith("optim/"):
+                optim_flat[key[len("optim/"):]] = value
         return cls(
             model_state=model_state,
             optimizer_state=unflatten_state(optim_flat),
@@ -117,41 +150,58 @@ class TrainerCheckpoint:
             version=version,
         )
 
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "TrainerCheckpoint":
+        """Read a checkpoint written by :meth:`save`."""
+        path = normalize_npz_path(path)
+        with np.load(path) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        return cls.from_arrays(arrays, source=path)
+
 
 class CheckpointManager:
-    """Cadence + retention policy over epoch-numbered checkpoint files.
+    """Cadence + retention policy over epoch-numbered checkpoints.
 
-    Files are named ``ckpt-<epoch>.npz`` inside ``directory``; the last
-    ``keep_last`` are retained, plus ``best.npz`` whenever a save is
-    flagged as the best so far.  ``manifest.json`` (written by the
-    trainer) lives alongside and is never pruned.
+    Archives are named ``ckpt-<epoch>.npz`` inside the backing
+    :class:`~repro.training.storage.CheckpointStore`; the last
+    ``keep_last`` are retained, plus ``best.npz``.  ``manifest.json``
+    (written by the training engine) lives alongside and is never
+    pruned.  ``store`` accepts a directory path (shorthand for the
+    local-directory backend) or any store instance.
     """
 
-    def __init__(self, directory: str | os.PathLike, save_every: int = 1,
-                 keep_last: int = 3):
+    def __init__(self, store: CheckpointStore | str | os.PathLike,
+                 save_every: int = 1, keep_last: int = 3):
         if save_every < 1:
             raise ValueError("save_every must be positive")
         if keep_last < 1:
             raise ValueError("keep_last must be positive")
-        self.directory = os.fspath(directory)
+        if not isinstance(store, CheckpointStore):
+            store = LocalDirectoryStore(store)
+        self.store = store
+        self.directory = store.root
         self.save_every = save_every
         self.keep_last = keep_last
-        os.makedirs(self.directory, exist_ok=True)
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def epoch_name(epoch: int) -> str:
+        """Canonical blob name for the checkpoint after ``epoch`` epochs."""
+        return f"ckpt-{epoch:05d}.npz"
+
     def epoch_path(self, epoch: int) -> str:
-        """Canonical file path for the checkpoint after ``epoch`` epochs."""
-        return os.path.join(self.directory, f"ckpt-{epoch:05d}.npz")
+        """Locator of the checkpoint after ``epoch`` epochs."""
+        return self.store.locator(self.epoch_name(epoch))
 
     @property
     def best_path(self) -> str:
-        """Path of the best-so-far checkpoint (``best.npz``)."""
-        return os.path.join(self.directory, "best.npz")
+        """Locator of the best-so-far checkpoint (``best.npz``)."""
+        return self.store.locator("best.npz")
 
     @property
     def manifest_path(self) -> str:
-        """Path of the run manifest kept next to the checkpoints."""
-        return os.path.join(self.directory, "manifest.json")
+        """Locator of the run manifest kept next to the checkpoints."""
+        return self.store.locator("manifest.json")
 
     def due(self, epoch: int, final: bool = False) -> bool:
         """Whether the cadence calls for a save after ``epoch`` epochs."""
@@ -161,47 +211,76 @@ class CheckpointManager:
     def save(self, checkpoint: TrainerCheckpoint,
              is_best: bool = False) -> str:
         """Write ``checkpoint`` for its epoch, prune, update best."""
-        path = checkpoint.save(self.epoch_path(checkpoint.epoch))
+        arrays = checkpoint.to_arrays()
+        locator = self.store.write_arrays(
+            self.epoch_name(checkpoint.epoch), arrays)
         if is_best:
-            checkpoint.save(self.best_path)
+            self.store.write_arrays("best.npz", arrays)
         self.prune()
-        return path
+        return locator
 
     def prune(self) -> list:
-        """Delete epoch files beyond ``keep_last``; returns removed paths."""
+        """Delete epoch archives beyond ``keep_last``; returns locators."""
         removed = []
-        for epoch, path in self.epoch_checkpoints()[:-self.keep_last]:
-            os.unlink(path)
-            removed.append(path)
+        for _epoch, name in self._epoch_names()[:-self.keep_last]:
+            locator = self.store.locator(name)
+            self.store.delete(name)
+            removed.append(locator)
         return removed
 
     # ------------------------------------------------------------------
-    def epoch_checkpoints(self) -> list:
-        """``(epoch, path)`` pairs on disk, oldest first."""
+    def _epoch_names(self) -> list:
+        """``(epoch, blob name)`` pairs in the store, oldest first."""
         found = []
-        for name in os.listdir(self.directory):
+        for name in self.store.list():
             match = _EPOCH_FILE.match(name)
             if match:
-                found.append((int(match.group(1)),
-                              os.path.join(self.directory, name)))
+                found.append((int(match.group(1)), name))
         return sorted(found)
 
+    def epoch_checkpoints(self) -> list:
+        """``(epoch, locator)`` pairs in the store, oldest first."""
+        return [(epoch, self.store.locator(name))
+                for epoch, name in self._epoch_names()]
+
     def latest_path(self) -> str | None:
-        """Path of the newest epoch checkpoint, or None when empty."""
+        """Locator of the newest epoch checkpoint, or None when empty."""
         found = self.epoch_checkpoints()
         return found[-1][1] if found else None
+
+    def load_latest(self) -> tuple:
+        """``(checkpoint, locator)`` of the newest epoch archive.
+
+        Works for every backend (the archive is read through the store,
+        not the filesystem); raises ``FileNotFoundError`` when the store
+        holds no epoch checkpoints.
+        """
+        names = self._epoch_names()
+        if not names:
+            raise FileNotFoundError(
+                f"no ckpt-*.npz checkpoints in store {self.store.root!r}")
+        _epoch, name = names[-1]
+        return (TrainerCheckpoint.from_arrays(self.store.read_arrays(name),
+                                              source=name),
+                self.store.locator(name))
+
+    def write_manifest(self, manifest: RunManifest) -> str:
+        """Write the run manifest through the store; returns its locator."""
+        return self.store.write_json("manifest.json", manifest.to_dict())
 
     @staticmethod
     def resolve(path: str | os.PathLike) -> str:
         """Resolve a checkpoint argument: a file, or a run directory.
 
-        Directories resolve to their newest epoch checkpoint, so
+        Directories resolve to their newest epoch checkpoint (sharded
+        layouts included — see :func:`open_directory_store`), so
         ``resume_from=<checkpoint_dir>`` continues from wherever a killed
         run got to.
         """
         path = os.fspath(path)
         if os.path.isdir(path):
-            latest = CheckpointManager(path).latest_path()
+            latest = CheckpointManager(open_directory_store(path)) \
+                .latest_path()
             if latest is None:
                 raise FileNotFoundError(
                     f"no ckpt-*.npz checkpoints in directory {path!r}")

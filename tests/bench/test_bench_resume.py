@@ -1,0 +1,106 @@
+"""Resumable bench tables: completed methods are skipped on re-run.
+
+With ``REPRO_RUN_DIR`` set, every fitted method leaves a
+``bench_<slug>.json`` manifest with ``extra.complete`` plus its training
+run directory.  A second invocation of the same table must skip methods
+whose manifest is complete and whose model restores from checkpoints
+(announcing it with a log line the CI smoke test also greps for), re-fit
+methods with missing/incomplete manifests, and reach identical results
+either way.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.bench import BenchConfig, TRAIN_ALPHA0, prepare_room
+from repro.bench.experiments import _bench_fit_complete, _fit_and_evaluate
+from repro.bench.methods import method_slug
+from repro.models import DCRNNRecommender, POSHGNN
+from repro.training import RunManifest
+
+
+def tiny_config(run_dir):
+    return BenchConfig(num_users=12, num_steps=5, train_targets=1,
+                       eval_targets=2, train_epochs=2,
+                       run_dir=str(run_dir))
+
+
+def methods():
+    return {"POSHGNN": POSHGNN(seed=0), "DCRNN": DCRNNRecommender(seed=0)}
+
+
+@pytest.fixture(scope="module")
+def bench_run(tmp_path_factory):
+    run_dir = tmp_path_factory.mktemp("bench-run")
+    config = tiny_config(run_dir)
+    room, train_targets, eval_targets = prepare_room("timik", config)
+    first_methods = methods()
+    first = _fit_and_evaluate(room, first_methods, train_targets,
+                              eval_targets, config, TRAIN_ALPHA0["timik"])
+    return (run_dir, config, room, train_targets, eval_targets,
+            first_methods, first)
+
+
+class TestManifestCompletion:
+    def test_first_run_marks_methods_complete(self, bench_run):
+        run_dir = bench_run[0]
+        for name in ("POSHGNN", "DCRNN"):
+            slug = method_slug(name)
+            path = os.path.join(run_dir, f"bench_{slug}.json")
+            assert _bench_fit_complete(path)
+            manifest = RunManifest.load(path)
+            assert manifest.extra["run_dir"] == os.path.join(run_dir, slug)
+
+    def test_incomplete_or_missing_manifests_rejected(self, tmp_path):
+        assert not _bench_fit_complete(None)
+        assert not _bench_fit_complete(str(tmp_path / "absent.json"))
+        stale = tmp_path / "bench_x.json"
+        with open(stale, "w") as handle:
+            json.dump({"kind": "bench-fit", "schema_version": 2,
+                       "extra": {}}, handle)
+        assert not _bench_fit_complete(str(stale))
+        with open(stale, "w") as handle:
+            handle.write("{truncated")
+        assert not _bench_fit_complete(str(stale))
+
+
+class TestSecondInvocation:
+    def test_skips_completed_methods_with_log_line(self, bench_run, capsys):
+        (run_dir, config, room, train_targets, eval_targets,
+         first_methods, first) = bench_run
+        second_methods = methods()
+        second = _fit_and_evaluate(room, second_methods, train_targets,
+                                   eval_targets, config,
+                                   TRAIN_ALPHA0["timik"])
+        out = capsys.readouterr().out
+        for name in ("POSHGNN", "DCRNN"):
+            assert f"bench: skipping fit of {name}" in out
+        for name in second_methods:
+            assert second[name].after_utility \
+                == first[name].after_utility
+            for (label_a, pa), (label_b, pb) in zip(
+                    first_methods[name].named_parameters(),
+                    second_methods[name].named_parameters()):
+                assert label_a == label_b
+                np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_incomplete_manifest_triggers_refit(self, bench_run, capsys):
+        (run_dir, config, room, train_targets, eval_targets,
+         _first_methods, _first) = bench_run
+        broken = os.path.join(run_dir, "bench_dcrnn.json")
+        with open(broken) as handle:
+            payload = json.load(handle)
+        payload["extra"]["complete"] = False
+        with open(broken, "w") as handle:
+            json.dump(payload, handle)
+
+        _fit_and_evaluate(room, methods(), train_targets, eval_targets,
+                          config, TRAIN_ALPHA0["timik"])
+        out = capsys.readouterr().out
+        assert "bench: skipping fit of POSHGNN" in out
+        assert "bench: skipping fit of DCRNN" not in out
+        # The re-fit rewrites a complete manifest.
+        assert _bench_fit_complete(broken)

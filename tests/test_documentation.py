@@ -42,8 +42,8 @@ def test_public_api_documented(module_name):
 @pytest.mark.parametrize("module_name", [
     "repro.core", "repro.models", "repro.geometry", "repro.datasets",
     "repro.nn", "repro.mwis", "repro.crowd", "repro.social", "repro.study",
-    "repro.bench", "repro.viz", "repro.training", "repro.runtime",
-    "repro.obs",
+    "repro.bench", "repro.viz", "repro.training", "repro.training.engine",
+    "repro.training.storage", "repro.runtime", "repro.obs",
 ])
 def test_public_methods_documented(module_name):
     """Public methods of exported classes must have docstrings."""

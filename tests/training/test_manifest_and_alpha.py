@@ -10,7 +10,7 @@ from repro.datasets import RoomConfig, generate_timik_room
 from repro.models import POSHGNN
 from repro.models.poshgnn.loss import resolve_alpha
 from repro.models.poshgnn.trainer import POSHGNNTrainer
-from repro.runtime import PERF
+from repro.obs import PERF
 
 
 def test_trainer_keeps_configured_alpha(problems):

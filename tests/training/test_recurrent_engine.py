@@ -1,0 +1,177 @@
+"""Engine-backed training for the recurrent baselines (DCRNN / T-GCN).
+
+Mirrors the POSHGNN coverage in this directory: the alpha-resolution
+regression (a configured ``alpha="auto"`` re-resolves on every ``fit()``
+call and is never overwritten), kill-and-resume bit-identity for both
+baselines, schema-v2 run manifests + ``events.jsonl`` per attempt, and
+``restore_fit`` round trips for resumable bench tables.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import AfterProblem
+from repro.datasets import RoomConfig, generate_timik_room
+from repro.models import DCRNNRecommender, TGCNRecommender
+from repro.models.poshgnn.loss import resolve_alpha
+from repro.obs import read_events
+from repro.training import RunManifest
+
+BASELINES = [DCRNNRecommender, TGCNRecommender]
+
+FIT_KWARGS = dict(epochs=4, restarts=2, save_every=2)
+
+
+class _Kill(Exception):
+    pass
+
+
+def _params(model):
+    return {name: parameter.data.copy()
+            for name, parameter in model.named_parameters()}
+
+
+def _assert_same_params(a, b):
+    assert sorted(a) == sorted(b)
+    for name in a:
+        np.testing.assert_array_equal(a[name], b[name])
+
+
+class TestAlphaResolution:
+    def test_auto_alpha_re_resolves_on_every_fit(self, problems):
+        """Two successive fits on different problem sets each resolve
+        their own alpha — the first resolution must not stick."""
+        other_room = generate_timik_room(
+            RoomConfig(num_users=8, num_steps=5), seed=7)
+        other_problems = [AfterProblem(other_room, t) for t in (0, 1)]
+        expected_a = resolve_alpha(problems, "auto")
+        expected_b = resolve_alpha(other_problems, "auto")
+        assert expected_a != expected_b
+
+        rec = DCRNNRecommender(seed=0)
+        first = rec.fit(problems, epochs=2, restarts=1, alpha="auto")
+        second = rec.fit(other_problems, epochs=2, restarts=1, alpha="auto")
+        assert first["alpha"] == expected_a
+        assert second["alpha"] == expected_b
+
+    def test_explicit_alpha_is_used_verbatim(self, problems):
+        rec = TGCNRecommender(seed=0)
+        result = rec.fit(problems, epochs=2, restarts=1, alpha=0.05)
+        assert result["alpha"] == 0.05
+
+
+class TestKillAndResume:
+    @pytest.mark.parametrize("cls", BASELINES)
+    def test_kill_mid_first_attempt_resumes_bit_identically(
+            self, cls, problems, tmp_path):
+        gold_model = cls(seed=0)
+        gold = gold_model.fit(problems, run_dir=str(tmp_path / "gold"),
+                              **FIT_KWARGS)
+
+        run_dir = str(tmp_path / "run")
+        epochs_seen = []
+
+        def kill(engine, epoch, history):
+            epochs_seen.append(epoch)
+            if len(epochs_seen) == 3:   # attempt 0, end of epoch 3 of 4
+                raise _Kill
+
+        with pytest.raises(_Kill):
+            cls(seed=0).fit(problems, run_dir=run_dir,
+                            on_epoch_end=kill, **FIT_KWARGS)
+
+        resumed_model = cls(seed=0)
+        resumed = resumed_model.fit(problems, run_dir=run_dir,
+                                    resume_from=run_dir, **FIT_KWARGS)
+
+        assert resumed["loss"] == gold["loss"]
+        assert resumed["train_utility"] == gold["train_utility"]
+        _assert_same_params(_params(gold_model), _params(resumed_model))
+
+    def test_completed_attempts_fast_forward(self, problems, tmp_path):
+        """Killing during attempt 1 must not re-train attempt 0: its
+        final checkpoint fast-forwards and only attempt 1 trains."""
+        gold_model = DCRNNRecommender(seed=0)
+        gold = gold_model.fit(problems, run_dir=str(tmp_path / "gold"),
+                              **FIT_KWARGS)
+
+        run_dir = str(tmp_path / "run")
+        epochs_seen = []
+
+        def kill(engine, epoch, history):
+            epochs_seen.append(epoch)
+            if len(epochs_seen) == 6:   # attempt 1, end of epoch 2 of 4
+                raise _Kill
+
+        with pytest.raises(_Kill):
+            DCRNNRecommender(seed=0).fit(problems, run_dir=run_dir,
+                                         on_epoch_end=kill, **FIT_KWARGS)
+
+        resumed_epochs = []
+
+        def record(engine, epoch, history):
+            resumed_epochs.append(epoch)
+
+        resumed_model = DCRNNRecommender(seed=0)
+        resumed = resumed_model.fit(problems, run_dir=run_dir,
+                                    resume_from=run_dir,
+                                    on_epoch_end=record, **FIT_KWARGS)
+
+        assert resumed_epochs == [3, 4]   # attempt 1's remaining epochs
+        assert resumed["loss"] == gold["loss"]
+        _assert_same_params(_params(gold_model), _params(resumed_model))
+
+
+class TestFitArtifacts:
+    @pytest.fixture(scope="class")
+    def fitted(self, problems, tmp_path_factory):
+        run_dir = str(tmp_path_factory.mktemp("dcrnn-fit"))
+        model = DCRNNRecommender(seed=0)
+        result = model.fit(problems, run_dir=run_dir, **FIT_KWARGS)
+        return model, result, run_dir
+
+    def test_each_attempt_writes_schema_v2_manifest(self, fitted):
+        _model, _result, run_dir = fitted
+        for label in ("attempt0", "attempt1"):
+            manifest = RunManifest.load(
+                os.path.join(run_dir, label, "manifest.json"))
+            assert manifest.schema_version == 2
+            assert manifest.kind == "dcrnn-train"
+            assert manifest.config["alpha"] == "auto"
+            assert manifest.config["resolved_alpha"] is not None
+            assert len(manifest.history) == FIT_KWARGS["epochs"]
+            assert manifest.checkpoints
+
+    def test_each_attempt_writes_events_jsonl(self, fitted):
+        _model, _result, run_dir = fitted
+        events = read_events(
+            os.path.join(run_dir, "attempt0", "events.jsonl"))
+        types = {event["type"] for event in events}
+        assert {"train.start", "checkpoint.save",
+                "train.complete"} <= types
+
+    def test_fit_manifest_marks_completion(self, fitted):
+        _model, result, run_dir = fitted
+        with open(os.path.join(run_dir, "fit_manifest.json")) as handle:
+            manifest = json.load(handle)
+        assert manifest["kind"] == "dcrnn-fit"
+        assert manifest["extra"]["complete"] is True
+        assert manifest["extra"]["selected"] in ("attempt0", "attempt1")
+        assert os.path.exists(manifest["extra"]["model_path"])
+        assert result["run_dir"] == run_dir
+
+    def test_restore_fit_round_trips(self, fitted):
+        model, _result, run_dir = fitted
+        fresh = DCRNNRecommender(seed=3)
+        assert fresh.restore_fit(run_dir) is True
+        _assert_same_params(_params(model), _params(fresh))
+
+    def test_restore_fit_rejects_incomplete_dir(self, tmp_path):
+        assert DCRNNRecommender(seed=0).restore_fit(str(tmp_path)) is False
+        with open(tmp_path / "fit_manifest.json", "w") as handle:
+            json.dump({"kind": "dcrnn-fit", "schema_version": 2,
+                       "extra": {"complete": False}}, handle)
+        assert DCRNNRecommender(seed=0).restore_fit(str(tmp_path)) is False
