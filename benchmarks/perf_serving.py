@@ -1,0 +1,331 @@
+"""Perf harness for the streaming session-serving engine.
+
+Replays 64 concurrent paper-scale rooms (N = 200 users) through the
+cross-room micro-batching :class:`~repro.serving.SessionEngine`, times
+it against serial one-room-at-a-time stepping over the same sessions,
+asserts that both produce bit-identical per-room episode metrics, and
+writes the measurements to ``BENCH_serving.json``.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/perf_serving.py
+
+or as a benchmark test::
+
+    PYTHONPATH=src pytest benchmarks/test_serving.py
+
+Timing covers the steady state a live deployment cares about — sessions
+are opened before the clock starts, then every tick submits one position
+frame per room and pumps — so rooms/sec means sustained streaming
+throughput, not session setup.  ``REPRO_PERF_TINY=1`` shrinks the run to
+a seconds-long CI smoke that skips the speedup floor.
+
+Besides the timings the harness records:
+
+* exact p50/p99 per-step latencies (submit to completed record) from the
+  timed engine run;
+* an *overload* replay against a deliberately undersized queue, whose
+  shed/degrade accounting is cross-checked against the engine's
+  ``session.shed``/``session.degrade`` events;
+* an instrumented pass with the full observability stack on, written as
+  ``trace_serving.json`` — a Chrome/Perfetto ``trace_event`` file of the
+  per-batch serving phases (geometry, frames, recommend, visibility) —
+  openable directly at ``ui.perfetto.dev``.
+
+Gate a fresh run against the committed baseline with::
+
+    python -m repro.obs gate --baseline BENCH_serving.json \
+        --current /tmp/new.json
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.problem import AfterProblem
+from repro.datasets import RoomConfig, generate_room
+from repro.models import NearestRecommender
+from repro.obs import PERF, TRACER, EventLog, write_chrome_trace
+from repro.serving import ReplayDriver, RoomSession, SessionEngine
+
+__all__ = ["ServingBenchConfig", "run_serving_bench", "main"]
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+#: Acceptance floor: micro-batched streaming must beat serial
+#: one-room-at-a-time stepping by at least this factor at the default
+#: 64-room scale.
+SPEEDUP_FLOOR = 3.0
+
+
+def default_trace_path() -> Path:
+    """Where the Perfetto trace lands: the bench run directory.
+
+    With ``REPRO_RUN_DIR`` set the trace sits next to the run's other
+    artifacts; otherwise it falls back to the repo root (gitignored).
+    """
+    run_dir = os.environ.get("REPRO_RUN_DIR")
+    if run_dir:
+        return Path(run_dir) / "trace_serving.json"
+    return Path(__file__).resolve().parent.parent / "trace_serving.json"
+
+
+@dataclass(frozen=True)
+class ServingBenchConfig:
+    """Scale knobs for the serving-engine benchmark."""
+
+    num_rooms: int = 64
+    num_users: int = 200
+    num_steps: int = 4
+    repeats: int = 3
+    parallel_workers: int = 2
+    overload_pump_interval: int = 3
+    dataset: str = "smm"
+    seed: int = 0
+
+    @classmethod
+    def from_env(cls) -> "ServingBenchConfig":
+        if os.environ.get("REPRO_PERF_TINY"):
+            return cls(num_rooms=8, num_users=24, num_steps=3, repeats=1)
+        return cls()
+
+    @property
+    def is_tiny(self) -> bool:
+        return self.num_users < 64
+
+    @property
+    def ticks(self) -> int:
+        """Position frames per room (a horizon-T trajectory has T+1)."""
+        return self.num_steps + 1
+
+
+def _generate_rooms(config: ServingBenchConfig) -> list:
+    """The bench workload: one (room, target) pair per concurrent room.
+
+    Targets alternate over the user index, so the batch mixes MR targets
+    (forced co-located users, wide present sets) with VR targets — the
+    two serving regimes the batched kernels partition on.
+    """
+    room_config = RoomConfig(num_users=config.num_users,
+                             num_steps=config.num_steps)
+    rooms = [generate_room(config.dataset, room_config,
+                           seed=config.seed + index)
+             for index in range(config.num_rooms)]
+    targets = [index % config.num_users for index in range(config.num_rooms)]
+    return list(zip(rooms, targets))
+
+
+def _serial_stream(workload, config: ServingBenchConfig) -> tuple:
+    """Steady-state serial baseline: one room at a time, scalar kernels.
+
+    Sessions are opened before the clock starts; the timed region steps
+    every room's full trajectory through
+    :meth:`~repro.serving.RoomSession.step` (scalar geometry, frame and
+    visibility per step — what a server without micro-batching runs).
+    """
+    sessions = []
+    for room, target in workload:
+        session = RoomSession(AfterProblem(room=room, target=target),
+                              NearestRecommender())
+        session.begin()
+        sessions.append(session)
+    start = time.perf_counter()
+    for session, (room, _) in zip(sessions, workload):
+        for tick in range(config.ticks):
+            session.step(room.trajectory.positions[tick])
+    elapsed = time.perf_counter() - start
+    return elapsed, [session.result() for session in sessions]
+
+
+def _engine_stream(workload, config: ServingBenchConfig,
+                   workers: int | None = None) -> tuple:
+    """Steady-state engine run: submit one tick per room, pump, repeat.
+
+    Returns the elapsed seconds, per-room results and the per-step
+    latencies (submit to completed record) of every processed step.
+    """
+    with SessionEngine(max_batch=config.num_rooms,
+                       max_queue=config.num_rooms * config.ticks,
+                       workers=workers, events=EventLog()) as engine:
+        driver = ReplayDriver(engine)
+        sessions = [driver.add_room(room, target, NearestRecommender(),
+                                    session_id=f"room-{index:03d}")
+                    for index, (room, target) in enumerate(workload)]
+        start = time.perf_counter()
+        driver.run()
+        elapsed = time.perf_counter() - start
+        results = [session.result() for session in sessions]
+        latencies = [step.latency_s for session in sessions
+                     for step in session.steps if not step.shed]
+    return elapsed, results, latencies
+
+
+def _overload_replay(workload, config: ServingBenchConfig) -> dict:
+    """Replay against an undersized queue and account for the shedding.
+
+    The queue holds half of one tick's submissions and the driver pumps
+    only every ``overload_pump_interval`` ticks, so admission control
+    must shed; the upper half of the admitted window degrades to the
+    greedy MWIS fallback.  Shed/degrade counts are cross-checked against
+    the engine's ``session.shed``/``session.degrade`` events and the
+    returned tickets — the stress tests pin exact equality, the bench
+    records the rates.
+    """
+    events = EventLog()
+    max_queue = max(2, config.num_rooms // 2)
+    with SessionEngine(max_batch=config.num_rooms, max_queue=max_queue,
+                       degrade_at=max(1, max_queue // 2),
+                       events=events) as engine:
+        driver = ReplayDriver(engine,
+                              pump_interval=config.overload_pump_interval)
+        for index, (room, target) in enumerate(workload):
+            driver.add_room(room, target, NearestRecommender(),
+                            session_id=f"overload-{index:03d}")
+        tickets = driver.run()
+        sessions = [engine.session(f"overload-{index:03d}")
+                    for index in range(len(workload))]
+        shed_steps = sum(session.shed_count for session in sessions)
+        degraded_steps = sum(session.degraded_count for session in sessions)
+
+    submitted = sum(len(per_session) for per_session in tickets.values())
+    shed_tickets = sum(ticket.status == "shed"
+                       for per_session in tickets.values()
+                       for ticket in per_session)
+    counts = events.counts
+    return {
+        "submitted": submitted,
+        "processed": submitted - shed_steps,
+        "shed": shed_steps,
+        "degraded": degraded_steps,
+        "shed_rate": shed_steps / submitted,
+        "degraded_rate": degraded_steps / submitted,
+        "events_consistent": bool(
+            counts.get("session.shed", 0) == shed_steps == shed_tickets
+            and counts.get("session.degrade", 0) == degraded_steps),
+    }
+
+
+def _episode_fingerprint(results) -> list:
+    """Order-sensitive exact fingerprint of per-room episode results."""
+    return [(episode.after_utility, episode.preference, episode.presence,
+             episode.occlusion_rate, episode.recommendations.tobytes())
+            for episode in results]
+
+
+def run_serving_bench(config: ServingBenchConfig | None = None,
+                      trace_path=None) -> dict:
+    """Run the serving comparison and return the bench record.
+
+    ``trace_path`` (optional) names a file for the Perfetto trace of the
+    instrumented engine pass.
+    """
+    config = config or ServingBenchConfig.from_env()
+    workload = _generate_rooms(config)
+
+    serial_s = np.inf
+    engine_s = np.inf
+    parallel_s = np.inf
+    serial_results = engine_results = parallel_results = None
+    latencies: list = []
+    for _ in range(config.repeats):
+        elapsed, serial_results = _serial_stream(workload, config)
+        serial_s = min(serial_s, elapsed)
+        elapsed, engine_results, run_latencies = _engine_stream(workload,
+                                                                config)
+        if elapsed < engine_s:
+            engine_s, latencies = elapsed, run_latencies
+        elapsed, parallel_results, _ = _engine_stream(
+            workload, config, workers=config.parallel_workers)
+        parallel_s = min(parallel_s, elapsed)
+
+    fingerprint = _episode_fingerprint(serial_results)
+    identical = all(_episode_fingerprint(results) == fingerprint
+                    for results in (engine_results, parallel_results))
+
+    # Separate untimed pass for the instrumentation breakdown and the
+    # trace, so the timed runs pay no collection overhead.
+    PERF.reset().enable()
+    TRACER.reset().enable()
+    _engine_stream(workload, config)
+    instrumentation = PERF.report()
+    PERF.disable()
+    TRACER.disable()
+    if trace_path is not None:
+        write_chrome_trace(trace_path, TRACER.spans,
+                           process_labels={os.getpid(): "serving-engine"})
+
+    overload = _overload_replay(workload, config)
+
+    steps = config.num_rooms * config.ticks
+    quantiles = np.percentile(latencies, [50, 99]) if latencies else [0, 0]
+    return {
+        "config": asdict(config),
+        "timings_s": {
+            "serial_stream": serial_s,
+            "engine_stream": engine_s,
+            f"engine_parallel_w{config.parallel_workers}": parallel_s,
+        },
+        "throughput": {
+            "serial_rooms_per_s": config.num_rooms / serial_s,
+            "engine_rooms_per_s": config.num_rooms / engine_s,
+            "serial_steps_per_s": steps / serial_s,
+            "engine_steps_per_s": steps / engine_s,
+        },
+        "latency_s": {
+            "p50": float(quantiles[0]),
+            "p99": float(quantiles[1]),
+            "max": float(max(latencies)) if latencies else 0.0,
+        },
+        "speedup": {
+            "engine_vs_serial": serial_s / engine_s,
+        },
+        "overload": overload,
+        "metrics_identical": bool(identical),
+        "instrumentation": instrumentation,
+    }
+
+
+def main() -> dict:
+    config = ServingBenchConfig.from_env()
+    trace_path = default_trace_path()
+    trace_path.parent.mkdir(parents=True, exist_ok=True)
+    record = run_serving_bench(config, trace_path=trace_path)
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    speedup = record["speedup"]["engine_vs_serial"]
+    print(f"session serving @ {config.num_rooms} rooms x "
+          f"N={config.num_users} users, {config.ticks} ticks")
+    for name, seconds in record["timings_s"].items():
+        print(f"  {name:28s} {seconds * 1000.0:9.1f} ms")
+    print(f"  rooms/sec (serial)           "
+          f"{record['throughput']['serial_rooms_per_s']:9.1f}")
+    print(f"  rooms/sec (engine)           "
+          f"{record['throughput']['engine_rooms_per_s']:9.1f}")
+    print(f"  step latency p50 / p99       "
+          f"{record['latency_s']['p50'] * 1000.0:6.1f} / "
+          f"{record['latency_s']['p99'] * 1000.0:6.1f} ms")
+    print(f"  overload shed rate           "
+          f"{record['overload']['shed_rate']:9.1%}")
+    print(f"  speedup (engine vs serial)   {speedup:9.2f}x")
+    print(f"  metrics identical: {record['metrics_identical']}")
+    print(f"wrote {RESULT_PATH}")
+    print(f"wrote {trace_path} (open at ui.perfetto.dev)")
+
+    if not record["metrics_identical"]:
+        raise SystemExit("streamed metrics diverge from serial stepping")
+    if not record["overload"]["events_consistent"]:
+        raise SystemExit("shed/degrade events disagree with step records")
+    if not config.is_tiny and speedup < SPEEDUP_FLOOR:
+        raise SystemExit(f"speedup {speedup:.2f}x below the "
+                         f"{SPEEDUP_FLOOR}x floor")
+    return record
+
+
+if __name__ == "__main__":
+    main()

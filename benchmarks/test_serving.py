@@ -1,0 +1,31 @@
+"""Streaming serving engine vs serial one-room-at-a-time stepping.
+
+Wraps :mod:`benchmarks.perf_serving` as a benchmark test: micro-batched
+streaming must produce bit-identical per-room metrics and, at the
+default 64-room paper scale, beat serial stepping by the acceptance
+floor.  ``REPRO_PERF_TINY=1`` shrinks it to a CI smoke run that checks
+equivalence and shed accounting only.
+"""
+
+from perf_serving import SPEEDUP_FLOOR, ServingBenchConfig, \
+    run_serving_bench
+
+
+def test_serving_speedup_and_parity(benchmark):
+    config = ServingBenchConfig.from_env()
+    record = benchmark.pedantic(run_serving_bench, args=(config,),
+                                rounds=1, iterations=1)
+
+    print()
+    for name, seconds in record["timings_s"].items():
+        print(f"  {name:28s} {seconds * 1000.0:9.1f} ms")
+    print(f"  speedup (engine vs serial)   "
+          f"{record['speedup']['engine_vs_serial']:9.2f}x")
+    print(f"  overload shed rate           "
+          f"{record['overload']['shed_rate']:9.1%}")
+
+    assert record["metrics_identical"]
+    assert record["overload"]["events_consistent"]
+    assert record["overload"]["shed"] > 0
+    if not config.is_tiny:
+        assert record["speedup"]["engine_vs_serial"] >= SPEEDUP_FLOOR

@@ -81,6 +81,18 @@ class AggregateResult:
     episodes: list = field(default_factory=list, repr=False)
 
     @classmethod
+    def empty(cls) -> "AggregateResult":
+        """The aggregate of zero episodes: NaN metrics, no episodes.
+
+        Online callers legitimately ask for zero targets (a room whose
+        users all disconnected mid-session); they get a well-formed
+        result whose metrics are NaN rather than a crash.
+        """
+        nan = float("nan")
+        return cls(after_utility=nan, preference=nan, presence=nan,
+                   occlusion_rate=nan, runtime_ms=nan, episodes=[])
+
+    @classmethod
     def from_episodes(cls, episodes: list) -> "AggregateResult":
         if not episodes:
             raise ValueError("no episodes to aggregate")
@@ -339,6 +351,11 @@ def evaluate_targets(room, recommender: Recommender, targets,
     if engine not in _ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected {_ENGINES}")
     targets = [int(target) for target in np.asarray(targets).ravel()]
+    if not targets:
+        # An online caller's room can drain to zero targets; both the
+        # serial and fork-parallel paths used to crash here (ValueError
+        # from the aggregation, np.array_split on zero sections).
+        return AggregateResult.empty()
     with PERF.scope("eval.targets", {"engine": engine,
                                      "num_targets": len(targets),
                                      "workers": workers or 1}):

@@ -57,7 +57,7 @@ class AfterProblem:
                 raise IndexError(f"listed user {user} out of range")
         if target in self.blocklist:
             raise ValueError("the target cannot block themselves")
-        self._dog = room.dog(target)
+        self._dog = None
         self._frames: list | None = None
 
     # ------------------------------------------------------------------
@@ -73,17 +73,38 @@ class AfterProblem:
 
     @property
     def dog(self):
-        """The target's dynamic occlusion graph."""
+        """The target's dynamic occlusion graph (built on first access).
+
+        Laziness matters for streaming: a
+        :class:`~repro.serving.RoomSession` binds a problem for its
+        metadata and per-step frame assembly but never replays the full
+        trajectory, so the whole-episode graph build must not run as a
+        constructor side effect.
+        """
+        if self._dog is None:
+            self._dog = self.room.dog(self.target)
         return self._dog
 
     def frame_at(self, t: int) -> Frame:
         """Assemble the frame for step ``t``."""
         if not 0 <= t <= self.horizon:
             raise IndexError(f"step {t} outside horizon {self.horizon}")
+        return self.frame_from_graph(t, self.dog[t])
+
+    def frame_from_graph(self, t: int, graph) -> Frame:
+        """Assemble the step-``t`` frame around an externally built graph.
+
+        The one frame-assembly path shared by the offline engines (which
+        pass ``dog[t]``) and the streaming session engine (which builds
+        ``graph`` incrementally from live positions): raw utility rows,
+        MIA preprocessing and block/allow-list pruning are applied
+        identically, so a streamed step sees bit-identical frame
+        contents to :meth:`frame_at` whenever the graphs are equal.
+        """
         frame = build_frame(
             t=t,
             target=self.target,
-            graph=self._dog[t],
+            graph=graph,
             preference_row=self.room.preference[self.target],
             presence_row=self.room.presence[self.target],
             interfaces_mr=self.room.interfaces_mr,
@@ -124,7 +145,7 @@ class AfterProblem:
             if self.blocklist or self.allowlist is not None:
                 frames = build_episode_frames(
                     target=self.target,
-                    graphs=self._dog.snapshots,
+                    graphs=self.dog.snapshots,
                     preference_row=self.room.preference[self.target],
                     presence_row=self.room.presence[self.target],
                     interfaces_mr=self.room.interfaces_mr,
@@ -138,8 +159,8 @@ class AfterProblem:
 
     def adjacency(self, t: int) -> np.ndarray:
         """Float occlusion adjacency ``A_t`` (zeros for ``t < 0``)."""
-        return self._dog.adjacency(t)
+        return self.dog.adjacency(t)
 
     def delta(self, t: int) -> np.ndarray:
         """MIA's structural-change embedding ``Delta_t``."""
-        return self._dog.delta(t)
+        return self.dog.delta(t)

@@ -71,5 +71,19 @@ class Recommender:
         """
         return {}
 
+    def session_clone(self) -> "Recommender":
+        """An independent copy of this recommender for one live session.
+
+        Stateful recommenders carry per-episode state (hidden vectors,
+        the previous recommendation), so concurrent rooms in a
+        :class:`~repro.serving.SessionEngine` must not share one
+        instance.  The default deep copy duplicates learned parameters
+        and carried state alike; recommenders backed by resources that
+        must not be copied override this.
+        """
+        import copy
+
+        return copy.deepcopy(self)
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

@@ -16,9 +16,10 @@ import numpy as np
 
 from ..geometry import StaticOcclusionGraph, forced_presence_mask, \
     physically_blocked_mask
+from ..geometry.batched import stacked_rooms_field
 
 __all__ = ["Frame", "build_frame", "build_episode_frames",
-           "distance_normalise"]
+           "build_room_frames", "distance_normalise"]
 
 
 def distance_normalise(utilities: np.ndarray, distances: np.ndarray,
@@ -243,4 +244,101 @@ def build_episode_frames(target: int, graphs: list,
             raw_presence=raw_presence[t],
         )
         for t in range(steps)
+    ]
+
+
+def build_room_frames(ts, targets, graphs, preference_rows,
+                      presence_rows, interfaces_rows) -> list:
+    """Assemble one frame per *room* in a few broadcast passes.
+
+    The cross-room companion of :func:`build_episode_frames`: element
+    ``b`` of every argument describes a *different* room at one instant
+    — its step index, target, occlusion graph (all graphs must share
+    ``num_users`` and ``body_radius``; the serving engine groups rooms
+    accordingly), the target's raw utility rows and the room's interface
+    mask.  Frame ``b`` of the result is identical to
+    ``build_frame(ts[b], targets[b], graphs[b], ...)``: the same
+    elementwise operations run over a broadcast leading room axis, and
+    forced/blocked are boolean so broadcasting cannot perturb them.
+    Each frame owns its row of the batched arrays, so downstream
+    per-frame mutation (block/allow-list pruning) stays frame-local.
+    """
+    rooms = len(graphs)
+    targets = np.asarray(targets, dtype=np.int64)
+    rows = np.arange(rooms)
+    interfaces = np.asarray(interfaces_rows, dtype=bool)
+
+    # forced_presence_mask, broadcast: all co-located MR users iff the
+    # target itself is MR, never the target.
+    forced = interfaces & interfaces[rows, targets][:, None]
+    forced[rows, targets] = False
+
+    distances = stacked_rooms_field(graphs, "distances")
+    adjacency = stacked_rooms_field(graphs, "adjacency")
+    margin = graphs[0].body_radius
+
+    # physically_blocked_mask, broadcast: like the scalar version, gather
+    # the forced columns before the pairwise work — only rooms that have
+    # forced users at all (MR targets), padded to the widest forced set
+    # among them.  The adjacency gather reads *rows* instead of columns
+    # (arc intersection is symmetric by construction, and both
+    # converters clear the target symmetrically), because row views are
+    # contiguous and therefore far cheaper to gather.  Padded slots
+    # carry valid=False and drop out of the disjunction, exactly as
+    # absent columns do in the scalar gather.
+    blocked = np.zeros(distances.shape, dtype=bool)
+    has_forced = np.nonzero(forced.any(axis=1))[0]
+    if has_forced.size:
+        sub_forced = forced[has_forced]
+        sub_distances = distances[has_forced]
+        width = int(sub_forced.sum(axis=1).max())
+        forder = np.argsort(~sub_forced, axis=1, kind="stable")[:, :width]
+        fvalid = np.take_along_axis(sub_forced, forder, axis=1)
+        fdist = np.take_along_axis(sub_distances, forder, axis=1)
+        adj_rows = adjacency[has_forced[:, None], forder]      # (R, F, N)
+        nearer = fdist[:, :, None] < sub_distances[:, None, :] - margin
+        blocked[has_forced] = (adj_rows & nearer
+                               & fvalid[:, :, None]).any(axis=1)
+    blocked[forced] = False
+    blocked[rows, targets] = False
+
+    mask = np.ones((rooms, distances.shape[1]), dtype=np.float64)
+    mask[rows, targets] = 0.0
+    mask[blocked] = 0.0
+
+    raw_preference = np.array(preference_rows, dtype=np.float64)
+    raw_presence = np.array(presence_rows, dtype=np.float64)
+    raw_preference[rows, targets] = 0.0
+    raw_presence[rows, targets] = 0.0
+
+    preference = raw_preference.copy()
+    presence = raw_presence.copy()
+    preference[blocked] = 0.0
+    presence[blocked] = 0.0
+
+    # distance_normalise, broadcast over rooms (same elementwise ops,
+    # one per-room scale).
+    scale = np.maximum(distances.max(axis=1), 1e-9)[:, None]
+    damping = 1.0 + (distances / scale) ** 2
+    preference_hat = preference / damping
+    presence_hat = presence / damping
+
+    return [
+        Frame(
+            t=int(ts[b]),
+            target=int(targets[b]),
+            graph=graphs[b],
+            preference=preference[b],
+            presence=presence[b],
+            preference_hat=preference_hat[b],
+            presence_hat=presence_hat[b],
+            distances=graphs[b].distances,
+            interfaces_mr=interfaces[b],
+            forced=forced[b],
+            blocked=blocked[b],
+            mask=mask[b],
+            raw_preference=raw_preference[b],
+            raw_presence=raw_presence[b],
+        )
+        for b in range(rooms)
     ]

@@ -26,6 +26,7 @@ from .visibility import (
     occlusion_rate,
     physically_blocked_mask,
     resolve_episode_visibility,
+    resolve_rooms_visibility,
     resolve_visibility,
     resolve_visibility_with_occlusion,
 )
@@ -51,6 +52,7 @@ __all__ = [
     "resolve_visibility",
     "resolve_visibility_with_occlusion",
     "resolve_episode_visibility",
+    "resolve_rooms_visibility",
     "physically_blocked_mask",
     "occlusion_rate",
 ]

@@ -101,6 +101,34 @@ class MultiTargetGraphs:
         return [self.graph(i) for i in range(self.num_targets)]
 
 
+class RoomGraphs(list):
+    """Per-room graphs plus the contiguous batch arrays they view.
+
+    :meth:`BatchedOcclusionConverter.convert_rooms` builds one
+    ``(B, N, N)`` adjacency and one ``(B, N)`` distance array and hands
+    out per-room :class:`StaticOcclusionGraph` views into them.  This
+    list subclass keeps the batch arrays reachable so downstream batched
+    kernels (frame assembly, visibility resolution) can reuse them
+    instead of re-stacking ``B`` views into a fresh copy.  It behaves
+    exactly like the plain list it degrades to.
+    """
+
+    def __init__(self, graphs, adjacency: np.ndarray, distances: np.ndarray):
+        super().__init__(graphs)
+        self.adjacency = adjacency    # (B, N, N) bool
+        self.distances = distances    # (B, N) float64
+
+
+def stacked_rooms_field(graphs, attr: str) -> np.ndarray:
+    """The batched ``attr`` array across ``graphs``, without copying
+    when ``graphs`` is a :class:`RoomGraphs` batch that already owns it.
+    """
+    batched = getattr(graphs, attr, None)
+    if batched is not None and len(batched) == len(graphs):
+        return batched
+    return np.stack([getattr(graph, attr) for graph in graphs])
+
+
 class BatchedOcclusionConverter:
     """Builds occlusion graphs for many targets in one broadcasted pass.
 
@@ -239,6 +267,96 @@ class BatchedOcclusionConverter:
         np.minimum(diff, scratch, out=diff)
         np.add(half_widths[:, :, None], half_widths[:, None, :], out=scratch)
         np.less_equal(diff, scratch, out=out)
+
+    # ------------------------------------------------------------------
+    def convert_rooms(self, positions: np.ndarray, targets,
+                      facing: float = 0.0) -> list:
+        """One static occlusion graph per ``(room, target)`` pair.
+
+        The cross-room micro-batching kernel behind
+        :class:`~repro.serving.SessionEngine`: ``positions`` stacks one
+        instant of ``B`` *different* rooms as ``(B, N, 2)`` (every room
+        in the batch must have the same user count) and ``targets``
+        names one target per room, so row ``b`` of the result is the
+        graph of ``targets[b]`` in room ``b``.  This differs from
+        :meth:`convert_frame`, which builds many targets of one shared
+        position set.
+
+        Bit-identity: row ``b`` equals
+        ``OcclusionGraphConverter.convert(positions[b], targets[b],
+        facing)`` exactly — the same float64 elementwise operations run
+        over a broadcast leading axis, and the arc kernel is the one
+        shared with :meth:`convert_frame`
+        (``tests/geometry/test_batched_equivalence.py`` pins it).
+        """
+        positions = np.asarray(positions, dtype=np.float64)
+        if positions.ndim != 3 or positions.shape[2] not in (2, 3):
+            raise ValueError(
+                f"expected (B,N,2) or (B,N,3) stacked positions, got "
+                f"{positions.shape}")
+        if positions.shape[2] == 3:
+            positions = positions[:, :, [0, 2]]   # paper's (x, 0, z)
+        rooms, count = positions.shape[:2]
+        targets = np.asarray(targets, dtype=np.int64).ravel()
+        if targets.size != rooms:
+            raise ValueError(
+                f"need one target per room: {rooms} rooms, "
+                f"{targets.size} targets")
+        if targets.size and (targets.min() < 0 or targets.max() >= count):
+            raise IndexError(
+                f"targets out of range for {count} users: {targets}")
+        rows = np.arange(rooms)
+
+        with PERF.scope("geom.convert_rooms"):
+            deltas = positions - positions[rows, targets][:, None, :]
+            distances = np.hypot(deltas[..., 0], deltas[..., 1])
+            centers = np.arctan2(deltas[..., 1], deltas[..., 0])
+            centers[rows, targets] = 0.0
+
+            ratio = np.ones(distances.shape)
+            np.divide(self.body_radius, distances, out=ratio,
+                      where=distances > self.body_radius)
+            half_widths = np.where(distances <= self.body_radius,
+                                   math.pi / 2.0,
+                                   np.arcsin(np.clip(ratio, 0.0, 1.0)))
+            half_widths[rows, targets] = 0.0
+
+            adjacency = np.empty((rooms, count, count), dtype=bool)
+            chunk = max(1, _KERNEL_WORKSPACE_ELEMENTS
+                        // max(1, count * count))
+            for start in range(0, rooms, chunk):
+                stop = min(start + chunk, rooms)
+                self._adjacency_chunk(centers[start:stop],
+                                      half_widths[start:stop],
+                                      adjacency[start:stop])
+
+            diag = np.arange(count)
+            adjacency[:, diag, diag] = False
+            adjacency[rows, targets, :] = False
+            adjacency[rows, :, targets] = False
+
+            if self.view_limit is not None:
+                visible = distances <= self.view_limit
+                visible[rows, targets] = True
+                adjacency &= visible[:, None, :]
+                adjacency &= visible[:, :, None]
+
+            if self.fov is not None:
+                in_cone = angular_separation(centers, facing) \
+                    <= self.fov / 2.0 + half_widths
+                in_cone[rows, targets] = True
+                adjacency &= in_cone[:, None, :]
+                adjacency &= in_cone[:, :, None]
+
+        return RoomGraphs(
+            [StaticOcclusionGraph(target=int(targets[b]),
+                                  adjacency=adjacency[b],
+                                  distances=distances[b],
+                                  centers=centers[b],
+                                  half_widths=half_widths[b],
+                                  body_radius=self.body_radius)
+             for b in range(rooms)],
+            adjacency=adjacency, distances=distances)
 
     # ------------------------------------------------------------------
     def convert_trajectory(self, trajectory: np.ndarray, targets

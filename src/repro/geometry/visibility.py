@@ -16,11 +16,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from .batched import stacked_rooms_field
 from .occlusion import StaticOcclusionGraph
 
 __all__ = ["resolve_visibility", "resolve_visibility_with_occlusion",
-           "resolve_episode_visibility", "occlusion_rate",
-           "forced_presence_mask", "physically_blocked_mask"]
+           "resolve_episode_visibility", "resolve_rooms_visibility",
+           "occlusion_rate", "forced_presence_mask",
+           "physically_blocked_mask"]
 
 
 def forced_presence_mask(interfaces_mr: np.ndarray, target: int) -> np.ndarray:
@@ -224,6 +226,110 @@ def resolve_episode_visibility(graphs: list, rendered: np.ndarray,
         if total:
             rates[t] = int((shown[t] & ~visible[t]).sum()) / total
     return visible, rates
+
+
+def resolve_rooms_visibility(graphs: list, rendered: np.ndarray,
+                             forced: np.ndarray,
+                             depth_margin: float | None = None) -> tuple:
+    """Visibility and occlusion rates across many *rooms* at one instant.
+
+    The cross-room companion of :func:`resolve_episode_visibility`,
+    used by the serving engine's micro-batches: element ``b`` of each
+    argument belongs to a different room (all rooms sharing
+    ``num_users`` and ``body_radius`` — the engine groups them so), and
+    row ``b`` of the result equals
+    ``resolve_visibility_with_occlusion(graphs[b], rendered[b],
+    forced[b])`` exactly.  Equality is structural, not approximate:
+    every clutter/occlusion term is boolean algebra conjoined with
+    present-user masks (so the scalar path's present-subset gather
+    selects the same pairs), and the occlusion rate is a ratio of two
+    integer counts.
+
+    Returns ``(visible, rates)`` of shapes ``(B, N)`` and ``(B,)``.
+    """
+    rendered = np.asarray(rendered, dtype=bool)
+    rooms = rendered.shape[0]
+    rows = np.arange(rooms)
+    targets = np.array([graph.target for graph in graphs], dtype=np.int64)
+    if depth_margin is None:
+        depth_margin = graphs[0].body_radius
+
+    forced = np.asarray(forced, dtype=bool).copy()
+    forced[rows, targets] = False
+    virtual = rendered.copy()
+    virtual[rows, targets] = False
+    virtual &= ~forced
+    present = virtual | forced
+
+    visible = present.copy()
+    # Like the scalar resolver, restrict the pairwise work to each
+    # room's *present* users.  Present counts differ per room — rooms
+    # with an MR target carry all their forced co-located users, rooms
+    # with a VR target only the handful of rendered avatars — so the
+    # rooms are partitioned on that split and each partition is padded
+    # only to ITS widest present set, keeping the narrow rooms from
+    # paying for the wide ones.
+    if rooms:
+        distances = stacked_rooms_field(graphs, "distances")
+        adjacency = stacked_rooms_field(graphs, "adjacency")
+        with_forced = forced.any(axis=1)
+        for part in (np.nonzero(with_forced)[0],
+                     np.nonzero(~with_forced)[0]):
+            if part.size:
+                _resolve_rooms_subset(part, adjacency, distances, virtual,
+                                      forced, present, visible,
+                                      depth_margin)
+
+    shown = rendered.copy()
+    shown[rows, targets] = False
+    total = shown.sum(axis=1)
+    occluded = (shown & ~visible).sum(axis=1)
+    rates = np.zeros(rooms, dtype=np.float64)
+    np.divide(occluded, total, out=rates, where=total > 0)
+    return visible, rates
+
+
+def _resolve_rooms_subset(part: np.ndarray, adjacency: np.ndarray,
+                          distances: np.ndarray, virtual: np.ndarray,
+                          forced: np.ndarray, present: np.ndarray,
+                          visible: np.ndarray,
+                          depth_margin: float) -> None:
+    """Resolve one partition of rooms into ``visible``, in place.
+
+    Gathers every room's present indices (in ascending order — a stable
+    argsort on ``~present`` lists them first) into a padded ``(R, K)``
+    table; padded entries carry valid=False and therefore neither
+    virtual nor forced, so they drop out of every conjoined term exactly
+    as absent users drop out of the scalar present-subset gather.
+    """
+    sub_present = present[part]
+    width = int(sub_present.sum(axis=1).max())
+    if not width:
+        return
+    order = np.argsort(~sub_present, axis=1, kind="stable")[:, :width]
+    valid = np.take_along_axis(sub_present, order, axis=1)
+
+    sub_distances = np.take_along_axis(distances[part], order, axis=1)
+    # Gather the (order x order) adjacency submatrix in two steps —
+    # whole rows first, then columns along the contiguous axis — which
+    # is several times cheaper than one triple fancy index.
+    sub_adjacency = np.take_along_axis(
+        adjacency[part[:, None], order], order[:, None, :], axis=2)
+    sub_virtual = np.take_along_axis(virtual[part], order, axis=1)
+    sub_forced = np.take_along_axis(forced[part], order, axis=1)
+    nearer = sub_distances[:, None, :] \
+        < sub_distances[:, :, None] - depth_margin
+
+    clutter = (sub_adjacency & sub_virtual[:, None, :]).any(axis=2) \
+        & sub_virtual
+    behind_physical = (sub_adjacency & sub_forced[:, None, :]
+                       & nearer).any(axis=2) & sub_virtual
+    covered = (sub_adjacency & (sub_forced | sub_virtual)[:, None, :]
+               & nearer).any(axis=2) & sub_forced
+    sub_visible = valid & ~(clutter | behind_physical | covered)
+    part_visible = visible[part]
+    np.put_along_axis(part_visible, order, sub_visible, axis=1)
+    visible[part] = part_visible
 
 
 def physically_blocked_mask(graph: StaticOcclusionGraph,

@@ -128,6 +128,26 @@ class POSHGNN(Module, Recommender):
             problem.num_users)
         self._rendered = np.zeros(problem.num_users, dtype=bool)
 
+    def carried_state(self) -> dict:
+        """Copies of the per-episode state carried across steps.
+
+        ``hidden``/``recommendation`` are LWP's ``h_{t-1}``/``r_{t-1}``,
+        ``rendered`` the previous display set, and
+        ``previous_adjacency`` MIA's ``A_{t-1}`` (``None`` before the
+        first step).  The streaming parity suite compares these between
+        a live session and the offline episode walk step by step.
+        """
+        return {
+            "hidden": None if self._hidden is None
+            else self._hidden.data.copy(),
+            "recommendation": None if self._recommendation is None
+            else self._recommendation.data.copy(),
+            "rendered": self._rendered.copy(),
+            "previous_adjacency":
+                None if self.mia._previous_adjacency is None
+                else self.mia._previous_adjacency.copy(),
+        }
+
     def recommend(self, frame: Frame) -> np.ndarray:
         with no_grad():
             recommendation, hidden, _ = self.step(

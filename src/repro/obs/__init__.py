@@ -34,6 +34,7 @@ from .gate import (
     load_bench_timings,
 )
 from .instrumentation import (
+    DEFAULT_COUNT_BOUNDARIES,
     DEFAULT_LATENCY_BOUNDARIES,
     DEFAULT_VALUE_BOUNDARIES,
     PERF,
@@ -56,6 +57,7 @@ __all__ = [
     "Histogram",
     "DEFAULT_LATENCY_BOUNDARIES",
     "DEFAULT_VALUE_BOUNDARIES",
+    "DEFAULT_COUNT_BOUNDARIES",
     "TRACER",
     "Tracer",
     "SpanRecord",

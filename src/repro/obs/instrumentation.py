@@ -39,7 +39,8 @@ from dataclasses import dataclass, field
 from .trace import TRACER, Tracer
 
 __all__ = ["TimerStat", "Histogram", "Instrumentation", "PERF",
-           "DEFAULT_LATENCY_BOUNDARIES", "DEFAULT_VALUE_BOUNDARIES"]
+           "DEFAULT_LATENCY_BOUNDARIES", "DEFAULT_VALUE_BOUNDARIES",
+           "DEFAULT_COUNT_BOUNDARIES"]
 
 #: Latency bucket upper bounds in seconds: a 1-2-5 ladder from 10 µs to
 #: 10 s, tight enough for per-step and per-episode quantiles.
@@ -54,6 +55,15 @@ DEFAULT_LATENCY_BOUNDARIES = tuple(
 DEFAULT_VALUE_BOUNDARIES = tuple(
     base * 10.0 ** exponent
     for exponent in range(-3, 6)
+    for base in (1.0, 2.0, 5.0)
+)
+
+#: Small-integer buckets (queue depths, batch sizes, rooms in flight): a
+#: 1-2-5 ladder from 1 to 1e4, so the serving engine's backpressure
+#: distributions resolve single-digit depths exactly.
+DEFAULT_COUNT_BOUNDARIES = tuple(
+    base * 10.0 ** exponent
+    for exponent in range(0, 5)
     for base in (1.0, 2.0, 5.0)
 )
 

@@ -1,0 +1,39 @@
+"""``repro.serving`` — the online session-serving engine.
+
+Everything upstream of this package evaluates AFTER offline: a full
+trajectory in, an episode result out.  ``repro.serving`` is the live
+counterpart (see docs/SERVING.md):
+
+* :class:`RoomSession` — one room advancing frame by frame, carrying
+  the recommender's recurrent state, with mid-stream
+  suspend/resume.  Bit-identical per step to
+  :func:`~repro.core.evaluation.evaluate_episode`.
+* :class:`SessionEngine` — many concurrent rooms, cross-room
+  micro-batched geometry
+  (:meth:`~repro.geometry.batched.BatchedOcclusionConverter.convert_rooms`),
+  a bounded worker pool, and deterministic admission control that sheds
+  or degrades steps under overload.
+* :class:`ReplayDriver` — replays recorded trajectories as a live
+  multi-room workload (the serving bench's traffic generator).
+"""
+
+from .engine import SessionEngine, StepTicket
+from .replay import ReplayDriver
+from .session import (
+    GreedyMWISFallback,
+    RoomSession,
+    SessionSnapshot,
+    SessionStep,
+    stream_episode,
+)
+
+__all__ = [
+    "RoomSession",
+    "SessionStep",
+    "SessionSnapshot",
+    "GreedyMWISFallback",
+    "stream_episode",
+    "SessionEngine",
+    "StepTicket",
+    "ReplayDriver",
+]

@@ -1,0 +1,351 @@
+"""Cross-room micro-batching session engine with admission control.
+
+Stepping ``B`` live rooms one at a time re-pays the scalar geometry
+dispatch ``B`` times per tick.  :class:`SessionEngine` instead queues
+submitted frames per session and, on each :meth:`pump`, collects up to
+``max_batch`` pending steps (at most one per room, so per-room order
+stays monotone), groups them by ``(num_users, body_radius)`` and builds
+every group's occlusion graphs in **one** call to
+:meth:`~repro.geometry.batched.BatchedOcclusionConverter.convert_rooms`.
+The per-room tail (frame assembly, recommender forward, visibility,
+utility) then runs serially or on a bounded worker pool — sessions are
+independent, so the tail parallelises without locks.
+
+Admission control is *deterministic*: shed and degrade decisions depend
+only on the queue depth at :meth:`submit` time — pure arithmetic over
+the submit/pump sequence, never wall-clock — so an overloaded run is
+exactly reproducible even with deliberately slow recommenders.  Over
+``max_queue`` pending steps a submitted frame is **shed** (the room's
+display freezes for that tick); over ``degrade_at`` it is served by the
+session's cheap greedy-MWIS fallback instead of the primary
+recommender.  Both paths are observable: ``serving.*`` timers,
+histograms and counters through :data:`repro.obs.PERF` and
+``session.open`` / ``session.shed`` / ``session.degrade`` /
+``session.close`` events through :data:`repro.obs.EVENTS` (all emitted
+on the pump thread only, keeping the obs layer single-threaded).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.problem import AfterProblem
+from ..core.recommender import Recommender
+from ..core.scene import build_room_frames
+from ..geometry.batched import BatchedOcclusionConverter
+from ..geometry.visibility import resolve_rooms_visibility
+from ..obs import DEFAULT_COUNT_BOUNDARIES, EVENTS, PERF
+from .session import RoomSession, SessionStep
+
+__all__ = ["StepTicket", "SessionEngine"]
+
+
+@dataclass(frozen=True)
+class StepTicket:
+    """Receipt for one submitted frame.
+
+    ``status`` is the admission decision made at submit time:
+    ``"queued"`` (will run on the primary recommender),
+    ``"degraded"`` (will run on the fallback) or ``"shed"`` (dropped;
+    the display freezes for this tick).
+    """
+
+    session_id: str
+    t: int
+    status: str
+
+
+@dataclass
+class _Pending:
+    """One queued (not yet pumped) step of a session."""
+
+    positions: np.ndarray
+    degraded: bool
+    shed: bool
+    submitted_at: float
+
+
+class SessionEngine:
+    """Micro-batching scheduler over many :class:`RoomSession` rooms.
+
+    Parameters
+    ----------
+    max_batch:
+        Upper bound on steps per micro-batch (and per
+        ``convert_rooms`` call).
+    max_queue:
+        Admission limit: a submit finding this many steps already
+        pending is shed.
+    degrade_at:
+        Soft watermark (``None`` disables): a submit finding at least
+        this many pending steps is admitted but served by the session's
+        fallback recommender.
+    workers:
+        Thread-pool size for the per-session tail work; ``None`` or
+        ``<= 1`` keeps the tail serial on the pump thread.
+    events:
+        Event sink (default the global :data:`~repro.obs.EVENTS`).
+    """
+
+    def __init__(self, *, max_batch: int = 32, max_queue: int = 256,
+                 degrade_at: int | None = None, workers: int | None = None,
+                 events=None):
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        if max_queue < 1:
+            raise ValueError("max_queue must be positive")
+        if degrade_at is not None and not 0 < degrade_at <= max_queue:
+            raise ValueError("degrade_at must be in (0, max_queue]")
+        self.max_batch = max_batch
+        self.max_queue = max_queue
+        self.degrade_at = degrade_at
+        self.events = events if events is not None else EVENTS
+        self._sessions: dict[str, RoomSession] = {}
+        self._queues: dict[str, deque[_Pending]] = {}
+        self._converters: dict[float, BatchedOcclusionConverter] = {}
+        self._queued = 0          # pending steps across all sessions
+        self._pool = None
+        if workers is not None and workers > 1:
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="serving-tail")
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Number of submitted steps not yet pumped (shed ones included)."""
+        return self._queued
+
+    def session(self, session_id: str) -> RoomSession:
+        """The live session registered under ``session_id``."""
+        return self._sessions[session_id]
+
+    def open_session(self, problem: AfterProblem, recommender: Recommender,
+                     *, session_id: str | None = None) -> RoomSession:
+        """Register and start a room; the recommender is session-cloned.
+
+        Cloning means callers may hand the same recommender instance to
+        every room — each session still steps an independent copy, so
+        carried state never leaks across rooms.
+        """
+        session = RoomSession(problem, recommender.session_clone(),
+                              session_id=session_id).begin()
+        if session.session_id in self._sessions:
+            raise ValueError(
+                f"session {session.session_id!r} already open")
+        self._sessions[session.session_id] = session
+        self._queues[session.session_id] = deque()
+        self.events.emit("session.open", session_id=session.session_id,
+                         room=problem.room.name, target=problem.target,
+                         recommender=session.recommender.name,
+                         num_users=problem.num_users)
+        return session
+
+    def close_session(self, session_id: str) -> RoomSession:
+        """Deregister a room (its queue must be drained) and return it."""
+        if self._queues.get(session_id):
+            raise RuntimeError(
+                f"session {session_id!r} still has queued steps; "
+                f"pump() or drain() first")
+        session = self._sessions.pop(session_id)
+        self._queues.pop(session_id, None)
+        self.events.emit("session.close", session_id=session_id,
+                         steps=len(session.steps),
+                         shed=session.shed_count,
+                         degraded=session.degraded_count)
+        return session
+
+    def close(self) -> None:
+        """Shut down the worker pool (queued steps stay pending)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "SessionEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def submit(self, session_id: str, positions: np.ndarray) -> StepTicket:
+        """Queue one frame for a room, deciding admission *now*.
+
+        The decision depends only on :attr:`queue_depth`, so the full
+        shed/degrade pattern of a run is a deterministic function of
+        the submit/pump call sequence.
+        """
+        if session_id not in self._sessions:
+            raise KeyError(f"unknown session {session_id!r}")
+        session = self._sessions[session_id]
+        t = session.next_step + len(self._queues[session_id])
+
+        if self._queued >= self.max_queue:
+            self._queues[session_id].append(
+                _Pending(positions=None, degraded=False, shed=True,
+                         submitted_at=time.perf_counter()))
+            self._queued += 1
+            PERF.count("serving.submitted_shed")
+            self.events.emit("session.shed", session_id=session_id,
+                             step=t, queue_depth=self._queued)
+            return StepTicket(session_id, t, "shed")
+
+        degraded = (self.degrade_at is not None
+                    and self._queued >= self.degrade_at)
+        self._queues[session_id].append(
+            _Pending(positions=np.asarray(positions, dtype=np.float64),
+                     degraded=degraded, shed=False,
+                     submitted_at=time.perf_counter()))
+        self._queued += 1
+        PERF.observe("serving.queue_depth", float(self._queued),
+                     boundaries=DEFAULT_COUNT_BOUNDARIES)
+        if degraded:
+            PERF.count("serving.submitted_degraded")
+            self.events.emit("session.degrade", session_id=session_id,
+                             step=t, queue_depth=self._queued)
+            return StepTicket(session_id, t, "degraded")
+        return StepTicket(session_id, t, "queued")
+
+    # ------------------------------------------------------------------
+    def _collect_batch(self) -> list[tuple[RoomSession, _Pending]]:
+        """Pop up to ``max_batch`` runnable steps, one per session.
+
+        Leading shed markers are applied immediately (they cost
+        nothing), preserving each queue's submit order; then the
+        session's first real step, if any, joins the batch.
+        """
+        batch: list[tuple[RoomSession, _Pending]] = []
+        for session_id, queue in self._queues.items():
+            if len(batch) >= self.max_batch:
+                break
+            session = self._sessions[session_id]
+            while queue and queue[0].shed:
+                queue.popleft()
+                self._queued -= 1
+                session.shed_step()
+                PERF.count("serving.steps_shed")
+            if queue:
+                batch.append((session, queue.popleft()))
+                self._queued -= 1
+        return batch
+
+    def _converter(self, body_radius: float) -> BatchedOcclusionConverter:
+        cached = self._converters.get(body_radius)
+        if cached is None:
+            cached = BatchedOcclusionConverter(body_radius=body_radius)
+            self._converters[body_radius] = cached
+        return cached
+
+    def _run_batch(self,
+                   batch: list[tuple[RoomSession, _Pending]]) -> list:
+        """One micro-batch: batched kernels around per-room recommenders.
+
+        Geometry, frame assembly and visibility run once per *group*
+        (rooms sharing ``(num_users, body_radius)``) through the batched
+        cross-room kernels; only the recommender forward — the one
+        genuinely per-room piece — runs per session, optionally on the
+        worker pool.  Every kernel is bit-identical to its scalar
+        counterpart, so the whole batch equals stepping each room alone.
+        """
+        groups: dict[tuple, list[int]] = {}
+        for index, (session, _) in enumerate(batch):
+            key = (session.num_users, session.problem.room.body_radius)
+            groups.setdefault(key, []).append(index)
+
+        group_graphs: dict[tuple, list] = {}
+        with PERF.scope("serving.geometry"):
+            for (count, body_radius), indices in groups.items():
+                stacked = np.stack(
+                    [batch[i][1].positions for i in indices])
+                targets = np.array(
+                    [batch[i][0].problem.target for i in indices],
+                    dtype=np.int64)
+                # Keep the RoomGraphs batch container intact per group:
+                # the frame and visibility kernels reuse its contiguous
+                # arrays instead of re-stacking per-room views.
+                group_graphs[(count, body_radius)] = \
+                    self._converter(body_radius).convert_rooms(
+                        stacked, targets)
+
+        frames: list = [None] * len(batch)
+        with PERF.scope("serving.frames"):
+            for key, indices in groups.items():
+                built = build_room_frames(
+                    [batch[i][0].next_step for i in indices],
+                    [batch[i][0].problem.target for i in indices],
+                    group_graphs[key],
+                    [batch[i][0].problem.room.preference[
+                        batch[i][0].problem.target] for i in indices],
+                    [batch[i][0].problem.room.presence[
+                        batch[i][0].problem.target] for i in indices],
+                    [batch[i][0].problem.room.interfaces_mr
+                     for i in indices])
+                for slot, frame in zip(indices, built):
+                    problem = batch[slot][0].problem
+                    if problem.blocklist or problem.allowlist is not None:
+                        problem._apply_lists(frame)
+                    frames[slot] = frame
+
+        def forward(index: int) -> tuple:
+            session, pending = batch[index]
+            return session.recommend_step(frames[index],
+                                          degraded=pending.degraded)
+
+        with PERF.scope("serving.recommend"):
+            if self._pool is None:
+                outputs = [forward(i) for i in range(len(batch))]
+            else:
+                outputs = list(self._pool.map(forward, range(len(batch))))
+
+        records: list = [None] * len(batch)
+        with PERF.scope("serving.visibility"):
+            for key, indices in groups.items():
+                visible, rates = resolve_rooms_visibility(
+                    group_graphs[key],
+                    np.stack([outputs[i][0] for i in indices]),
+                    np.stack([frames[i].forced for i in indices]))
+                for row, slot in enumerate(indices):
+                    session, pending = batch[slot]
+                    rendered, recommend_s = outputs[slot]
+                    records[slot] = session.complete_step(
+                        frames[slot], rendered, recommend_s,
+                        visible[row], rates[row],
+                        degraded=pending.degraded)
+
+        done = time.perf_counter()
+        for (session, pending), record in zip(batch, records):
+            record.latency_s = done - pending.submitted_at
+            PERF.observe("serving.step_latency_s", record.latency_s)
+            PERF.count("serving.steps_degraded"
+                       if record.degraded else "serving.steps")
+        PERF.observe("serving.batch_size", float(len(batch)),
+                     boundaries=DEFAULT_COUNT_BOUNDARIES)
+        return records
+
+    def pump(self, max_batches: int | None = None) -> list[SessionStep]:
+        """Run queued steps in micro-batches; returns completed records.
+
+        Processes batches until the queues are empty or ``max_batches``
+        is hit.  Safe to interleave freely with :meth:`submit` — a
+        replay driver typically submits one tick of every room, then
+        pumps once.
+        """
+        completed: list[SessionStep] = []
+        batches = 0
+        with PERF.scope("serving.pump"):
+            while self._queued > 0:
+                if max_batches is not None and batches >= max_batches:
+                    break
+                batch = self._collect_batch()
+                if batch:
+                    completed.extend(self._run_batch(batch))
+                batches += 1
+        return completed
+
+    def drain(self) -> list[SessionStep]:
+        """Pump until every queue is empty."""
+        return self.pump(max_batches=None)

@@ -1,0 +1,98 @@
+"""Replay recorded trajectories as a live multi-room serving workload.
+
+The crowd simulator (:mod:`repro.crowd`) and the dataset loaders both
+yield rooms with full ``(T+1, N, 2)`` trajectories.  :class:`ReplayDriver`
+turns a set of such rooms into the traffic pattern a production AFTER
+deployment would see: every tick it submits one position frame for each
+open room to a :class:`~repro.serving.SessionEngine`, pumps the engine,
+and repeats until the longest trajectory is exhausted.  The serving
+bench (``benchmarks/perf_serving.py``) and the stress tests drive their
+workloads through this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.problem import AfterProblem
+from ..core.recommender import Recommender
+from .engine import SessionEngine, StepTicket
+from .session import RoomSession
+
+__all__ = ["ReplayDriver"]
+
+
+@dataclass
+class _Feed:
+    """One room's replay source: its positions and how far we've fed."""
+
+    session: RoomSession
+    positions: "object"
+    fed: int
+    total: int
+
+
+class ReplayDriver:
+    """Feed recorded room trajectories through a session engine.
+
+    Parameters
+    ----------
+    engine:
+        The engine to drive.  The driver never closes it — callers own
+        its lifecycle (use it as a context manager).
+    pump_interval:
+        Pump after every ``pump_interval`` ticks of submissions
+        (default 1: submit one frame per room, then pump).  Larger
+        intervals let the queue build up, which is how the overload
+        scenarios exercise shedding.
+    """
+
+    def __init__(self, engine: SessionEngine, *, pump_interval: int = 1):
+        if pump_interval < 1:
+            raise ValueError("pump_interval must be positive")
+        self.engine = engine
+        self.pump_interval = pump_interval
+        self._feeds: list[_Feed] = []
+
+    def add_room(self, room, target: int, recommender: Recommender,
+                 *, session_id: str | None = None,
+                 beta: float = 0.5) -> RoomSession:
+        """Open a session for ``room``/``target`` and enrol it for replay."""
+        problem = AfterProblem(room=room, target=target, beta=beta)
+        session = self.engine.open_session(problem, recommender,
+                                           session_id=session_id)
+        positions = room.trajectory.positions
+        self._feeds.append(_Feed(session=session, positions=positions,
+                                 fed=0, total=positions.shape[0]))
+        return session
+
+    def run(self) -> dict[str, list[StepTicket]]:
+        """Replay every enrolled room to completion.
+
+        Tick by tick, submits the next frame of each unfinished room
+        (round-robin in enrolment order), pumping every
+        ``pump_interval`` ticks and draining at the end.  Returns the
+        per-session submit tickets, so callers can line shed tickets up
+        against ``session.shed`` events and session step records.
+        """
+        tickets: dict[str, list[StepTicket]] = {
+            feed.session.session_id: [] for feed in self._feeds}
+        tick = 0
+        while any(feed.fed < feed.total for feed in self._feeds):
+            for feed in self._feeds:
+                if feed.fed >= feed.total:
+                    continue
+                ticket = self.engine.submit(feed.session.session_id,
+                                            feed.positions[feed.fed])
+                tickets[feed.session.session_id].append(ticket)
+                feed.fed += 1
+            tick += 1
+            if tick % self.pump_interval == 0:
+                self.engine.pump()
+        self.engine.drain()
+        return tickets
+
+    def results(self) -> dict:
+        """Per-session :meth:`~repro.serving.RoomSession.result` map."""
+        return {feed.session.session_id: feed.session.result()
+                for feed in self._feeds}

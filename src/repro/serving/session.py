@@ -1,0 +1,347 @@
+"""Streaming room sessions: one live AFTER episode, frame by frame.
+
+Offline evaluation (:func:`~repro.core.evaluation.evaluate_episode`)
+replays a *finished* trajectory; a live videoconferencing room instead
+delivers one position frame at a time, and the recommender's carried
+state (LWP's ``h_{t-1}``/``r_{t-1}``, MIA's ``A_{t-1}``, the previous
+visibility indicator) must persist across those arrivals.
+
+:class:`RoomSession` is that carrier.  Each :meth:`step` builds the
+static occlusion graph for the *current* positions only, assembles the
+frame through :meth:`~repro.core.problem.AfterProblem.frame_from_graph`
+(the exact path the offline engines use), runs the recommender, resolves
+visibility and accumulates utility.  Because every per-step operation is
+shared with the reference engine, a streamed room is **bit-identical**
+to :func:`evaluate_episode` on the same trajectory — recommendations,
+utilities and carried state alike.  ``tests/serving/`` pins that
+contract with a hypothesis property suite.
+
+Sessions also support mid-stream :meth:`suspend`/:meth:`~RoomSession.resume`
+(handing a room to another engine without losing carried state) and
+*shed*/*degraded* steps — the overload escape valves of
+:class:`~repro.serving.engine.SessionEngine`.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.evaluation import EpisodeResult
+from ..core.problem import AfterProblem
+from ..core.recommender import Recommender, top_k_mask
+from ..core.utility import StepUtility, UtilityAccumulator, step_utility
+from ..geometry import OcclusionGraphConverter
+from ..geometry.visibility import resolve_visibility_with_occlusion
+from ..mwis import solve_mwis_greedy
+
+__all__ = ["SessionStep", "SessionSnapshot", "RoomSession",
+           "GreedyMWISFallback", "stream_episode"]
+
+
+@dataclass
+class SessionStep:
+    """Outcome of one streamed step.
+
+    ``utility`` and ``occlusion_rate`` are unset (``None``/NaN) for shed
+    steps — no frame was processed, the display simply froze.
+    ``recommend_s`` times only the recommender call (the quantity the
+    offline engines report as ``runtime_ms``); ``latency_s`` is set by
+    the engine to the full submit-to-completion time including queueing.
+    """
+
+    t: int
+    rendered: np.ndarray
+    utility: StepUtility | None = None
+    occlusion_rate: float = float("nan")
+    recommend_s: float = 0.0
+    latency_s: float = 0.0
+    shed: bool = False
+    degraded: bool = False
+
+
+@dataclass
+class SessionSnapshot:
+    """A suspended session: shared problem + deep-copied mutable state."""
+
+    session_id: str
+    problem: AfterProblem
+    state: dict = field(repr=False)
+
+
+class GreedyMWISFallback:
+    """Stateless degraded-mode recommender (greedy MWIS on the frame).
+
+    When the engine is over its degrade watermark it serves steps with
+    this instead of the session's primary recommender: one GWMIN pass
+    over the occlusion graph, weighted by the step's expected AFTER gain
+    — orders of magnitude cheaper than a GNN forward and still
+    occlusion-aware, at the price of no temporal continuity.
+    """
+
+    name = "GreedyMWIS(fallback)"
+
+    def recommend(self, frame, beta: float, max_render: int) -> np.ndarray:
+        """Greedy independent-set selection for one frame."""
+        weights = ((1.0 - beta) * frame.preference
+                   + beta * frame.presence) * (frame.mask > 0)
+        selected = solve_mwis_greedy(frame.graph.adjacency, weights)
+        selected[frame.target] = False
+        if int(selected.sum()) > max_render:
+            selected = top_k_mask(np.where(selected, weights, -np.inf),
+                                  max_render, eligible=selected)
+        return selected
+
+
+class RoomSession:
+    """One live room advancing frame by frame.
+
+    Parameters
+    ----------
+    problem:
+        The episode context (target, utility rows, lists, ``beta``,
+        ``max_render``).  Thanks to the lazy DOG, binding a problem does
+        *not* replay the trajectory — the session builds each step's
+        graph incrementally instead.
+    recommender:
+        The per-session recommender instance.  It must not be shared
+        with a concurrent session (see
+        :meth:`~repro.core.recommender.Recommender.session_clone`).
+    fallback:
+        Recommender used for degraded steps (default
+        :class:`GreedyMWISFallback`).
+    """
+
+    def __init__(self, problem: AfterProblem, recommender: Recommender,
+                 *, session_id: str | None = None, fallback=None):
+        self.problem = problem
+        self.recommender = recommender
+        self.session_id = session_id if session_id is not None \
+            else f"{problem.room.name}/t{problem.target}"
+        self.fallback = fallback if fallback is not None \
+            else GreedyMWISFallback()
+        self._converter = OcclusionGraphConverter(
+            body_radius=problem.room.body_radius)
+        self._started = False
+        self._reset_state()
+
+    def _reset_state(self) -> None:
+        count = self.problem.num_users
+        self._t_next = 0
+        self._visible_previous = np.zeros(count, dtype=bool)
+        self._rendered_previous = np.zeros(count, dtype=bool)
+        self._accumulator = UtilityAccumulator(self.problem.beta)
+        self.steps: list[SessionStep] = []
+        self.shed_count = 0
+        self.degraded_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def next_step(self) -> int:
+        """Index the next processed (or shed) step will carry."""
+        return self._t_next
+
+    @property
+    def num_users(self) -> int:
+        """Number of users in the session's room."""
+        return self.problem.num_users
+
+    def begin(self) -> "RoomSession":
+        """Reset the recommender and carried state; returns self."""
+        self.recommender.reset(self.problem)
+        self._reset_state()
+        self._started = True
+        return self
+
+    # ------------------------------------------------------------------
+    def step(self, positions: np.ndarray) -> SessionStep:
+        """Advance one frame from live positions (serial geometry).
+
+        Builds the target's static occlusion graph for these positions
+        with the scalar converter and applies it.  The engine path skips
+        this method and batches the geometry across rooms instead.
+        """
+        graph = self._converter.convert(np.asarray(positions,
+                                                   dtype=np.float64),
+                                        self.problem.target)
+        return self.apply_graph(graph)
+
+    def apply_graph(self, graph, *, degraded: bool = False) -> SessionStep:
+        """Advance one frame whose occlusion graph was already built.
+
+        Mirrors one iteration of the reference episode loop exactly:
+        frame assembly via ``frame_from_graph``, recommender call,
+        target knocked out of the render mask, visibility + occlusion
+        resolution, utility accumulation, carried-state advance.
+        """
+        frame = self.problem.frame_from_graph(self._t_next, graph)
+        rendered, recommend_s = self.recommend_step(frame,
+                                                    degraded=degraded)
+        visible, occlusion = resolve_visibility_with_occlusion(
+            graph, rendered, frame.forced)
+        return self.complete_step(frame, rendered, recommend_s, visible,
+                                  occlusion, degraded=degraded)
+
+    def recommend_step(self, frame, *, degraded: bool = False) -> tuple:
+        """The recommender half of a step: ``(rendered, recommend_s)``.
+
+        Runs the (primary or fallback) recommender on an assembled
+        frame and knocks the target out of the returned mask.  Split
+        from :meth:`complete_step` so the engine can run this half on
+        worker threads and finish steps with *batched* visibility
+        kernels; ``step``/``apply_graph`` compose the same halves, so
+        every path shares one recommender-invocation sequence.
+        """
+        if not self._started:
+            raise RuntimeError(
+                f"session {self.session_id!r} not started; call begin()")
+        start = time.perf_counter()
+        if degraded:
+            rendered = self.fallback.recommend(frame, self.problem.beta,
+                                               self.problem.max_render)
+        else:
+            rendered = self.recommender.recommend(frame)
+        recommend_s = time.perf_counter() - start
+        rendered = np.asarray(rendered, dtype=bool).copy()
+        rendered[self.problem.target] = False
+        return rendered, recommend_s
+
+    def complete_step(self, frame, rendered: np.ndarray,
+                      recommend_s: float, visible: np.ndarray,
+                      occlusion: float, *,
+                      degraded: bool = False) -> SessionStep:
+        """The bookkeeping half: utility, carried state, step record.
+
+        ``visible``/``occlusion`` come either from the scalar resolver
+        (:meth:`apply_graph`) or from one row of the engine's batched
+        :func:`~repro.geometry.resolve_rooms_visibility` call — the two
+        are bit-identical by contract.
+        """
+        utility = step_utility(frame.preference, frame.presence, visible,
+                               self._visible_previous, rendered)
+        self._accumulator.add(utility)
+        self._visible_previous = visible
+        self._rendered_previous = rendered
+
+        record = SessionStep(t=self._t_next, rendered=rendered,
+                             utility=utility,
+                             occlusion_rate=float(occlusion),
+                             recommend_s=recommend_s, degraded=degraded)
+        if degraded:
+            self.degraded_count += 1
+        self.steps.append(record)
+        self._t_next += 1
+        return record
+
+    def shed_step(self) -> SessionStep:
+        """Drop one frame under overload: the display freezes.
+
+        The previous render mask is carried as this step's
+        recommendation, no utility or visibility is computed, and the
+        recommender's state does not advance.  The step still consumes
+        its time index, so per-room step order stays monotone.
+        """
+        if not self._started:
+            raise RuntimeError(
+                f"session {self.session_id!r} not started; call begin()")
+        record = SessionStep(t=self._t_next,
+                             rendered=self._rendered_previous.copy(),
+                             shed=True)
+        self.shed_count += 1
+        self.steps.append(record)
+        self._t_next += 1
+        return record
+
+    # ------------------------------------------------------------------
+    def result(self) -> EpisodeResult:
+        """Episode metrics over the streamed steps so far.
+
+        With no shed steps this is bit-identical (apart from wall-clock
+        ``runtime_ms``) to :func:`~repro.core.evaluation.evaluate_episode`
+        over the same frames.  Shed steps contribute their frozen render
+        mask to ``recommendations`` but are excluded from every metric
+        mean.
+        """
+        processed = [s for s in self.steps if not s.shed]
+        count = self.problem.num_users
+        if self.steps:
+            recommendations = np.stack([s.rendered for s in self.steps])
+        else:
+            recommendations = np.zeros((0, count), dtype=bool)
+        nan = float("nan")
+        return EpisodeResult(
+            after_utility=self._accumulator.total_after,
+            preference=self._accumulator.total_preference,
+            presence=self._accumulator.total_presence,
+            occlusion_rate=float(np.mean([s.occlusion_rate
+                                          for s in processed]))
+            if processed else nan,
+            runtime_ms=float(np.mean([s.recommend_s for s in processed])
+                             * 1000.0) if processed else nan,
+            per_step_after=self._accumulator.per_step_after(),
+            recommendations=recommendations,
+        )
+
+    # ------------------------------------------------------------------
+    def suspend(self) -> SessionSnapshot:
+        """Freeze the session into a snapshot (deep-copied state).
+
+        The problem is shared by reference (it is never mutated); the
+        recommender and every carried array are deep-copied, so the
+        original session may keep running or be discarded while the
+        snapshot stays bit-exact.
+        """
+        state = copy.deepcopy({
+            "recommender": self.recommender,
+            "fallback": self.fallback,
+            "started": self._started,
+            "t_next": self._t_next,
+            "visible_previous": self._visible_previous,
+            "rendered_previous": self._rendered_previous,
+            "accumulator": self._accumulator,
+            "steps": self.steps,
+            "shed_count": self.shed_count,
+            "degraded_count": self.degraded_count,
+        })
+        return SessionSnapshot(session_id=self.session_id,
+                               problem=self.problem, state=state)
+
+    @classmethod
+    def resume(cls, snapshot: SessionSnapshot) -> "RoomSession":
+        """Reconstruct a live session from a :meth:`suspend` snapshot."""
+        state = copy.deepcopy(snapshot.state)
+        session = cls(snapshot.problem, state["recommender"],
+                      session_id=snapshot.session_id,
+                      fallback=state["fallback"])
+        session._started = state["started"]
+        session._t_next = state["t_next"]
+        session._visible_previous = state["visible_previous"]
+        session._rendered_previous = state["rendered_previous"]
+        session._accumulator = state["accumulator"]
+        session.steps = state["steps"]
+        session.shed_count = state["shed_count"]
+        session.degraded_count = state["degraded_count"]
+        return session
+
+    def __repr__(self) -> str:
+        return (f"RoomSession({self.session_id!r}, t={self._t_next}, "
+                f"shed={self.shed_count})")
+
+
+def stream_episode(problem: AfterProblem,
+                   recommender: Recommender) -> EpisodeResult:
+    """Stream one problem's full trajectory through a serial session.
+
+    Convenience driver for tests and parity checks: feeds
+    ``problem.room.trajectory`` frame by frame and returns the episode
+    result — bit-identical recommendations and utilities to
+    :func:`~repro.core.evaluation.evaluate_episode`.
+    """
+    session = RoomSession(problem, recommender).begin()
+    positions = problem.room.trajectory.positions
+    for t in range(problem.horizon + 1):
+        session.step(positions[t])
+    return session.result()

@@ -1,0 +1,68 @@
+"""Repo-wide test fixtures and hygiene helpers.
+
+Besides fixtures, this module hosts the RNG-hygiene scanner used by
+``tests/test_rng_hygiene.py``: every random draw in the test and bench
+suites must come from an explicitly seeded ``np.random.default_rng`` (or
+``np.random.Generator``), never from the legacy global ``np.random.*``
+state or a zero-argument ``default_rng()``.  Unseeded draws make
+property tests irreproducible and parity failures impossible to replay,
+so the scanner turns new offenders into a test failure instead of a
+flaky CI mystery months later.
+"""
+
+import ast
+from pathlib import Path
+
+#: Legacy ``np.random`` module-level functions that draw from (or
+#: reseed) the hidden global state.  Calling any of these directly in a
+#: test makes the run order-dependent.
+LEGACY_NP_RANDOM_ATTRS = frozenset({
+    "seed", "random", "rand", "randn", "randint", "random_sample",
+    "choice", "shuffle", "permutation", "uniform", "normal", "standard_normal",
+    "poisson", "binomial", "exponential", "beta", "gamma", "sample",
+    "random_integers", "bytes",
+})
+
+
+def _is_np_random(node: ast.AST) -> bool:
+    """True for ``np.random`` / ``numpy.random`` attribute chains."""
+    return (isinstance(node, ast.Attribute) and node.attr == "random"
+            and isinstance(node.value, ast.Name)
+            and node.value.id in ("np", "numpy"))
+
+
+def _offending_call(node: ast.Call) -> str | None:
+    """A human-readable reason if ``node`` is an unseeded RNG call."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        # np.random.<legacy draw>(...)
+        if func.attr in LEGACY_NP_RANDOM_ATTRS and _is_np_random(func.value):
+            return f"legacy global np.random.{func.attr}()"
+        # np.random.default_rng() with no seed argument
+        if (func.attr == "default_rng" and _is_np_random(func.value)
+                and not node.args and not node.keywords):
+            return "unseeded np.random.default_rng()"
+    # bare default_rng() via `from numpy.random import default_rng`
+    if (isinstance(func, ast.Name) and func.id == "default_rng"
+            and not node.args and not node.keywords):
+        return "unseeded default_rng()"
+    return None
+
+
+def find_unseeded_rng(root: Path) -> list[str]:
+    """Scan ``root`` recursively for unseeded RNG calls.
+
+    Returns ``"path:line: reason"`` strings — empty means clean.  Pure
+    AST inspection: nothing is imported or executed, so the scan stays
+    cheap enough to run as an ordinary test.
+    """
+    offenders: list[str] = []
+    for path in sorted(Path(root).rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                reason = _offending_call(node)
+                if reason is not None:
+                    offenders.append(
+                        f"{path}:{node.lineno}: {reason}")
+    return offenders

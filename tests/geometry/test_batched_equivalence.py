@@ -109,6 +109,61 @@ def test_small_kernel_chunks_match_unchunked():
     np.testing.assert_array_equal(full.adjacency, chunked.adjacency)
 
 
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("kwargs", [
+    {},
+    {"body_radius": 0.45},
+    {"view_limit": 4.0},
+    {"fov": 2.0},
+    {"view_limit": 3.0, "fov": 1.5},
+])
+def test_convert_rooms_matches_per_room_convert(seed, kwargs):
+    """Stacked per-room kernel == scalar convert, room by room."""
+    rng = np.random.default_rng(seed)
+    rooms, count = int(rng.integers(1, 9)), int(rng.integers(3, 20))
+    positions = rng.uniform(-5, 5, size=(rooms, count, 2))
+    targets = rng.integers(0, count, size=rooms)
+
+    reference = OcclusionGraphConverter(**kwargs)
+    graphs = BatchedOcclusionConverter(**kwargs).convert_rooms(
+        positions, targets, facing=0.7)
+    assert len(graphs) == rooms
+    for b in range(rooms):
+        _assert_graphs_equal(
+            reference.convert(positions[b], int(targets[b]), facing=0.7),
+            graphs[b])
+
+
+def test_convert_rooms_chunked_kernel_matches():
+    """Room batches larger than one kernel chunk stay bit-identical."""
+    import repro.geometry.batched as batched_module
+
+    rng = np.random.default_rng(13)
+    positions = rng.uniform(-4, 4, size=(12, 10, 2))
+    targets = rng.integers(0, 10, size=12)
+    full = BatchedOcclusionConverter().convert_rooms(positions, targets)
+
+    original = batched_module._KERNEL_WORKSPACE_ELEMENTS
+    batched_module._KERNEL_WORKSPACE_ELEMENTS = 1   # 1 room per chunk
+    try:
+        chunked = BatchedOcclusionConverter().convert_rooms(positions,
+                                                            targets)
+    finally:
+        batched_module._KERNEL_WORKSPACE_ELEMENTS = original
+    for a, b in zip(full, chunked):
+        _assert_graphs_equal(a, b)
+
+
+def test_convert_rooms_rejects_bad_shapes():
+    converter = BatchedOcclusionConverter()
+    with pytest.raises(ValueError):
+        converter.convert_rooms(np.zeros((4, 2)), [0])
+    with pytest.raises(ValueError):
+        converter.convert_rooms(np.zeros((2, 4, 2)), [0])   # 2 rooms, 1 target
+    with pytest.raises(IndexError):
+        converter.convert_rooms(np.zeros((2, 4, 2)), [0, 4])
+
+
 def test_rejects_out_of_range_targets():
     positions = np.zeros((4, 2))
     converter = BatchedOcclusionConverter()

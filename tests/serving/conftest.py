@@ -1,0 +1,22 @@
+"""Shared helpers for the serving test suite."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import RoomConfig, generate_room
+
+DATASETS = ("timik", "smm", "hubs")
+
+
+def make_room(dataset: str, num_users: int, num_steps: int, seed: int):
+    """One small generated room (deterministic in its arguments)."""
+    return generate_room(dataset,
+                         RoomConfig(num_users=num_users,
+                                    num_steps=num_steps), seed=seed)
+
+
+@pytest.fixture(scope="session")
+def small_rooms():
+    """A handful of distinct small rooms shared across engine tests."""
+    return [make_room(DATASETS[seed % len(DATASETS)], 8 + (seed % 3),
+                      4, seed) for seed in range(6)]

@@ -1,0 +1,170 @@
+"""Property suite: streaming serving is bit-identical to offline eval.
+
+The serving contract (docs/SERVING.md) is that a room streamed through
+:class:`repro.serving.RoomSession` — serially, through the micro-batched
+:class:`~repro.serving.SessionEngine`, or suspended and resumed half way
+— produces *exactly* the recommendations, utilities and carried
+recurrent state of :func:`repro.core.evaluation.evaluate_episode` on the
+same trajectory.  Hypothesis draws random rooms (dataset family, size,
+horizon, seed), targets, betas and recommenders; every comparison below
+is exact (``==`` / ``assert_array_equal``), never approximate.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AfterProblem, evaluate_episode
+from repro.models.baselines import (
+    DCRNNRecommender,
+    NearestRecommender,
+    RandomRecommender,
+    TGCNRecommender,
+)
+from repro.models.poshgnn import POSHGNN
+from repro.serving import ReplayDriver, RoomSession, SessionEngine, stream_episode
+
+from .conftest import DATASETS, make_room
+
+# Factories, not instances: every evaluation path must start from a
+# fresh recommender so recurrent/RNG state never leaks between the
+# reference and streamed runs.
+RECOMMENDERS = {
+    "nearest": lambda: NearestRecommender(),
+    "random": lambda: RandomRecommender(seed=7),
+    "poshgnn": lambda: POSHGNN(seed=1),
+    "poshgnn-nolwp": lambda: POSHGNN(use_lwp=False, seed=2),
+    "dcrnn": lambda: DCRNNRecommender(seed=3),
+    "tgcn": lambda: TGCNRecommender(seed=4),
+}
+
+
+@st.composite
+def episode_cases(draw, recommenders=tuple(RECOMMENDERS)):
+    """(room, target, beta, recommender-factory) for one parity check."""
+    dataset = draw(st.sampled_from(DATASETS))
+    num_users = draw(st.integers(6, 12))
+    num_steps = draw(st.integers(1, 5))
+    seed = draw(st.integers(0, 2 ** 16))
+    target = draw(st.integers(0, num_users - 1))
+    beta = draw(st.sampled_from((0.0, 0.3, 0.5, 0.8, 1.0)))
+    name = draw(st.sampled_from(recommenders))
+    room = make_room(dataset, num_users, num_steps, seed)
+    return room, target, beta, RECOMMENDERS[name]
+
+
+def assert_episodes_identical(reference, streamed):
+    """Exact equality of every deterministic EpisodeResult field."""
+    np.testing.assert_array_equal(reference.recommendations,
+                                  streamed.recommendations)
+    assert reference.after_utility == streamed.after_utility
+    assert reference.preference == streamed.preference
+    assert reference.presence == streamed.presence
+    assert reference.occlusion_rate == streamed.occlusion_rate
+    np.testing.assert_array_equal(reference.per_step_after,
+                                  streamed.per_step_after)
+
+
+def assert_state_identical(reference: dict, streamed: dict):
+    """Exact equality of two ``carried_state`` dicts."""
+    assert reference.keys() == streamed.keys()
+    for key, expected in reference.items():
+        actual = streamed[key]
+        if expected is None:
+            assert actual is None, key
+        else:
+            np.testing.assert_array_equal(expected, actual, err_msg=key)
+
+
+@settings(max_examples=80, deadline=None)
+@given(episode_cases())
+def test_stream_matches_reference_episode(case):
+    room, target, beta, factory = case
+    reference = evaluate_episode(
+        AfterProblem(room=room, target=target, beta=beta), factory())
+    streamed = stream_episode(
+        AfterProblem(room=room, target=target, beta=beta), factory())
+    assert_episodes_identical(reference, streamed)
+
+
+@settings(max_examples=40, deadline=None)
+@given(episode_cases(recommenders=("poshgnn", "poshgnn-nolwp")))
+def test_lockstep_carried_lwp_state(case):
+    """POSHGNN's h_{t-1}/r_{t-1}/A_{t-1} match the offline walk per step."""
+    room, target, beta, factory = case
+    offline = factory()
+    offline.reset(AfterProblem(room=room, target=target, beta=beta))
+    problem = AfterProblem(room=room, target=target, beta=beta)
+    session = RoomSession(problem, factory()).begin()
+    assert_state_identical(offline.carried_state(),
+                           session.recommender.carried_state())
+    positions = room.trajectory.positions
+    for t in range(room.horizon + 1):
+        offline_rendered = np.asarray(
+            offline.recommend(offline.problem.frame_at(t)), dtype=bool)
+        offline_rendered[target] = False
+        record = session.step(positions[t])
+        np.testing.assert_array_equal(offline_rendered, record.rendered)
+        assert_state_identical(offline.carried_state(),
+                               session.recommender.carried_state())
+
+
+@settings(max_examples=50, deadline=None)
+@given(episode_cases(), st.data())
+def test_suspend_resume_mid_stream(case, data):
+    """Cutting a stream anywhere and resuming the snapshot loses nothing."""
+    room, target, beta, factory = case
+    cut = data.draw(st.integers(0, room.horizon + 1), label="cut")
+    reference = evaluate_episode(
+        AfterProblem(room=room, target=target, beta=beta), factory())
+
+    session = RoomSession(
+        AfterProblem(room=room, target=target, beta=beta), factory()).begin()
+    positions = room.trajectory.positions
+    for t in range(cut):
+        session.step(positions[t])
+    snapshot = session.suspend()
+    # Poison the original after the snapshot: the resumed session must
+    # be fully detached from it.
+    for t in range(cut, room.horizon + 1):
+        session.step(positions[t])
+
+    resumed = RoomSession.resume(snapshot)
+    for t in range(cut, room.horizon + 1):
+        resumed.step(positions[t])
+    assert_episodes_identical(reference, resumed.result())
+    assert_episodes_identical(reference, session.result())
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(episode_cases(), min_size=2, max_size=4),
+       st.integers(1, 8))
+def test_engine_micro_batch_parity(cases, max_batch):
+    """Micro-batched concurrent rooms each equal their solo offline run."""
+    engine = SessionEngine(max_batch=max_batch)
+    driver = ReplayDriver(engine)
+    for index, (room, target, beta, factory) in enumerate(cases):
+        driver.add_room(room, target=target, recommender=factory(),
+                        session_id=f"case{index}", beta=beta)
+    driver.run()
+    results = driver.results()
+    for index, (room, target, beta, factory) in enumerate(cases):
+        reference = evaluate_episode(
+            AfterProblem(room=room, target=target, beta=beta), factory())
+        assert_episodes_identical(reference, results[f"case{index}"])
+
+
+def test_resume_restores_partial_metrics():
+    """A snapshot's result() equals the original's at the cut point."""
+    room = make_room("timik", 10, 4, seed=11)
+    problem = AfterProblem(room=room, target=3, beta=0.5)
+    session = RoomSession(problem, POSHGNN(seed=1)).begin()
+    positions = room.trajectory.positions
+    for t in range(3):
+        session.step(positions[t])
+    snapshot = session.suspend()
+    expected = session.result()
+    restored = RoomSession.resume(snapshot).result()
+    assert_episodes_identical(expected, restored)
+    assert expected.runtime_ms == restored.runtime_ms

@@ -44,6 +44,8 @@ def test_public_api_documented(module_name):
     "repro.nn", "repro.mwis", "repro.crowd", "repro.social", "repro.study",
     "repro.bench", "repro.viz", "repro.training", "repro.training.engine",
     "repro.training.storage", "repro.runtime", "repro.obs",
+    "repro.serving", "repro.serving.session", "repro.serving.engine",
+    "repro.serving.replay",
 ])
 def test_public_methods_documented(module_name):
     """Public methods of exported classes must have docstrings."""

@@ -1,0 +1,58 @@
+"""Every RNG draw in tests, benches and library code must be seeded.
+
+The audit that introduced this guard converted the suites to the
+``np.random.default_rng(seed)`` idiom; this test keeps them there.  See
+``tests/conftest.py`` for what counts as an offender and why.
+"""
+
+import ast
+import textwrap
+from pathlib import Path
+
+from .conftest import find_unseeded_rng, _offending_call
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_no_unseeded_rng_in_tests():
+    offenders = find_unseeded_rng(REPO_ROOT / "tests")
+    assert not offenders, "unseeded RNG calls:\n" + "\n".join(offenders)
+
+
+def test_no_unseeded_rng_in_benchmarks():
+    offenders = find_unseeded_rng(REPO_ROOT / "benchmarks")
+    assert not offenders, "unseeded RNG calls:\n" + "\n".join(offenders)
+
+
+def test_no_unseeded_rng_in_library():
+    offenders = find_unseeded_rng(REPO_ROOT / "src")
+    assert not offenders, "unseeded RNG calls:\n" + "\n".join(offenders)
+
+
+def _reasons(source: str) -> list[str]:
+    tree = ast.parse(textwrap.dedent(source))
+    return [reason for node in ast.walk(tree)
+            if isinstance(node, ast.Call)
+            and (reason := _offending_call(node)) is not None]
+
+
+def test_scanner_flags_legacy_global_calls():
+    assert _reasons("import numpy as np\nx = np.random.rand(3)\n")
+    assert _reasons("import numpy\nnumpy.random.seed(0)\n")
+    assert _reasons("import numpy as np\nnp.random.shuffle(items)\n")
+
+
+def test_scanner_flags_unseeded_default_rng():
+    assert _reasons("import numpy as np\nrng = np.random.default_rng()\n")
+    assert _reasons("from numpy.random import default_rng\n"
+                    "rng = default_rng()\n")
+
+
+def test_scanner_accepts_seeded_idioms():
+    assert not _reasons("import numpy as np\n"
+                        "rng = np.random.default_rng(0)\n"
+                        "x = rng.random(3)\n")
+    assert not _reasons("import numpy as np\n"
+                        "rng = np.random.default_rng(seed=7)\n")
+    # Generator *method* calls named like legacy functions are fine.
+    assert not _reasons("x = rng.choice(10, size=3)\n")
