@@ -39,6 +39,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import buffers
 from repro.bench.experiments import room_config_for
 from repro.bench import BenchConfig
 from repro.core.evaluation import evaluate_targets
@@ -131,6 +132,44 @@ def _time_engine(config: EngineBenchConfig, targets, *, engine: str,
     return best, result
 
 
+def _measure_parallel_ipc(config: EngineBenchConfig, targets,
+                          kind: str) -> dict | None:
+    """One instrumented fork-parallel pass on buffer backend ``kind``.
+
+    Measures what actually crosses the worker pipe: on the heap backend
+    every episode's result arrays are pickled back; on the shm backend
+    workers write them into pre-allocated shared slabs and the pipe
+    carries scalars only.  Returns ``None`` where fork is unavailable.
+    """
+    import multiprocessing
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return None
+    with buffers.use_backend(kind):
+        room = _fresh_room(config)
+        PERF.reset().enable()
+        start = time.perf_counter()
+        result = evaluate_targets(room, NearestRecommender(), targets,
+                                  max_render=config.max_render,
+                                  engine="batched",
+                                  workers=config.parallel_workers)
+        elapsed = time.perf_counter() - start
+        counters = PERF.report()["counters"]
+        PERF.disable()
+        fingerprint = _episode_fingerprint(result)
+    chunks = counters.get("eval.parallel_chunks", 0)
+    total = counters.get("eval.ipc_bytes", 0)
+    return {
+        "backend": kind,
+        "wall_s": elapsed,
+        "ipc_bytes_total": int(total),
+        "ipc_bytes_per_chunk": float(total) / max(chunks, 1),
+        "chunks": int(chunks),
+        "shm_slabs": int(counters.get("eval.shm_slabs", 0)),
+        "fingerprint": fingerprint,
+    }
+
+
 def run_eval_engine_bench(config: EngineBenchConfig | None = None,
                           trace_path=None) -> dict:
     """Run all engine variants and return the comparison record.
@@ -170,6 +209,26 @@ def run_eval_engine_bench(config: EngineBenchConfig | None = None,
     identical = all(_episode_fingerprint(r) == fingerprint
                     for r in (batched, warm, parallel))
 
+    # Before/after IPC comparison for the fork-parallel path: the same
+    # workload with results pickled through the pipe (heap) vs written
+    # into shared-memory slabs (shm).  Both must reproduce the serial
+    # reference bit-for-bit.
+    ipc = None
+    heap_ipc = _measure_parallel_ipc(config, targets, "heap")
+    shm_ipc = _measure_parallel_ipc(config, targets, "shm")
+    if heap_ipc is not None and shm_ipc is not None:
+        identical = identical \
+            and heap_ipc.pop("fingerprint") == fingerprint \
+            and shm_ipc.pop("fingerprint") == fingerprint
+        ipc = {
+            "workers": config.parallel_workers,
+            "heap": heap_ipc,
+            "shm": shm_ipc,
+            "bytes_reduction_factor":
+                heap_ipc["ipc_bytes_total"]
+                / max(shm_ipc["ipc_bytes_total"], 1),
+        }
+
     return {
         "config": asdict(config),
         "timings_s": {
@@ -184,6 +243,7 @@ def run_eval_engine_bench(config: EngineBenchConfig | None = None,
         },
         "metrics_identical": bool(identical),
         "instrumentation": instrumentation,
+        "ipc": ipc,
     }
 
 
@@ -204,6 +264,14 @@ def main() -> dict:
     print(f"  speedup (batched warm)       "
           f"{record['speedup']['warm_vs_reference']:9.2f}x")
     print(f"  metrics identical: {record['metrics_identical']}")
+    if record["ipc"] is not None:
+        ipc = record["ipc"]
+        print(f"  IPC bytes/chunk (heap)       "
+              f"{ipc['heap']['ipc_bytes_per_chunk']:9.0f}")
+        print(f"  IPC bytes/chunk (shm)        "
+              f"{ipc['shm']['ipc_bytes_per_chunk']:9.0f}")
+        print(f"  IPC reduction                "
+              f"{ipc['bytes_reduction_factor']:9.1f}x")
     print(f"wrote {RESULT_PATH}")
     print(f"wrote {trace_path} (open at ui.perfetto.dev)")
 

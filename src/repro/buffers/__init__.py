@@ -1,0 +1,148 @@
+"""``repro.buffers`` — pluggable zero-copy buffer backends.
+
+The allocation seam under the hot-path containers (see
+docs/BUFFERS.md): ``RoomGraphs`` batch arrays, episode frames, the
+fork-parallel evaluation result slabs and the ``BufferStore`` checkpoint
+backend all allocate through the *active* :class:`BufferBackend`
+instead of calling NumPy directly.
+
+* :class:`~repro.buffers.heap.HeapBackend` (default) — ``np.empty`` /
+  ``np.zeros``; bit-for-bit the pre-seam behaviour at zero overhead.
+* :class:`~repro.buffers.shm.SharedMemoryBackend` — a refcounted arena
+  over pooled ``multiprocessing.shared_memory`` segments; forked
+  workers and sibling processes map buffers by
+  :class:`~repro.buffers.backend.BufferRef` instead of pickling them.
+
+Select with ``REPRO_BUFFER_BACKEND=heap|shm`` (read once, at first
+use), :func:`set_backend`, or the :func:`use_backend` context manager.
+Requesting ``shm`` where shared memory is unavailable falls back to the
+heap backend with a single warning plus a ``buffers.fallback`` obs
+event — never a crash.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from contextlib import contextmanager
+
+import numpy as np
+
+from ..obs import EVENTS
+from .arena import (
+    ALIGNMENT,
+    DEFAULT_SEGMENT_BYTES,
+    Arena,
+    ArenaStats,
+    HeapSegment,
+    HeapSegmentProvider,
+)
+from .backend import ArenaArray, BufferBackend, BufferRef, BufferStats
+from .heap import HeapBackend
+from .shm import SEGMENT_PREFIX, SharedMemoryBackend
+
+__all__ = [
+    "Arena",
+    "ArenaStats",
+    "ArenaArray",
+    "ALIGNMENT",
+    "DEFAULT_SEGMENT_BYTES",
+    "BufferBackend",
+    "BufferRef",
+    "BufferStats",
+    "HeapBackend",
+    "HeapSegment",
+    "HeapSegmentProvider",
+    "SharedMemoryBackend",
+    "SEGMENT_PREFIX",
+    "BACKEND_ENV_VAR",
+    "active",
+    "create_backend",
+    "set_backend",
+    "use_backend",
+    "empty",
+    "zeros",
+]
+
+#: Environment variable naming the process-wide default backend.
+BACKEND_ENV_VAR = "REPRO_BUFFER_BACKEND"
+
+_ACTIVE: BufferBackend | None = None
+
+
+def create_backend(name: str, **kwargs) -> BufferBackend:
+    """Instantiate a backend by name (``"heap"`` or ``"shm"``).
+
+    ``"shm"`` is probed with a real allocation; any failure (module
+    missing, ``/dev/shm`` full or unwritable) degrades to a
+    :class:`HeapBackend` with one warning and a ``buffers.fallback``
+    event instead of raising.
+    """
+    if name in ("", "heap", None):
+        return HeapBackend()
+    if name != "shm":
+        raise ValueError(
+            f"unknown buffer backend {name!r}; expected 'heap' or 'shm'")
+    try:
+        backend = SharedMemoryBackend(**kwargs)
+        probe = backend.allocate((1,), np.uint8)
+        backend.release(probe)
+        return backend
+    except (ImportError, OSError) as exc:
+        warnings.warn(
+            f"buffer backend 'shm' unavailable ({exc}); using the heap "
+            f"backend", RuntimeWarning, stacklevel=2)
+        EVENTS.emit("buffers.fallback", backend="shm", reason=str(exc))
+        return HeapBackend()
+
+
+def active() -> BufferBackend:
+    """The process-wide backend, created from the environment on first use."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = create_backend(os.environ.get(BACKEND_ENV_VAR, "heap"))
+    return _ACTIVE
+
+
+def set_backend(backend: BufferBackend | str | None) -> BufferBackend | None:
+    """Install ``backend`` (an instance, a name, or ``None`` to unset).
+
+    Returns the previously active backend (``None`` if none had been
+    created yet); the caller decides whether to ``close()`` it.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    if isinstance(backend, str):
+        backend = create_backend(backend)
+    _ACTIVE = backend
+    return previous
+
+
+@contextmanager
+def use_backend(backend: BufferBackend | str):
+    """Run a block under ``backend``, then restore the previous one.
+
+    A backend *created here* (named by string) is closed on exit —
+    closing unlinks its segments while any still-referenced arrays stay
+    valid until their mappings die, so escaping arrays are safe.
+    """
+    created = isinstance(backend, str)
+    if created:
+        backend = create_backend(backend)
+    previous = set_backend(backend)
+    try:
+        yield backend
+    finally:
+        set_backend(previous)
+        if created:
+            backend.close()
+
+
+def empty(shape, dtype=np.float64) -> np.ndarray:
+    """Allocate an uninitialised array through the active backend."""
+    return active().empty(shape, dtype)
+
+
+def zeros(shape, dtype=np.float64) -> np.ndarray:
+    """Allocate a zero-filled array through the active backend."""
+    return active().zeros(shape, dtype)

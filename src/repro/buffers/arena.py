@@ -1,0 +1,324 @@
+"""Offset-based arena allocator over pooled memory segments.
+
+The shared-memory buffer backend needs many short-lived array
+allocations (micro-batch adjacency stacks, episode result slabs) without
+paying one ``shm_open``/``mmap`` syscall pair per array.  The
+:class:`Arena` therefore carves allocations out of a small pool of large
+**segments** obtained from a pluggable provider:
+
+* allocations are identified by ``(segment_name, offset)`` — a handle
+  that costs a few bytes to ship to another process;
+* blocks are refcounted (:meth:`Arena.retain` / :meth:`Arena.free`);
+  freeing the last reference returns the space to the segment's free
+  list, where it is coalesced with adjacent free space and reused;
+* releasing a block twice raises :class:`BufferError`, never corrupts a
+  neighbour;
+* a new segment is mapped **only** when no existing free block fits the
+  request, so total mapped bytes stay bounded by the high-water mark of
+  live bytes (see :meth:`Arena.stats` and the Hypothesis invariant suite
+  in ``tests/buffers/test_arena_properties.py``).
+
+The arena is agnostic about where segment memory lives: the shared-
+memory backend plugs in ``multiprocessing.shared_memory`` segments,
+while :class:`HeapSegmentProvider` backs segments with plain
+``bytearray``\\ s — the allocator logic (and its property tests) run
+without touching ``/dev/shm``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Arena", "ArenaStats", "HeapSegment", "HeapSegmentProvider",
+           "ALIGNMENT", "DEFAULT_SEGMENT_BYTES"]
+
+#: Every block offset and size is rounded up to this many bytes, so
+#: arrays of any dtype land aligned and neighbouring blocks never share
+#: a cache line.
+ALIGNMENT = 64
+
+#: Default size of one pooled segment (4 MiB) — large enough that a
+#: typical micro-batch of ``(B, N, N)`` adjacency stacks fits in one
+#: segment, small enough that a mostly-idle arena wastes little.
+DEFAULT_SEGMENT_BYTES = 1 << 22
+
+
+def _align(nbytes: int) -> int:
+    """``nbytes`` rounded up to the arena alignment."""
+    return (nbytes + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+def _ceil_pow2(nbytes: int) -> int:
+    """The smallest power of two >= ``nbytes``."""
+    return 1 << (max(nbytes, 1) - 1).bit_length()
+
+
+@dataclass(frozen=True)
+class ArenaStats:
+    """Point-in-time accounting of an arena.
+
+    ``mapped_bytes`` is the total size of every segment ever mapped (the
+    arena never unmaps before :meth:`Arena.close`); ``live_bytes`` is
+    the aligned total of blocks not yet freed; ``high_water_bytes`` is
+    the maximum ``live_bytes`` ever observed.  The allocator's bound —
+    new segments only when nothing fits — keeps ``mapped_bytes`` within
+    a small factor of ``high_water_bytes`` plus one default segment.
+    """
+
+    segments: int
+    mapped_bytes: int
+    live_blocks: int
+    live_bytes: int
+    high_water_bytes: int
+    total_allocs: int
+    total_frees: int
+
+
+class HeapSegment:
+    """A ``bytearray``-backed segment (test/simulation provider)."""
+
+    def __init__(self, name: str, size: int):
+        self.name = name
+        self.size = size
+        self._data = bytearray(size)
+        self.buf = memoryview(self._data)
+        self.unlinked = False
+
+    def close(self) -> None:
+        """Release the memoryview (mirrors ``SharedMemory.close``)."""
+        self.buf.release()
+
+    def unlink(self) -> None:
+        """Record the unlink (heap segments have no kernel object)."""
+        self.unlinked = True
+
+
+class HeapSegmentProvider:
+    """Creates :class:`HeapSegment` instances — no shared memory at all.
+
+    Used by the allocator property tests and anywhere the arena logic
+    itself is under test; the shared-memory backend substitutes a
+    provider over ``multiprocessing.shared_memory``.
+    """
+
+    def __init__(self, prefix: str = "heap-seg"):
+        self.prefix = prefix
+        self._sequence = 0
+
+    def create(self, size: int) -> HeapSegment:
+        """A fresh zero-filled segment of ``size`` bytes."""
+        self._sequence += 1
+        return HeapSegment(f"{self.prefix}-{self._sequence}", size)
+
+
+@dataclass
+class _Block:
+    """One live allocation inside a segment."""
+
+    offset: int
+    size: int          # aligned
+    refs: int = 1
+
+
+class _Segment:
+    """A mapped segment plus its free list and live blocks."""
+
+    def __init__(self, handle):
+        self.handle = handle
+        self.name = handle.name
+        self.size = handle.size
+        #: Sorted, disjoint ``[offset, size]`` free runs.
+        self.free: list[list[int]] = [[0, handle.size]]
+        self.blocks: dict[int, _Block] = {}
+
+    def take(self, nbytes: int) -> int | None:
+        """Carve ``nbytes`` (aligned) off the first fitting free run."""
+        for index, (offset, size) in enumerate(self.free):
+            if size >= nbytes:
+                if size == nbytes:
+                    del self.free[index]
+                else:
+                    self.free[index] = [offset + nbytes, size - nbytes]
+                self.blocks[offset] = _Block(offset=offset, size=nbytes)
+                return offset
+        return None
+
+    def give_back(self, block: _Block) -> None:
+        """Return a block's run to the free list, coalescing neighbours."""
+        offset, size = block.offset, block.size
+        position = 0
+        while position < len(self.free) and self.free[position][0] < offset:
+            position += 1
+        self.free.insert(position, [offset, size])
+        # Merge with the successor, then the predecessor.
+        if position + 1 < len(self.free):
+            nxt = self.free[position + 1]
+            if offset + size == nxt[0]:
+                self.free[position][1] += nxt[1]
+                del self.free[position + 1]
+        if position > 0:
+            prev = self.free[position - 1]
+            if prev[0] + prev[1] == offset:
+                prev[1] += self.free[position][1]
+                del self.free[position]
+
+
+class Arena:
+    """Refcounted first-fit allocator over pooled provider segments.
+
+    Parameters
+    ----------
+    provider:
+        Object with ``create(size) -> segment``; segments expose
+        ``name``, ``size``, ``buf`` (a writable memoryview), ``close()``
+        and ``unlink()`` — both :class:`HeapSegmentProvider` and
+        ``multiprocessing.shared_memory.SharedMemory`` (via the shm
+        backend's provider) satisfy this.
+    segment_bytes:
+        Minimum size of a newly mapped segment; oversized requests get a
+        dedicated segment rounded to the next power of two.
+    """
+
+    def __init__(self, provider, segment_bytes: int = DEFAULT_SEGMENT_BYTES):
+        if segment_bytes < ALIGNMENT:
+            raise ValueError(f"segment_bytes must be >= {ALIGNMENT}")
+        self.provider = provider
+        self.segment_bytes = segment_bytes
+        self._segments: dict[str, _Segment] = {}
+        self._order: list[str] = []
+        self.closed = False
+        self._live_bytes = 0
+        self._high_water = 0
+        self._total_allocs = 0
+        self._total_frees = 0
+
+    # ------------------------------------------------------------------
+    def alloc(self, nbytes: int) -> tuple[str, int]:
+        """Allocate ``nbytes``; returns the ``(segment_name, offset)`` handle.
+
+        Scans existing segments first (first fit) and maps a new segment
+        only when nothing fits.  Provider failures (e.g. ``/dev/shm``
+        full) propagate to the caller — the backend layer decides how to
+        degrade.
+        """
+        if self.closed:
+            raise BufferError("arena is closed")
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        nbytes = _align(max(nbytes, 1))
+        offset = None
+        segment = None
+        for name in self._order:
+            segment = self._segments[name]
+            offset = segment.take(nbytes)
+            if offset is not None:
+                break
+        if offset is None:
+            size = max(self.segment_bytes, _ceil_pow2(nbytes))
+            handle = self.provider.create(size)
+            segment = _Segment(handle)
+            self._segments[segment.name] = segment
+            self._order.append(segment.name)
+            offset = segment.take(nbytes)
+            assert offset is not None
+        self._total_allocs += 1
+        self._live_bytes += nbytes
+        self._high_water = max(self._high_water, self._live_bytes)
+        return segment.name, offset
+
+    def retain(self, segment_name: str, offset: int) -> None:
+        """Add one reference to a live block."""
+        self._block(segment_name, offset).refs += 1
+
+    def free(self, segment_name: str, offset: int) -> bool:
+        """Drop one reference; returns True when the block was released.
+
+        Freeing an unknown or already-released block raises
+        :class:`BufferError`.  After :meth:`close` this is a no-op (the
+        memory is gone wholesale), so GC finalizers firing late in
+        interpreter shutdown stay harmless.
+        """
+        if self.closed:
+            return False
+        block = self._block(segment_name, offset)
+        block.refs -= 1
+        if block.refs > 0:
+            return False
+        segment = self._segments[segment_name]
+        del segment.blocks[offset]
+        segment.give_back(block)
+        self._total_frees += 1
+        self._live_bytes -= block.size
+        return True
+
+    def _block(self, segment_name: str, offset: int) -> _Block:
+        segment = self._segments.get(segment_name)
+        block = segment.blocks.get(offset) if segment is not None else None
+        if block is None:
+            raise BufferError(
+                f"no live block at ({segment_name!r}, {offset}) — "
+                f"double free or foreign handle")
+        return block
+
+    # ------------------------------------------------------------------
+    def has_block(self, segment_name: str, offset: int) -> bool:
+        """Whether a live block sits at that handle."""
+        segment = self._segments.get(segment_name)
+        return segment is not None and offset in segment.blocks
+
+    def has_segment(self, segment_name: str) -> bool:
+        """Whether the arena owns a segment of that name."""
+        return segment_name in self._segments
+
+    def view(self, segment_name: str, offset: int,
+             nbytes: int) -> memoryview:
+        """A writable memoryview of ``nbytes`` at a live block.
+
+        ``nbytes`` may be smaller than the (aligned) block — callers ask
+        for exactly the payload they stored.
+        """
+        block = self._block(segment_name, offset)
+        if nbytes > block.size:
+            raise BufferError(
+                f"requested {nbytes} bytes from a {block.size}-byte block")
+        segment = self._segments[segment_name]
+        return segment.handle.buf[offset:offset + max(nbytes, 1)]
+
+    def segment_names(self) -> list[str]:
+        """Names of every mapped segment, in mapping order."""
+        return list(self._order)
+
+    def stats(self) -> ArenaStats:
+        """Current allocation accounting (see :class:`ArenaStats`)."""
+        return ArenaStats(
+            segments=len(self._order),
+            mapped_bytes=sum(s.size for s in self._segments.values()),
+            live_blocks=sum(len(s.blocks) for s in self._segments.values()),
+            live_bytes=self._live_bytes,
+            high_water_bytes=self._high_water,
+            total_allocs=self._total_allocs,
+            total_frees=self._total_frees,
+        )
+
+    def close(self, unlink: bool = True) -> None:
+        """Close (and by default unlink) every segment; idempotent.
+
+        ``close()`` on a segment can fail with :class:`BufferError` when
+        live array views still point into it; the unlink still proceeds
+        — POSIX removes the name immediately and the memory survives
+        until the last mapping dies, so lingering views stay valid while
+        ``/dev/shm`` is already clean.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        for segment in self._segments.values():
+            try:
+                segment.handle.close()
+            except BufferError:
+                pass
+            if unlink:
+                try:
+                    segment.handle.unlink()
+                except FileNotFoundError:
+                    pass

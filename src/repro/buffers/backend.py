@@ -1,0 +1,170 @@
+"""The :class:`BufferBackend` seam and its portable buffer handles.
+
+Hot-path containers (``RoomGraphs`` batch arrays, episode frames,
+evaluation result slabs, checkpoint payloads) allocate through a
+*backend* instead of calling ``np.empty`` directly.  Two implementations
+ship: the in-heap default (:class:`~repro.buffers.heap.HeapBackend`,
+bit-for-bit the previous behaviour at zero overhead) and a
+``multiprocessing.shared_memory`` arena
+(:class:`~repro.buffers.shm.SharedMemoryBackend`) whose allocations are
+mappable by forked workers and sibling processes without pickling.
+
+Both speak the same contract, pinned by
+``tests/buffers/test_backend_contract.py``:
+
+* ``empty``/``zeros`` — transparent, GC-owned array allocation;
+* ``allocate``/``resolve``/``release``/``retain`` — explicit refcounted
+  buffers addressed by a :class:`BufferRef` handle; releasing twice
+  raises :class:`BufferError`;
+* ``export`` — a portable handle for an existing array: zero-copy when
+  the array lives in backend memory, by-value otherwise;
+* ``try_shared_empty`` — a cross-process-visible allocation, or ``None``
+  when the backend cannot provide one (the heap backend, a degraded shm
+  backend, a forked child).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["BufferBackend", "BufferRef", "BufferStats", "ArenaArray"]
+
+
+class ArenaArray(np.ndarray):
+    """An ndarray view of backend-owned memory.
+
+    Carries the allocation's :class:`BufferRef` (for zero-copy
+    ``export``) and, for GC-owned allocations, the owner token whose
+    collection releases the block.  Views sliced off an
+    :class:`ArenaArray` keep the allocation alive through their ``base``
+    chain; the ref/owner attributes deliberately do **not** propagate to
+    views, so ``export`` never mistakes a sub-view for the whole block.
+    """
+
+    _buffer_ref = None
+    _owner = None
+
+
+@dataclass(frozen=True)
+class BufferRef:
+    """Portable handle for one backend allocation.
+
+    For shared-memory buffers the handle is ``(segment, offset, shape,
+    dtype)`` — a few dozen bytes to pickle regardless of the array size,
+    resolvable in any process that can map the segment.  For heap
+    buffers the handle carries the array itself (``payload``), so
+    shipping it to another process costs exactly the pickling the heap
+    path always paid; that asymmetry is the measured quantity behind the
+    ``eval.ipc_bytes`` counters.
+    """
+
+    backend: str
+    shape: tuple
+    dtype: str
+    segment: str = ""
+    offset: int = 0
+    token: int = 0
+    payload: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size in bytes described by the handle."""
+        count = 1
+        for dim in self.shape:
+            count *= int(dim)
+        return count * np.dtype(self.dtype).itemsize
+
+    @property
+    def by_value(self) -> bool:
+        """True when the handle carries the bytes instead of an address."""
+        return self.payload is not None
+
+
+@dataclass(frozen=True)
+class BufferStats:
+    """Backend-level allocation accounting (see ``stats()``)."""
+
+    backend: str
+    shared: bool
+    live_blocks: int
+    live_bytes: int
+    mapped_bytes: int
+    high_water_bytes: int
+    segments: int
+    degraded: bool = False
+
+
+class BufferBackend:
+    """Allocation seam the hot-path containers run on.
+
+    Subclasses implement the primitive operations; the transparent
+    helpers (:meth:`empty` / :meth:`zeros`) and the contract described
+    in the module docstring are shared.
+    """
+
+    #: Backend identifier recorded in refs and obs events.
+    name: str = ""
+    #: Whether allocations are visible to other processes that map them.
+    shared: bool = False
+
+    # -- transparent allocation ----------------------------------------
+    def empty(self, shape, dtype=np.float64) -> np.ndarray:
+        """An uninitialised GC-owned array (the ``np.empty`` analogue)."""
+        raise NotImplementedError
+
+    def zeros(self, shape, dtype=np.float64) -> np.ndarray:
+        """A zero-filled GC-owned array (the ``np.zeros`` analogue)."""
+        array = self.empty(shape, dtype)
+        array.fill(0)
+        return array
+
+    def try_shared_empty(self, shape, dtype=np.float64):
+        """A cross-process-visible allocation, or ``None``.
+
+        Callers use this to decide between a zero-copy data plane and
+        the pickling fallback; the heap backend always returns ``None``.
+        """
+        return None
+
+    # -- explicit refcounted buffers -----------------------------------
+    def allocate(self, shape, dtype=np.float64) -> BufferRef:
+        """Allocate an owned buffer; the caller must release it once."""
+        raise NotImplementedError
+
+    def resolve(self, ref: BufferRef) -> np.ndarray:
+        """The array a handle points at (zero-copy where possible)."""
+        raise NotImplementedError
+
+    def retain(self, ref: BufferRef) -> None:
+        """Add one reference to an owned buffer."""
+        raise NotImplementedError
+
+    def release(self, ref: BufferRef) -> None:
+        """Drop one reference; double release raises ``BufferError``."""
+        raise NotImplementedError
+
+    def export(self, array: np.ndarray) -> BufferRef:
+        """A portable handle for ``array``.
+
+        Zero-copy (address-carrying) when the array is backend-owned
+        memory; a by-value handle otherwise.
+        """
+        ref = getattr(array, "_buffer_ref", None)
+        if ref is not None:
+            return ref
+        return BufferRef(backend="heap", shape=tuple(array.shape),
+                         dtype=str(array.dtype), payload=array)
+
+    # -- lifecycle ------------------------------------------------------
+    def can_allocate(self) -> bool:
+        """Whether this process may allocate new backend memory now."""
+        return True
+
+    def stats(self) -> BufferStats:
+        """Current allocation accounting."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources; idempotent."""

@@ -1,0 +1,95 @@
+"""The in-heap buffer backend — the zero-overhead default.
+
+``empty``/``zeros`` are literally ``np.empty``/``np.zeros``, so code
+refactored onto the buffer seam compiles to exactly what it did before
+the seam existed.  The explicit ``allocate``/``release`` surface tracks
+ownership in a dict purely to honour the cross-backend contract
+(double release raises, refcounts work); handles are **by value** —
+pickling one to another process copies the array, which is precisely the
+IPC cost the shared-memory backend removes.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from .backend import BufferBackend, BufferRef, BufferStats
+
+__all__ = ["HeapBackend"]
+
+_TOKENS = itertools.count(1)
+
+
+class HeapBackend(BufferBackend):
+    """Plain process-heap allocation behind the backend contract."""
+
+    name = "heap"
+    shared = False
+
+    def __init__(self):
+        #: token -> [array, refcount] for explicitly-allocated buffers.
+        self._live: dict[int, list] = {}
+
+    # -- transparent allocation ----------------------------------------
+    def empty(self, shape, dtype=np.float64) -> np.ndarray:
+        """``np.empty`` — the exact pre-seam behaviour."""
+        return np.empty(shape, dtype)
+
+    def zeros(self, shape, dtype=np.float64) -> np.ndarray:
+        """``np.zeros`` — the exact pre-seam behaviour."""
+        return np.zeros(shape, dtype)
+
+    # -- explicit refcounted buffers -----------------------------------
+    def allocate(self, shape, dtype=np.float64) -> BufferRef:
+        """A tracked heap buffer; release exactly once per reference."""
+        array = np.empty(shape, dtype)
+        token = next(_TOKENS)
+        self._live[token] = [array, 1]
+        return BufferRef(backend=self.name, shape=tuple(array.shape),
+                         dtype=str(array.dtype), token=token, payload=array)
+
+    def resolve(self, ref: BufferRef) -> np.ndarray:
+        """The handle's array — the carried payload itself.
+
+        In-process this is the allocation (zero copy); a handle arriving
+        from another process carries the unpickled copy, matching the
+        heap backend's ship-by-value semantics.
+        """
+        if ref.payload is None:
+            raise BufferError(f"heap backend cannot resolve {ref!r}")
+        return ref.payload
+
+    def retain(self, ref: BufferRef) -> None:
+        """Bump the refcount of a live tracked buffer."""
+        self._entry(ref)[1] += 1
+
+    def release(self, ref: BufferRef) -> None:
+        """Drop one reference; the last release frees the tracking slot."""
+        entry = self._entry(ref)
+        entry[1] -= 1
+        if entry[1] <= 0:
+            del self._live[ref.token]
+
+    def _entry(self, ref: BufferRef) -> list:
+        entry = self._live.get(ref.token)
+        if entry is None:
+            raise BufferError(
+                f"no live heap buffer for token {ref.token} — double "
+                f"free or foreign handle")
+        return entry
+
+    # -- lifecycle ------------------------------------------------------
+    def stats(self) -> BufferStats:
+        """Tracked-buffer accounting (transparent allocs are untracked)."""
+        live_bytes = sum(a.nbytes for a, _ in self._live.values())
+        return BufferStats(backend=self.name, shared=False,
+                           live_blocks=len(self._live),
+                           live_bytes=live_bytes, mapped_bytes=live_bytes,
+                           high_water_bytes=live_bytes,
+                           segments=0, degraded=False)
+
+    def close(self) -> None:
+        """Forget tracked buffers (their memory is GC-managed anyway)."""
+        self._live.clear()

@@ -1,0 +1,297 @@
+"""The ``multiprocessing.shared_memory`` arena buffer backend.
+
+Allocations land inside pooled shared-memory segments managed by the
+:class:`~repro.buffers.arena.Arena`, so a ``(B, N, N)`` batch array
+costs a 64-byte-aligned arena carve instead of a segment per array, and
+its :class:`~repro.buffers.backend.BufferRef` — segment name plus offset
+— is all another process needs to map it.
+
+Lifetime rules (pinned by ``tests/buffers/test_leaks.py``):
+
+* the backend **owns** its segments in the process that created it; a
+  guaranteed ``close()`` — explicit, context-manager, or the ``atexit``
+  hook — unlinks every segment exactly once, so ``/dev/shm`` is
+  restored even when an exception unwinds past the allocation site;
+* forked children inherit the mappings (zero-copy reads and writes) but
+  must never allocate from — or unlink — the parent's arena: two
+  children carving the same inherited free block would race on the same
+  physical memory, so :meth:`can_allocate` is pid-guarded and child-side
+  ``empty()`` transparently degrades to the heap;
+* GC-owned arrays (from :meth:`empty`) release their block when the
+  last view dies; explicit :meth:`allocate` handles are refcounted and
+  raise :class:`BufferError` on double release;
+* when segment creation fails (``/dev/shm`` full, permissions), the
+  backend degrades to heap allocation with a single ``warnings`` line
+  plus a ``buffers.fallback`` obs event — it never crashes the caller.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+import warnings
+import weakref
+
+import numpy as np
+
+from ..obs import EVENTS, PERF
+from .arena import DEFAULT_SEGMENT_BYTES, Arena
+from .backend import ArenaArray, BufferBackend, BufferRef, BufferStats
+
+__all__ = ["SharedMemoryBackend", "SEGMENT_PREFIX"]
+
+#: Every segment name starts with this, so leak checks can census
+#: ``/dev/shm`` without being confused by other tenants.
+SEGMENT_PREFIX = "repro-buf"
+
+
+class _ShmSegmentProvider:
+    """Creates named ``SharedMemory`` segments for the arena."""
+
+    def __init__(self, prefix: str):
+        self.prefix = prefix
+        self._sequence = 0
+
+    def create(self, size: int):
+        """One fresh shared-memory segment of ``size`` bytes."""
+        from multiprocessing import shared_memory
+
+        self._sequence += 1
+        name = f"{self.prefix}-{self._sequence:04d}"
+        return shared_memory.SharedMemory(name=name, create=True, size=size)
+
+
+class _Owner:
+    """Tiny anchor object whose collection releases one arena block."""
+
+    __slots__ = ("__weakref__",)
+
+
+class SharedMemoryBackend(BufferBackend):
+    """Zero-copy buffers in pooled ``multiprocessing.shared_memory``.
+
+    Parameters
+    ----------
+    segment_bytes:
+        Minimum pooled segment size (default 4 MiB).
+
+    Raises
+    ------
+    ImportError / OSError
+        From the constructor or first allocation when shared memory is
+        unavailable; :func:`repro.buffers.create_backend` catches these
+        and falls back to the heap backend with a warning.
+    """
+
+    name = "shm"
+    shared = True
+
+    def __init__(self, segment_bytes: int = DEFAULT_SEGMENT_BYTES):
+        from multiprocessing import shared_memory  # noqa: F401 — probe
+
+        prefix = f"{SEGMENT_PREFIX}-{os.getpid()}-{secrets.token_hex(3)}"
+        self._arena = Arena(_ShmSegmentProvider(prefix), segment_bytes)
+        self._owner_pid = os.getpid()
+        self._degraded = False
+        self._closed = False
+        #: Segments of *other* processes mapped by :meth:`resolve`.
+        self._attached: dict = {}
+        atexit.register(self.close)
+
+    # -- transparent allocation ----------------------------------------
+    def empty(self, shape, dtype=np.float64) -> np.ndarray:
+        """A GC-owned shared-memory array; degrades to heap on failure.
+
+        In a forked child (or after degradation) this transparently
+        returns a plain heap array — children read and write the
+        *parent's* buffers zero-copy but allocate their own temporaries
+        privately, because carving the inherited arena from two
+        processes would hand out the same physical block twice.
+        """
+        if not self.can_allocate():
+            return np.empty(shape, dtype)
+        try:
+            ref = self.allocate(shape, dtype)
+        except OSError as exc:
+            self._degrade(exc)
+            return np.empty(shape, dtype)
+        return self._adopt(ref)
+
+    def try_shared_empty(self, shape, dtype=np.float64):
+        """A GC-owned shared allocation, or ``None`` if unavailable."""
+        if not self.can_allocate():
+            return None
+        try:
+            ref = self.allocate(shape, dtype)
+        except OSError as exc:
+            self._degrade(exc)
+            return None
+        return self._adopt(ref)
+
+    def _adopt(self, ref: BufferRef) -> ArenaArray:
+        """Wrap an owned ref as a GC-owned array (finalizer releases)."""
+        array = self._view(ref)
+        owner = _Owner()
+        weakref.finalize(owner, _gc_release, self._arena,
+                         ref.segment, ref.offset)
+        array._owner = owner
+        array._buffer_ref = ref
+        return array
+
+    # -- explicit refcounted buffers -----------------------------------
+    def allocate(self, shape, dtype=np.float64) -> BufferRef:
+        """An owned arena block; provider failures propagate as OSError."""
+        if self._closed:
+            raise BufferError("shared-memory backend is closed")
+        if not self.can_allocate():
+            raise BufferError(
+                "cannot allocate backend memory here (forked child or "
+                "degraded backend); use empty() for a transparent "
+                "fallback")
+        dtype = np.dtype(dtype)
+        shape = tuple(int(dim) for dim in np.atleast_1d(
+            np.asarray(shape, dtype=np.int64)))
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        segment, offset = self._arena.alloc(nbytes)
+        if PERF.enabled:
+            PERF.count("buffers.shm_allocs")
+            PERF.count("buffers.shm_bytes", nbytes)
+        return BufferRef(backend=self.name, shape=shape, dtype=str(dtype),
+                         segment=segment, offset=offset)
+
+    def resolve(self, ref: BufferRef) -> np.ndarray:
+        """Map a handle to an array, reattaching by name when needed.
+
+        Handles from this process (or inherited across a fork) resolve
+        against the arena's own mapping; handles from a *different*
+        backend instance attach the named segment read-write — the
+        reattach-after-fork path the contract suite pins.  By-value
+        (heap) handles resolve to their payload.
+        """
+        if ref.payload is not None:
+            return ref.payload
+        if self._arena.has_segment(ref.segment):
+            view = self._arena.view(ref.segment, ref.offset, ref.nbytes)
+        else:
+            view = self._attach(ref.segment, ref.offset, ref.nbytes)
+        array = ArenaArray(ref.shape, dtype=np.dtype(ref.dtype), buffer=view)
+        array._buffer_ref = ref
+        return array
+
+    def _view(self, ref: BufferRef) -> ArenaArray:
+        view = self._arena.view(ref.segment, ref.offset, ref.nbytes)
+        return ArenaArray(ref.shape, dtype=np.dtype(ref.dtype), buffer=view)
+
+    def _attach(self, segment: str, offset: int, nbytes: int) -> memoryview:
+        handle = self._attached.get(segment)
+        if handle is None:
+            handle = _attach_untracked(segment)
+            self._attached[segment] = handle
+        return handle.buf[offset:offset + max(nbytes, 1)]
+
+    def retain(self, ref: BufferRef) -> None:
+        """Add one reference to an owned block."""
+        self._arena.retain(ref.segment, ref.offset)
+
+    def release(self, ref: BufferRef) -> None:
+        """Drop one reference; double release raises ``BufferError``."""
+        if ref.payload is not None:
+            raise BufferError("by-value handles carry no owned block")
+        self._arena.free(ref.segment, ref.offset)
+
+    # -- lifecycle ------------------------------------------------------
+    def can_allocate(self) -> bool:
+        """Only the owning process of a healthy backend may allocate."""
+        return (not self._closed and not self._degraded
+                and os.getpid() == self._owner_pid)
+
+    @property
+    def degraded(self) -> bool:
+        """True once segment creation failed and heap fallback engaged."""
+        return self._degraded
+
+    def _degrade(self, exc: BaseException) -> None:
+        """Flip to heap fallback: warn once, emit one obs event."""
+        if self._degraded:
+            return
+        self._degraded = True
+        warnings.warn(
+            f"shared-memory buffers unavailable ({exc}); falling back "
+            f"to heap allocation", RuntimeWarning, stacklevel=3)
+        EVENTS.emit("buffers.fallback", backend=self.name,
+                    reason=str(exc))
+        PERF.count("buffers.fallback")
+
+    def segment_names(self) -> list[str]:
+        """Names of the segments this backend owns."""
+        return self._arena.segment_names()
+
+    def stats(self) -> BufferStats:
+        """Arena accounting plus the degraded flag."""
+        arena = self._arena.stats()
+        return BufferStats(backend=self.name, shared=True,
+                           live_blocks=arena.live_blocks,
+                           live_bytes=arena.live_bytes,
+                           mapped_bytes=arena.mapped_bytes,
+                           high_water_bytes=arena.high_water_bytes,
+                           segments=arena.segments,
+                           degraded=self._degraded)
+
+    def close(self) -> None:
+        """Unlink every owned segment (owner process only); idempotent.
+
+        Registered with ``atexit`` at construction, so even a run that
+        raises past every ``finally`` leaves ``/dev/shm`` clean.  Forked
+        children closing an inherited backend only drop their mappings —
+        the owner's segments survive until the owner unlinks them.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._attached.values():
+            try:
+                handle.close()
+            except BufferError:
+                pass
+        self._attached.clear()
+        self._arena.close(unlink=os.getpid() == self._owner_pid)
+        atexit.unregister(self.close)
+
+    def __enter__(self) -> "SharedMemoryBackend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def _attach_untracked(name: str):
+    """Attach a foreign segment without resource-tracker registration.
+
+    An attaching process must never register the segment with its own
+    ``resource_tracker``: on CPython < 3.13 that tracker would *unlink*
+    the owner's live segment when the attacher exits (cpython#82300).
+    3.13+ exposes ``track=False``; older versions need the unregister
+    workaround.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, create=False,
+                                          track=False)
+    except TypeError:
+        handle = shared_memory.SharedMemory(name=name, create=False)
+        try:
+            from multiprocessing import resource_tracker
+            resource_tracker.unregister(handle._name, "shared_memory")
+        except Exception:
+            pass
+        return handle
+
+
+def _gc_release(arena: Arena, segment: str, offset: int) -> None:
+    """Finalizer for GC-owned allocations; tolerant of explicit frees."""
+    try:
+        arena.free(segment, offset)
+    except BufferError:
+        pass

@@ -19,19 +19,26 @@ Two engines produce identical metrics:
 ``evaluate_targets`` can additionally fan episodes out over forked
 worker processes (``workers=``); chunks are split deterministically and
 merged back in target order, so the aggregate is identical to a serial
-run.
+run.  On a shared :mod:`repro.buffers` backend the workers write their
+episode arrays into pre-allocated shared-memory slabs the parent maps
+directly — the pool pipe then carries only scalars and handles, and the
+per-chunk pickling cost is recorded either way through the
+``eval.ipc_bytes`` counter and ``eval.chunk_ipc_bytes`` histogram.
 """
 
 from __future__ import annotations
 
+import pickle
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from .. import buffers
 from ..geometry import occlusion_rate, resolve_episode_visibility, \
     resolve_visibility
-from ..obs import DEFAULT_VALUE_BOUNDARIES, PERF, TRACER
+from ..obs import DEFAULT_COUNT_BOUNDARIES, DEFAULT_VALUE_BOUNDARIES, \
+    PERF, TRACER
 from .problem import AfterProblem
 from .recommender import Recommender
 from .utility import StepUtility, UtilityAccumulator, step_utility
@@ -136,8 +143,8 @@ def evaluate_episode(problem: AfterProblem,
     accumulator = UtilityAccumulator(problem.beta)
     occlusion_rates: list[float] = []
     runtimes: list[float] = []
-    recommendations = np.zeros((problem.horizon + 1, problem.num_users),
-                               dtype=bool)
+    recommendations = buffers.zeros(
+        (problem.horizon + 1, problem.num_users), np.bool_)
     visible_previous = np.zeros(problem.num_users, dtype=bool)
 
     with PERF.scope("eval.episode", {"target": int(problem.target),
@@ -195,8 +202,8 @@ def _evaluate_episode_fast(problem: AfterProblem,
     recommender.reset(problem)
     accumulator = UtilityAccumulator(problem.beta)
     runtimes: list[float] = []
-    recommendations = np.zeros((problem.horizon + 1, problem.num_users),
-                               dtype=bool)
+    recommendations = buffers.zeros(
+        (problem.horizon + 1, problem.num_users), np.bool_)
     visible_previous = np.zeros(problem.num_users, dtype=bool)
 
     with PERF.scope("eval.episode", {"target": int(problem.target),
@@ -273,12 +280,34 @@ def _parallel_worker(chunk) -> tuple:
     merged back into the parent (they would otherwise die with the
     fork).  Span timestamps stay on the parent timeline: the tracer
     epoch is inherited and ``perf_counter`` is system-wide monotonic.
+
+    When the payload carries shared-memory result slabs, the episode
+    arrays are written straight into the inherited mappings (each chunk
+    owns a disjoint slot range, so writers never overlap) and stripped
+    from the pickled return value; the pipe then ships scalars only.
+    The bytes actually pickled per chunk are counted into
+    ``eval.ipc_bytes`` whichever path runs.
     """
-    room, recommender, beta, max_render, engine = _PARALLEL_PAYLOAD
+    room, recommender, beta, max_render, engine, slabs = _PARALLEL_PAYLOAD
+    start_slot, targets = chunk
     PERF.reset()
     TRACER.spans.clear()
     episodes = [_evaluate_target(room, recommender, int(target), beta,
-                                 max_render, engine) for target in chunk]
+                                 max_render, engine) for target in targets]
+    if slabs is not None:
+        recommendations_slab, after_slab = slabs
+        light = []
+        for slot, episode in enumerate(episodes, start=start_slot):
+            recommendations_slab[slot] = episode.recommendations
+            after_slab[slot] = episode.per_step_after
+            light.append(replace(episode, per_step_after=None,
+                                 recommendations=None))
+        episodes = light
+    if PERF.enabled:
+        nbytes = len(pickle.dumps(episodes, pickle.HIGHEST_PROTOCOL))
+        PERF.count("eval.ipc_bytes", nbytes)
+        PERF.observe("eval.chunk_ipc_bytes", float(nbytes),
+                     boundaries=DEFAULT_COUNT_BOUNDARIES)
     return episodes, PERF.export_state(), TRACER.drain()
 
 
@@ -297,19 +326,45 @@ def _evaluate_parallel(room, recommender: Recommender, targets: list,
     episodes; they are merged into the parent registry in chunk order,
     so the merged timer/counter totals are deterministic and equal the
     counts of a serial run.
+
+    On a shared buffer backend (``REPRO_BUFFER_BACKEND=shm``) the
+    parent pre-allocates one recommendations slab and one per-step-
+    utility slab covering every target; forked workers inherit the
+    mappings and write their rows in place, so the result arrays cross
+    process boundaries without being pickled.  The parent's episode
+    objects then *view* the slabs (freed by GC when the results die).
+    If slab allocation is impossible — heap backend, degraded shm —
+    the classic pickle-the-results path runs instead.
     """
     import multiprocessing
 
     if "fork" not in multiprocessing.get_all_start_methods():
         return None
     workers = min(workers, len(targets))
-    chunks = [chunk.tolist() for chunk
-              in np.array_split(np.asarray(targets, dtype=np.int64), workers)
-              if chunk.size]
+    split = [chunk.tolist() for chunk
+             in np.array_split(np.asarray(targets, dtype=np.int64), workers)
+             if chunk.size]
+    chunks = []
+    start = 0
+    for chunk in split:
+        chunks.append((start, chunk))
+        start += len(chunk)
+
+    slabs = None
+    backend = buffers.active()
+    if backend.shared:
+        steps = room.horizon + 1
+        recommendations_slab = backend.try_shared_empty(
+            (len(targets), steps, room.num_users), np.bool_)
+        after_slab = backend.try_shared_empty((len(targets), steps),
+                                              np.float64)
+        if recommendations_slab is not None and after_slab is not None:
+            slabs = (recommendations_slab, after_slab)
+            PERF.count("eval.shm_slabs")
 
     global _PARALLEL_PAYLOAD
     context = multiprocessing.get_context("fork")
-    _PARALLEL_PAYLOAD = (room, recommender, beta, max_render, engine)
+    _PARALLEL_PAYLOAD = (room, recommender, beta, max_render, engine, slabs)
     try:
         with context.Pool(processes=len(chunks)) as pool:
             per_chunk = pool.map(_parallel_worker, chunks)
@@ -320,6 +375,12 @@ def _evaluate_parallel(room, recommender: Recommender, targets: list,
         episodes.extend(chunk_episodes)
         PERF.merge_snapshot(perf_state)
         TRACER.adopt(spans)
+    if slabs is not None:
+        recommendations_slab, after_slab = slabs
+        episodes = [replace(episode,
+                            per_step_after=after_slab[slot],
+                            recommendations=recommendations_slab[slot])
+                    for slot, episode in enumerate(episodes)]
     PERF.count("eval.parallel_chunks", len(per_chunk))
     return episodes
 

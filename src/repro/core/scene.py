@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import buffers
 from ..geometry import StaticOcclusionGraph, forced_presence_mask, \
     physically_blocked_mask
 from ..geometry.batched import stacked_rooms_field
@@ -181,6 +182,11 @@ def build_episode_frames(target: int, graphs: list,
     arrays, so per-frame mutation (e.g. block/allow-list pruning) stays
     frame-local; the ``forced`` mask and ``interfaces_mr`` are constant
     over the episode and shared across frames.
+
+    The episode slabs are allocated through the active
+    :mod:`repro.buffers` backend: on the shared-memory backend a room's
+    cached frames live in mappable segments, so fork-parallel workers
+    read them as genuinely shared pages rather than copy-on-write heap.
     """
     interfaces_mr = np.asarray(interfaces_mr, dtype=bool)
     forced = forced_presence_mask(interfaces_mr, target)
@@ -202,29 +208,34 @@ def build_episode_frames(target: int, graphs: list,
         blocked[:, forced_idx] = False
         blocked[:, target] = False
     else:
-        blocked = np.zeros((steps, count), dtype=bool)
+        blocked = buffers.zeros((steps, count), np.bool_)
 
-    mask = np.ones((steps, count), dtype=np.float64)
+    mask = buffers.empty((steps, count))
+    mask.fill(1.0)
     mask[:, target] = 0.0
     mask[blocked] = 0.0
 
-    raw_preference = np.repeat(
-        np.asarray(preference_row, dtype=np.float64)[None, :], steps, axis=0)
-    raw_presence = np.repeat(
-        np.asarray(presence_row, dtype=np.float64)[None, :], steps, axis=0)
+    raw_preference = buffers.empty((steps, count))
+    raw_presence = buffers.empty((steps, count))
+    raw_preference[:] = np.asarray(preference_row, dtype=np.float64)[None, :]
+    raw_presence[:] = np.asarray(presence_row, dtype=np.float64)[None, :]
     raw_preference[:, target] = 0.0
     raw_presence[:, target] = 0.0
 
-    preference = raw_preference.copy()
-    presence = raw_presence.copy()
+    preference = buffers.empty((steps, count))
+    presence = buffers.empty((steps, count))
+    preference[:] = raw_preference
+    presence[:] = raw_presence
     preference[blocked] = 0.0
     presence[blocked] = 0.0
 
     # distance_normalise, broadcast over steps (same elementwise ops).
     scale = np.maximum(distances.max(axis=1), 1e-9)[:, None]
     damping = 1.0 + (distances / scale) ** 2
-    preference_hat = preference / damping
-    presence_hat = presence / damping
+    preference_hat = np.divide(preference, damping,
+                               out=buffers.empty((steps, count)))
+    presence_hat = np.divide(presence, damping,
+                             out=buffers.empty((steps, count)))
 
     return [
         Frame(
@@ -286,7 +297,7 @@ def build_room_frames(ts, targets, graphs, preference_rows,
     # contiguous and therefore far cheaper to gather.  Padded slots
     # carry valid=False and drop out of the disjunction, exactly as
     # absent columns do in the scalar gather.
-    blocked = np.zeros(distances.shape, dtype=bool)
+    blocked = buffers.zeros(distances.shape, np.bool_)
     has_forced = np.nonzero(forced.any(axis=1))[0]
     if has_forced.size:
         sub_forced = forced[has_forced]
@@ -302,12 +313,15 @@ def build_room_frames(ts, targets, graphs, preference_rows,
     blocked[forced] = False
     blocked[rows, targets] = False
 
-    mask = np.ones((rooms, distances.shape[1]), dtype=np.float64)
+    mask = buffers.empty((rooms, distances.shape[1]))
+    mask.fill(1.0)
     mask[rows, targets] = 0.0
     mask[blocked] = 0.0
 
-    raw_preference = np.array(preference_rows, dtype=np.float64)
-    raw_presence = np.array(presence_rows, dtype=np.float64)
+    raw_preference = buffers.empty((rooms, distances.shape[1]))
+    raw_presence = buffers.empty((rooms, distances.shape[1]))
+    raw_preference[:] = np.array(preference_rows, dtype=np.float64)
+    raw_presence[:] = np.array(presence_rows, dtype=np.float64)
     raw_preference[rows, targets] = 0.0
     raw_presence[rows, targets] = 0.0
 

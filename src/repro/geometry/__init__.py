@@ -13,7 +13,7 @@ from .arcs import (
     arc_of_user,
     arcs_intersect,
 )
-from .batched import BatchedOcclusionConverter, MultiTargetGraphs
+from .batched import BatchedOcclusionConverter, MultiTargetGraphs, RoomGraphs
 from .dog import DynamicOcclusionGraph, structural_delta
 from .occlusion import (
     DEFAULT_BODY_RADIUS,
@@ -39,6 +39,7 @@ __all__ = [
     "arc_intersection_matrix",
     "BatchedOcclusionConverter",
     "MultiTargetGraphs",
+    "RoomGraphs",
     "DynamicOcclusionGraph",
     "structural_delta",
     "OcclusionGraphConverter",

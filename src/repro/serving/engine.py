@@ -34,6 +34,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import buffers
 from ..core.problem import AfterProblem
 from ..core.recommender import Recommender
 from ..core.scene import build_room_frames
@@ -259,8 +260,11 @@ class SessionEngine:
         group_graphs: dict[tuple, list] = {}
         with PERF.scope("serving.geometry"):
             for (count, body_radius), indices in groups.items():
-                stacked = np.stack(
-                    [batch[i][1].positions for i in indices])
+                first = np.asarray(batch[indices[0]][1].positions)
+                stacked = buffers.empty(
+                    (len(indices),) + first.shape, first.dtype)
+                np.stack([batch[i][1].positions for i in indices],
+                         out=stacked)
                 targets = np.array(
                     [batch[i][0].problem.target for i in indices],
                     dtype=np.int64)

@@ -39,6 +39,7 @@ from .manifest import (
     write_json_atomic,
 )
 from .storage import (
+    BufferStore,
     CheckpointStore,
     InMemoryStore,
     LocalDirectoryStore,
@@ -59,6 +60,7 @@ __all__ = [
     "LocalDirectoryStore",
     "InMemoryStore",
     "ShardedDirectoryStore",
+    "BufferStore",
     "DivergenceGuard",
     "GuardConfig",
     "NonFiniteSignal",

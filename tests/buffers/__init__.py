@@ -1,0 +1,1 @@
+"""Buffer-backend suites: contract, arena properties, leaks, fallback."""

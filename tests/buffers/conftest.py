@@ -1,0 +1,33 @@
+"""Shared fixtures for the buffer-backend suites."""
+
+import pytest
+
+from repro.buffers import HeapBackend, SharedMemoryBackend
+from repro.datasets import RoomConfig, generate_timik_room
+
+BACKENDS = ["heap", "shm"]
+
+
+def make_backend(kind):
+    """A fresh backend instance of the requested kind.
+
+    The shm backend uses small (64 KiB) segments so the suites exercise
+    multi-segment arenas without mapping megabytes per test.
+    """
+    if kind == "heap":
+        return HeapBackend()
+    return SharedMemoryBackend(segment_bytes=1 << 16)
+
+
+def make_room(num_users=16, num_steps=6, seed=0):
+    """A small deterministic Timik-style room."""
+    return generate_timik_room(
+        RoomConfig(num_users=num_users, num_steps=num_steps), seed=seed)
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    """One backend per param, closed (segments unlinked) after the test."""
+    instance = make_backend(request.param)
+    yield instance
+    instance.close()

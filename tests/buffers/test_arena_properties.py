@@ -1,0 +1,160 @@
+"""Property-based invariants for the arena allocator (hypothesis).
+
+Runs entirely on :class:`~repro.buffers.HeapSegmentProvider` — the
+allocator logic under test is identical to what the shared-memory
+backend runs, without touching ``/dev/shm``.  Three invariants:
+
+* live blocks never overlap, within or across segments;
+* freed space is reused — an alloc/free/alloc cycle of one size lands
+  on the same handle and maps no new segment;
+* mapped bytes are bounded by the high-water mark of live bytes (under
+  stack-discipline frees, where fragmentation cannot pin segments):
+  every segment except the newest was more than half full when its
+  successor was mapped.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buffers import ALIGNMENT, Arena, HeapSegmentProvider
+from repro.buffers.arena import _align, _ceil_pow2
+
+SEGMENT_BYTES = 4096
+
+#: An op is ("alloc", nbytes) or ("free", index-into-live).
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc"), st.integers(1, 3 * SEGMENT_BYTES)),
+        st.tuples(st.just("free"), st.integers(0, 1_000_000)),
+    ),
+    max_size=80,
+)
+
+
+def _assert_no_overlap(live):
+    """Live (segment, offset, aligned_size) triples must be disjoint."""
+    by_segment: dict = {}
+    for segment, offset, size in live:
+        by_segment.setdefault(segment, []).append((offset, size))
+    for runs in by_segment.values():
+        runs.sort()
+        for (offset, size), (next_offset, _) in zip(runs, runs[1:]):
+            assert offset + size <= next_offset, \
+                f"overlap: [{offset}, {offset + size}) vs {next_offset}"
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops_strategy)
+def test_live_regions_never_overlap(ops):
+    arena = Arena(HeapSegmentProvider(), segment_bytes=SEGMENT_BYTES)
+    live = []
+    for op, value in ops:
+        if op == "alloc":
+            segment, offset = arena.alloc(value)
+            live.append((segment, offset, _align(value)))
+        elif live:
+            segment, offset, _ = live.pop(value % len(live))
+            arena.free(segment, offset)
+        _assert_no_overlap(live)
+    stats = arena.stats()
+    assert stats.live_blocks == len(live)
+    assert stats.live_bytes == sum(size for _, _, size in live)
+    assert stats.total_allocs - stats.total_frees == len(live)
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops_strategy, st.integers(1, SEGMENT_BYTES))
+def test_freed_space_is_reused(ops, probe_bytes):
+    """After any op history, an alloc/free/alloc cycle of one size gets
+    the same handle back and maps nothing new."""
+    arena = Arena(HeapSegmentProvider(), segment_bytes=SEGMENT_BYTES)
+    live = []
+    for op, value in ops:
+        if op == "alloc":
+            live.append(arena.alloc(value))
+        elif live:
+            arena.free(*live.pop(value % len(live)))
+    first = arena.alloc(probe_bytes)
+    mapped = arena.stats().mapped_bytes
+    arena.free(*first)
+    second = arena.alloc(probe_bytes)
+    assert second == first
+    assert arena.stats().mapped_bytes == mapped
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.tuples(st.integers(1, 3 * SEGMENT_BYTES),
+                          st.booleans()), max_size=60))
+def test_mapped_bytes_bounded_by_high_water_lifo(plan):
+    """Stack-discipline workload: mapped stays within 2x the high-water
+    mark plus one segment of slack per boundary effect.
+
+    A new segment is only mapped when no existing free run fits, so at
+    that moment every older segment is more than ``size - request``
+    full; with LIFO frees (no fragmentation) that bounds total mapped
+    bytes by twice the peak of live bytes.
+    """
+    arena = Arena(HeapSegmentProvider(), segment_bytes=SEGMENT_BYTES)
+    stack = []
+    for nbytes, pop_after in plan:
+        stack.append(arena.alloc(nbytes))
+        if pop_after and stack:
+            arena.free(*stack.pop())
+        stats = arena.stats()
+        largest = max(SEGMENT_BYTES,
+                      _ceil_pow2(_align(3 * SEGMENT_BYTES)))
+        assert stats.mapped_bytes \
+            <= 2 * stats.high_water_bytes + 2 * largest
+    while stack:
+        arena.free(*stack.pop())
+    assert arena.stats().live_bytes == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(1, 2 * SEGMENT_BYTES), st.integers(0, 5))
+def test_refcount_requires_matching_frees(nbytes, retains):
+    arena = Arena(HeapSegmentProvider(), segment_bytes=SEGMENT_BYTES)
+    segment, offset = arena.alloc(nbytes)
+    for _ in range(retains):
+        arena.retain(segment, offset)
+    for _ in range(retains):
+        assert arena.free(segment, offset) is False
+    assert arena.free(segment, offset) is True
+    with pytest.raises(BufferError):
+        arena.free(segment, offset)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(1, SEGMENT_BYTES // 2),
+                min_size=1, max_size=12))
+def test_views_round_trip_bytes(sizes):
+    """Each block's view holds exactly the bytes written to it, even
+    with neighbours written afterwards."""
+    arena = Arena(HeapSegmentProvider(), segment_bytes=SEGMENT_BYTES)
+    handles = []
+    for index, nbytes in enumerate(sizes):
+        segment, offset = arena.alloc(nbytes)
+        arena.view(segment, offset, nbytes)[:] = \
+            bytes([index % 251] * nbytes)
+        handles.append((segment, offset, nbytes, index % 251))
+    for segment, offset, nbytes, fill in handles:
+        assert bytes(arena.view(segment, offset, nbytes)) \
+            == bytes([fill] * nbytes)
+
+
+def test_alignment_of_every_offset():
+    arena = Arena(HeapSegmentProvider(), segment_bytes=SEGMENT_BYTES)
+    for nbytes in (1, 63, 64, 65, 1000, 5000):
+        _, offset = arena.alloc(nbytes)
+        assert offset % ALIGNMENT == 0
+
+
+def test_close_is_idempotent_and_frees_become_noops():
+    arena = Arena(HeapSegmentProvider(), segment_bytes=SEGMENT_BYTES)
+    handle = arena.alloc(128)
+    arena.close()
+    arena.close()
+    assert arena.free(*handle) is False    # late GC finalizers stay safe
+    with pytest.raises(BufferError):
+        arena.alloc(1)

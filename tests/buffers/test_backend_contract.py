@@ -1,0 +1,312 @@
+"""One shared contract suite for every buffer backend.
+
+Heap and shared-memory backends must be interchangeable under the
+hot-path containers: allocation/resolve round trips are byte-identical,
+release semantics (refcounts, double-free) match, and every array the
+evaluation and serving paths produce is bit-for-bit equal whichever
+backend is active.  Backend-specific semantics — zero-copy handles,
+reattach-after-fork, child-side allocation guards — are pinned
+explicitly per backend below.
+"""
+
+import gc
+import io
+import multiprocessing
+import pickle
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro import buffers
+from repro.buffers import ArenaArray, BufferRef, HeapBackend
+from repro.core import AfterProblem, evaluate_targets
+from repro.geometry.batched import BatchedOcclusionConverter
+from repro.models.baselines import NearestRecommender
+from repro.training import BufferStore
+
+from .conftest import BACKENDS, make_backend, make_room
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+fork_only = pytest.mark.skipif(not HAS_FORK, reason="fork unavailable")
+
+
+class TestAllocationContract:
+    def test_empty_has_shape_dtype_and_is_writable(self, backend):
+        array = backend.empty((3, 4), np.float32)
+        assert array.shape == (3, 4) and array.dtype == np.float32
+        array[:] = 7.5
+        assert (array == 7.5).all()
+
+    def test_zeros_is_zero_filled(self, backend):
+        array = backend.zeros((5, 2), np.int64)
+        assert array.dtype == np.int64
+        np.testing.assert_array_equal(array, np.zeros((5, 2), np.int64))
+
+    def test_allocate_resolve_round_trip(self, backend):
+        ref = backend.allocate((4, 3), np.float64)
+        assert isinstance(ref, BufferRef)
+        assert ref.shape == (4, 3) and ref.nbytes == 96
+        view = backend.resolve(ref)
+        view[:] = np.arange(12, dtype=np.float64).reshape(4, 3)
+        again = backend.resolve(ref)
+        np.testing.assert_array_equal(
+            again, np.arange(12, dtype=np.float64).reshape(4, 3))
+        backend.release(ref)
+
+    def test_release_frees_and_double_free_raises(self, backend):
+        before = backend.stats().live_blocks
+        ref = backend.allocate((8,), np.uint8)
+        assert backend.stats().live_blocks == before + 1
+        backend.release(ref)
+        assert backend.stats().live_blocks == before
+        with pytest.raises(BufferError):
+            backend.release(ref)
+
+    def test_retain_adds_one_reference(self, backend):
+        ref = backend.allocate((8,), np.uint8)
+        backend.retain(ref)
+        backend.release(ref)          # drops the retained reference
+        assert backend.stats().live_blocks == 1
+        backend.release(ref)          # drops the original
+        assert backend.stats().live_blocks == 0
+        with pytest.raises(BufferError):
+            backend.release(ref)
+
+    def test_export_ref_pickles_and_resolves(self, backend):
+        array = backend.empty((6,), np.float64)
+        array[:] = np.arange(6, dtype=np.float64)
+        ref = backend.export(array)
+        clone = pickle.loads(pickle.dumps(ref))
+        np.testing.assert_array_equal(backend.resolve(clone), array)
+
+    def test_export_handle_size_matches_backend_kind(self, backend):
+        """Shared handles are (segment, offset) — a few hundred bytes no
+        matter the array; heap handles necessarily carry the payload."""
+        array = backend.empty((256, 256), np.float64)
+        array.fill(1.0)
+        ref = backend.export(array)
+        encoded = len(pickle.dumps(ref, pickle.HIGHEST_PROTOCOL))
+        if backend.shared:
+            assert ref.payload is None
+            assert encoded < 1024
+        else:
+            assert ref.payload is not None
+            assert encoded > array.nbytes
+
+    def test_stats_track_live_bytes(self, backend):
+        ref = backend.allocate((1024,), np.uint8)
+        stats = backend.stats()
+        assert stats.backend == backend.name
+        assert stats.shared == backend.shared
+        assert stats.live_bytes >= 1024
+        backend.release(ref)
+
+    def test_module_helpers_route_through_installed_backend(self, backend):
+        with buffers.use_backend(backend):
+            assert buffers.active() is backend
+            array = buffers.zeros((4,), np.float64)
+            np.testing.assert_array_equal(array, np.zeros(4))
+            if backend.shared:
+                assert isinstance(buffers.empty((4,), np.float64),
+                                  ArenaArray)
+
+
+class TestGcOwnership:
+    def test_views_keep_the_allocation_alive(self, backend):
+        if not backend.shared:
+            pytest.skip("heap arrays are plain ndarrays (GC handles them)")
+        array = backend.empty((128,), np.float64)
+        view = array[10:20]
+        del array
+        gc.collect()
+        assert backend.stats().live_blocks == 1
+        view[:] = 3.0      # still valid memory
+        del view
+        gc.collect()
+        assert backend.stats().live_blocks == 0
+
+
+def _capture_room_graphs(kind, positions, targets):
+    with buffers.use_backend(kind):
+        graphs = BatchedOcclusionConverter().convert_rooms(
+            positions, targets)
+        return (graphs.adjacency.tobytes(), graphs.distances.tobytes(),
+                [graph.adjacency.tobytes() for graph in graphs])
+
+
+def _capture_episode_frames(kind, seed):
+    with buffers.use_backend(kind):
+        room = make_room(seed=seed)
+        problem = AfterProblem(room, target=1)
+        frames = problem.episode_frames()
+        return [(frame.preference.tobytes(), frame.presence.tobytes(),
+                 frame.forced.tobytes()) for frame in frames]
+
+
+def _capture_evaluation(kind, seed, workers=None):
+    with buffers.use_backend(kind):
+        room = make_room(seed=seed)
+        result = evaluate_targets(room, NearestRecommender(),
+                                  [0, 2, 5], engine="batched",
+                                  workers=workers)
+        return ([(e.after_utility, e.preference, e.presence,
+                  e.occlusion_rate) for e in result.episodes],
+                [e.per_step_after.tobytes() for e in result.episodes],
+                [e.recommendations.tobytes() for e in result.episodes])
+
+
+ARRAYS = {
+    "model/weight": np.arange(6, dtype=np.float64).reshape(2, 3),
+    "optim/m": np.full(4, 0.25, dtype=np.float32),
+}
+
+
+class TestCrossBackendByteEquality:
+    """The acceptance bar: heap and shm produce bit-identical data."""
+
+    def test_room_graphs_bit_identical(self):
+        rng = np.random.default_rng(7)
+        positions = rng.uniform(0, 8, size=(5, 12, 2))
+        captured = [_capture_room_graphs(kind, positions, [0] * 5)
+                    for kind in BACKENDS]
+        assert captured[0] == captured[1]
+
+    def test_episode_frames_bit_identical(self):
+        captured = [_capture_episode_frames(kind, seed=3)
+                    for kind in BACKENDS]
+        assert captured[0] == captured[1]
+
+    def test_evaluation_metrics_bit_identical(self):
+        captured = [_capture_evaluation(kind, seed=5) for kind in BACKENDS]
+        assert captured[0] == captured[1]
+
+    @fork_only
+    def test_fork_parallel_evaluation_bit_identical(self):
+        serial = _capture_evaluation("heap", seed=5)
+        for kind in BACKENDS:
+            assert _capture_evaluation(kind, seed=5, workers=2) == serial
+
+    def test_checkpoint_payload_bytes_identical(self):
+        entries = []
+        for kind in BACKENDS:
+            backend = make_backend(kind)
+            try:
+                with BufferStore(backend) as store:
+                    store.write_arrays("ckpt-00001.npz", ARRAYS)
+                    raw = store._read_bytes("ckpt-00001.npz")
+                with zipfile.ZipFile(io.BytesIO(raw)) as archive:
+                    entries.append({name: archive.read(name)
+                                    for name in sorted(archive.namelist())})
+            finally:
+                backend.close()
+        assert entries[0] == entries[1]
+
+
+@fork_only
+class TestForkSemantics:
+    """Reattach-after-fork behaviour, pinned per backend.
+
+    Shared-memory handles are *addresses*: a fresh backend in another
+    process maps the same bytes, and writes travel both ways.  Heap
+    handles are *values*: a fork sees a copy-on-write snapshot and
+    writes stay private.  Both semantics are load-bearing — the
+    evaluation slab path relies on the former, determinism of the heap
+    path on the latter.
+    """
+
+    def _run_child(self, target, args):
+        context = multiprocessing.get_context("fork")
+        queue = context.Queue()
+        process = context.Process(target=target, args=(queue,) + args)
+        process.start()
+        result = queue.get(timeout=30)
+        process.join(timeout=30)
+        assert process.exitcode == 0
+        return result
+
+    @pytest.mark.parametrize("kind", BACKENDS)
+    def test_child_resolves_parent_handle(self, kind):
+        backend = make_backend(kind)
+        try:
+            array = backend.empty((8,), np.float64)
+            array[:] = np.arange(8, dtype=np.float64)
+            ref = backend.export(array)
+
+            def child(queue):
+                fresh = make_backend(kind)
+                try:
+                    seen = fresh.resolve(ref)
+                    matches = bool(
+                        (np.asarray(seen)
+                         == np.arange(8, dtype=np.float64)).all())
+                    seen[0] = 99.0
+                    queue.put(matches)
+                finally:
+                    fresh.close()
+
+            assert self._run_child(child, ())
+            # Writes through a *shared* handle are visible to the
+            # parent; by-value handles stay copies.
+            if backend.shared:
+                assert array[0] == 99.0
+            else:
+                assert array[0] == 0.0
+        finally:
+            backend.close()
+
+    def test_child_cannot_allocate_from_inherited_arena(self):
+        backend = make_backend("shm")
+        try:
+            parent_array = backend.empty((16,), np.float64)
+            assert backend.can_allocate()
+
+            def child(queue):
+                plain = backend.empty((4,), np.float64)
+                queue.put((backend.can_allocate(),
+                           isinstance(plain, ArenaArray)))
+
+            can_allocate, got_arena_array = self._run_child(child, ())
+            assert not can_allocate
+            assert not got_arena_array
+            # The parent is unaffected by the child's degradation.
+            assert backend.can_allocate()
+            del parent_array
+        finally:
+            backend.close()
+
+    def test_child_close_leaves_parent_segments_alive(self):
+        backend = make_backend("shm")
+        try:
+            array = backend.empty((32,), np.float64)
+            array.fill(4.25)
+            ref = backend.export(array)
+
+            def child(queue):
+                backend.close()     # inherited — must not unlink
+                queue.put(True)
+
+            assert self._run_child(child, ())
+            np.testing.assert_array_equal(backend.resolve(ref),
+                                          np.full(32, 4.25))
+        finally:
+            backend.close()
+
+
+class TestHeapBackendSpecifics:
+    def test_heap_arrays_are_numpy_allocations(self):
+        backend = HeapBackend()
+        array = backend.empty((3,), np.float64)
+        assert type(array) is np.ndarray
+        assert backend.stats().mapped_bytes == 0
+        backend.close()
+
+    def test_release_of_by_value_ref_raises_on_shm(self):
+        backend = make_backend("shm")
+        try:
+            ref = BufferRef(backend="heap", shape=(2,), dtype="float64",
+                            payload=np.zeros(2))
+            with pytest.raises(BufferError):
+                backend.release(ref)
+        finally:
+            backend.close()

@@ -1,0 +1,161 @@
+"""Silent heap fallback when shared memory is unavailable or fails.
+
+The seam must never crash a caller because ``/dev/shm`` filled up or
+the platform lacks POSIX shared memory: segment-creation failure flips
+the backend to heap allocation with exactly one ``RuntimeWarning`` and
+one ``buffers.fallback`` obs event, and ``create_backend("shm")`` on a
+broken platform hands back a plain :class:`HeapBackend` the same way.
+"""
+
+import errno
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import buffers
+from repro.buffers import ArenaArray, HeapBackend, SharedMemoryBackend
+from repro.buffers import shm as shm_module
+from repro.core import evaluate_targets
+from repro.models.baselines import NearestRecommender
+from repro.obs import EVENTS
+
+from .conftest import make_backend, make_room
+
+
+class _FailingProvider:
+    """Segment provider that always fails like a full ``/dev/shm``."""
+
+    def create(self, size):
+        raise OSError(errno.ENOSPC, "No space left on device")
+
+
+@pytest.fixture
+def events():
+    """The process-wide event log, enabled and drained for one test."""
+    EVENTS.records.clear()
+    EVENTS.counts.clear()
+    was_enabled = EVENTS.enabled
+    EVENTS.enable()
+    yield EVENTS
+    EVENTS.enabled = was_enabled
+    EVENTS.records.clear()
+    EVENTS.counts.clear()
+
+
+def _force_failure(backend):
+    backend._arena.provider = _FailingProvider()
+
+
+def test_segment_failure_degrades_with_single_warning(events):
+    backend = make_backend("shm")
+    try:
+        _force_failure(backend)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            array = backend.empty((8,), np.float64)
+        assert type(array) is np.ndarray
+        assert not isinstance(array, ArenaArray)
+        assert backend.degraded
+        # Exactly one warning and one event, however many allocations
+        # follow.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            for _ in range(5):
+                assert type(backend.empty((8,), np.float64)) is np.ndarray
+            assert backend.try_shared_empty((8,), np.float64) is None
+        fallback = [record for record in events.records
+                    if record["type"] == "buffers.fallback"]
+        assert len(fallback) == 1
+        assert fallback[0]["backend"] == "shm"
+        assert "No space left" in fallback[0]["reason"]
+    finally:
+        backend.close()
+
+
+def test_degraded_backend_refuses_explicit_allocate():
+    backend = make_backend("shm")
+    try:
+        _force_failure(backend)
+        with pytest.warns(RuntimeWarning):
+            backend.empty((8,), np.float64)
+        assert not backend.can_allocate()
+        with pytest.raises(BufferError):
+            backend.allocate((8,), np.float64)
+    finally:
+        backend.close()
+
+
+def test_evaluation_still_correct_after_degradation():
+    """A mid-run degradation changes *where* arrays live, not values."""
+    with buffers.use_backend("heap"):
+        room = make_room(seed=4)
+        gold = evaluate_targets(room, NearestRecommender(), [0, 3],
+                                engine="batched")
+    backend = make_backend("shm")
+    try:
+        _force_failure(backend)
+        with buffers.use_backend(backend), \
+                pytest.warns(RuntimeWarning):
+            room = make_room(seed=4)
+            degraded = evaluate_targets(room, NearestRecommender(),
+                                        [0, 3], engine="batched")
+        assert degraded.after_utility == gold.after_utility
+        assert degraded.occlusion_rate == gold.occlusion_rate
+    finally:
+        backend.close()
+
+
+def test_create_backend_shm_unavailable_returns_heap(monkeypatch, events):
+    """Constructor-level failure (no shm at all) falls back at creation."""
+
+    class _Broken(SharedMemoryBackend):
+        def __init__(self, **kwargs):
+            raise ImportError("no multiprocessing.shared_memory here")
+
+    monkeypatch.setattr(buffers, "SharedMemoryBackend", _Broken)
+    with pytest.warns(RuntimeWarning, match="unavailable"):
+        backend = buffers.create_backend("shm")
+    assert isinstance(backend, HeapBackend)
+    assert [record["type"] for record in events.records] \
+        == ["buffers.fallback"]
+    # The fallback backend is fully functional.
+    array = backend.zeros((3,), np.float64)
+    np.testing.assert_array_equal(array, np.zeros(3))
+
+
+def test_create_backend_probe_failure_returns_heap(monkeypatch):
+    """First-allocation failure (creatable module, unusable segments)."""
+
+    class _NoSpace:
+        def __init__(self, *args, **kwargs):
+            raise OSError(errno.ENOSPC, "No space left on device")
+
+    monkeypatch.setattr(shm_module, "_ShmSegmentProvider", _NoSpace)
+    with pytest.warns(RuntimeWarning):
+        backend = buffers.create_backend("shm")
+    assert isinstance(backend, HeapBackend)
+
+
+def test_unknown_backend_name_raises():
+    with pytest.raises(ValueError, match="unknown buffer backend"):
+        buffers.create_backend("gpu")
+
+
+def test_env_var_selects_backend(monkeypatch):
+    monkeypatch.setenv(buffers.BACKEND_ENV_VAR, "shm")
+    previous = buffers.set_backend(None)
+    try:
+        backend = buffers.active()
+        assert backend.name == "shm"
+        backend.close()
+    finally:
+        buffers.set_backend(previous)
+
+
+def test_heap_is_the_default(monkeypatch):
+    monkeypatch.delenv(buffers.BACKEND_ENV_VAR, raising=False)
+    previous = buffers.set_backend(None)
+    try:
+        assert buffers.active().name == "heap"
+    finally:
+        buffers.set_backend(previous)

@@ -49,8 +49,11 @@ def _instrumented_run(workers=None):
 def test_parallel_merged_counts_equal_serial():
     serial_timers, serial_counters, serial_histograms = _instrumented_run()
     timers, counters, histograms = _instrumented_run(workers=2)
-    # the chunk-merge bookkeeping counter is parallel-only by design
+    # the chunk-merge and IPC-measurement instrumentation is
+    # parallel-only by design (a serial run crosses no process pipe)
     assert counters.pop("eval.parallel_chunks") == 2
+    assert counters.pop("eval.ipc_bytes") > 0
+    assert histograms.pop("eval.chunk_ipc_bytes") == 2
     assert timers == serial_timers
     assert counters == serial_counters
     assert histograms == serial_histograms

@@ -45,7 +45,8 @@ def test_public_api_documented(module_name):
     "repro.bench", "repro.viz", "repro.training", "repro.training.engine",
     "repro.training.storage", "repro.runtime", "repro.obs",
     "repro.serving", "repro.serving.session", "repro.serving.engine",
-    "repro.serving.replay",
+    "repro.serving.replay", "repro.buffers", "repro.buffers.arena",
+    "repro.buffers.backend", "repro.buffers.heap", "repro.buffers.shm",
 ])
 def test_public_methods_documented(module_name):
     """Public methods of exported classes must have docstrings."""
