@@ -41,6 +41,7 @@ Gate a fresh run against the committed baseline with::
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
 import time
 from dataclasses import asdict, dataclass
@@ -52,7 +53,7 @@ from repro.core.problem import AfterProblem
 from repro.datasets import RoomConfig, generate_room
 from repro.models import NearestRecommender
 from repro.obs import PERF, TRACER, EventLog, write_chrome_trace
-from repro.serving import ReplayDriver, RoomSession, SessionEngine
+from repro.serving import Fleet, ReplayDriver, RoomSession, SessionEngine
 
 __all__ = ["ServingBenchConfig", "run_serving_bench", "main"]
 
@@ -62,6 +63,24 @@ RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
 #: one-room-at-a-time stepping by at least this factor at the default
 #: 64-room scale.
 SPEEDUP_FLOOR = 3.0
+
+#: Sharded-fleet scale points measured by the scaling table.
+FLEET_SHARD_COUNTS = (1, 2)
+
+#: Acceptance floor: two shards must deliver at least this factor of
+#: one shard's aggregate rooms/sec on the 64-room workload.  Enforced
+#: only when the machine actually has two cores to scale onto — on a
+#: single-core host the table still reports the (necessarily <1x)
+#: measured factor, it just cannot gate.
+FLEET_SCALING_FLOOR = 1.7
+
+
+def _available_cores() -> int:
+    """Cores this process may run on (affinity-aware, min 1)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:               # non-Linux fallback
+        return max(1, os.cpu_count() or 1)
 
 
 def default_trace_path() -> Path:
@@ -211,6 +230,82 @@ def _overload_replay(workload, config: ServingBenchConfig) -> dict:
     }
 
 
+def _fleet_stream(workload, config: ServingBenchConfig, num_shards: int,
+                  migrate_one: bool = False) -> tuple:
+    """Steady-state fleet run: one tick per room per pump, N shards.
+
+    Mirrors :func:`_engine_stream` — sessions open before the clock
+    starts, every tick ships one frame per room (pipelined per shard)
+    and pumps all shards concurrently.  With ``migrate_one`` the first
+    room is live-migrated to the next shard after the first tick, so
+    the timed path includes one suspend/ship/resume cycle and the
+    result parity check covers it.
+    """
+    budget = config.num_rooms * config.ticks
+    with Fleet(num_shards, max_batch=config.num_rooms,
+               max_queue=budget * num_shards) as fleet:
+        ids = [fleet.open_session(AfterProblem(room=room, target=target),
+                                  NearestRecommender(),
+                                  session_id=f"fleet-{index:03d}")
+               for index, (room, target) in enumerate(workload)]
+        migrations = 0
+        start = time.perf_counter()
+        for tick in range(config.ticks):
+            fleet.submit_many(
+                (session_id, room.trajectory.positions[tick])
+                for session_id, (room, _) in zip(ids, workload))
+            fleet.pump()
+            if migrate_one and migrations == 0 and num_shards > 1:
+                target_shard = (fleet.shard_of(ids[0]) + 1) % num_shards
+                fleet.migrate(ids[0], target_shard)
+                migrations += 1
+        fleet.drain()
+        elapsed = time.perf_counter() - start
+        results = [fleet.close_session(session_id) for session_id in ids]
+    return elapsed, results, migrations
+
+
+def _fleet_scaling(workload, config: ServingBenchConfig,
+                   fingerprint) -> dict | None:
+    """The multi-shard scaling table (None where fork is unavailable).
+
+    Reports aggregate rooms/sec and rooms/sec-per-core at each shard
+    count, the 2-vs-1 scaling factor, and whether every sharded run —
+    including the one with a forced live migration — reproduced the
+    serial fingerprint exactly.
+    """
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return None
+    repeats = min(config.repeats, 2)
+    shards: dict = {}
+    identical = True
+    migrations = 0
+    for num_shards in FLEET_SHARD_COUNTS:
+        best = np.inf
+        for _ in range(repeats):
+            elapsed, results, moved = _fleet_stream(
+                workload, config, num_shards,
+                migrate_one=num_shards > 1)
+            best = min(best, elapsed)
+            migrations += moved
+            identical = identical and (
+                _episode_fingerprint(results) == fingerprint)
+        rooms_per_s = config.num_rooms / best
+        shards[str(num_shards)] = {
+            "stream_s": best,
+            "rooms_per_s": rooms_per_s,
+            "rooms_per_s_per_core": rooms_per_s / num_shards,
+        }
+    return {
+        "shards": shards,
+        "scaling_2_vs_1": (shards["2"]["rooms_per_s"]
+                           / shards["1"]["rooms_per_s"]),
+        "available_cores": _available_cores(),
+        "migrations": migrations,
+        "metrics_identical": bool(identical),
+    }
+
+
 def _episode_fingerprint(results) -> list:
     """Order-sensitive exact fingerprint of per-room episode results."""
     return [(episode.after_utility, episode.preference, episode.presence,
@@ -261,6 +356,7 @@ def run_serving_bench(config: ServingBenchConfig | None = None,
                            process_labels={os.getpid(): "serving-engine"})
 
     overload = _overload_replay(workload, config)
+    fleet = _fleet_scaling(workload, config, fingerprint)
 
     steps = config.num_rooms * config.ticks
     quantiles = np.percentile(latencies, [50, 99]) if latencies else [0, 0]
@@ -286,6 +382,7 @@ def run_serving_bench(config: ServingBenchConfig | None = None,
             "engine_vs_serial": serial_s / engine_s,
         },
         "overload": overload,
+        "fleet": fleet,
         "metrics_identical": bool(identical),
         "instrumentation": instrumentation,
     }
@@ -313,6 +410,16 @@ def main() -> dict:
     print(f"  overload shed rate           "
           f"{record['overload']['shed_rate']:9.1%}")
     print(f"  speedup (engine vs serial)   {speedup:9.2f}x")
+    fleet = record["fleet"]
+    if fleet is not None:
+        for shards, row in fleet["shards"].items():
+            print(f"  fleet rooms/sec @ {shards} shard(s) "
+                  f"{row['rooms_per_s']:9.1f}  "
+                  f"({row['rooms_per_s_per_core']:.1f}/core)")
+        print(f"  fleet scaling (2 vs 1)       "
+              f"{fleet['scaling_2_vs_1']:9.2f}x  "
+              f"({fleet['migrations']} live migrations, "
+              f"{fleet['available_cores']} cores)")
     print(f"  metrics identical: {record['metrics_identical']}")
     print(f"wrote {RESULT_PATH}")
     print(f"wrote {trace_path} (open at ui.perfetto.dev)")
@@ -324,6 +431,14 @@ def main() -> dict:
     if not config.is_tiny and speedup < SPEEDUP_FLOOR:
         raise SystemExit(f"speedup {speedup:.2f}x below the "
                          f"{SPEEDUP_FLOOR}x floor")
+    if fleet is not None:
+        if not fleet["metrics_identical"]:
+            raise SystemExit("fleet metrics diverge from serial stepping")
+        if not config.is_tiny and fleet["available_cores"] >= 2 \
+                and fleet["scaling_2_vs_1"] < FLEET_SCALING_FLOOR:
+            raise SystemExit(
+                f"fleet scaling {fleet['scaling_2_vs_1']:.2f}x below "
+                f"the {FLEET_SCALING_FLOOR}x floor at 2 shards")
     return record
 
 

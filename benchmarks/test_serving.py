@@ -7,8 +7,8 @@ floor.  ``REPRO_PERF_TINY=1`` shrinks it to a CI smoke run that checks
 equivalence and shed accounting only.
 """
 
-from perf_serving import SPEEDUP_FLOOR, ServingBenchConfig, \
-    run_serving_bench
+from perf_serving import FLEET_SCALING_FLOOR, SPEEDUP_FLOOR, \
+    ServingBenchConfig, run_serving_bench
 
 
 def test_serving_speedup_and_parity(benchmark):
@@ -27,5 +27,14 @@ def test_serving_speedup_and_parity(benchmark):
     assert record["metrics_identical"]
     assert record["overload"]["events_consistent"]
     assert record["overload"]["shed"] > 0
+    fleet = record["fleet"]
+    if fleet is not None:
+        # The sharded runs (including one live migration) reproduced
+        # the serial per-room metrics exactly.
+        assert fleet["metrics_identical"]
+        assert fleet["migrations"] >= 1
+        assert set(fleet["shards"]) == {"1", "2"}
     if not config.is_tiny:
         assert record["speedup"]["engine_vs_serial"] >= SPEEDUP_FLOOR
+        if fleet is not None and fleet["available_cores"] >= 2:
+            assert fleet["scaling_2_vs_1"] >= FLEET_SCALING_FLOOR

@@ -40,6 +40,7 @@ from .arena import (
 from .backend import ArenaArray, BufferBackend, BufferRef, BufferStats
 from .heap import HeapBackend
 from .shm import SEGMENT_PREFIX, SharedMemoryBackend
+from .shuttle import FrameShuttle
 
 __all__ = [
     "Arena",
@@ -55,6 +56,7 @@ __all__ = [
     "HeapSegmentProvider",
     "SharedMemoryBackend",
     "SEGMENT_PREFIX",
+    "FrameShuttle",
     "BACKEND_ENV_VAR",
     "active",
     "create_backend",

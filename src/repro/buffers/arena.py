@@ -284,6 +284,26 @@ class Arena:
         segment = self._segments[segment_name]
         return segment.handle.buf[offset:offset + max(nbytes, 1)]
 
+    def raw_view(self, segment_name: str, offset: int,
+                 nbytes: int) -> memoryview:
+        """A view into a mapped segment with **no** block validation.
+
+        For resolving a handle whose block table lives in another
+        process: a forked worker inherits the parent's segment mappings,
+        but blocks the parent carved *after* the fork are invisible to
+        the child's copy-on-write accounting — the bytes are there, the
+        bookkeeping is not.  The caller vouches that the handle is live
+        in the owning process.
+        """
+        segment = self._segments.get(segment_name)
+        if segment is None:
+            raise BufferError(f"no mapped segment {segment_name!r}")
+        if offset < 0 or offset + nbytes > segment.size:
+            raise BufferError(
+                f"range [{offset}, {offset + nbytes}) outside the "
+                f"{segment.size}-byte segment {segment_name!r}")
+        return segment.handle.buf[offset:offset + max(nbytes, 1)]
+
     def segment_names(self) -> list[str]:
         """Names of every mapped segment, in mapping order."""
         return list(self._order)

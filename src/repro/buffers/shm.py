@@ -168,11 +168,20 @@ class SharedMemoryBackend(BufferBackend):
         backend instance attach the named segment read-write — the
         reattach-after-fork path the contract suite pins.  By-value
         (heap) handles resolve to their payload.
+
+        A handle whose segment is mapped but whose block is unknown
+        locally — the parent allocated it *after* this process forked,
+        so the bytes are inherited but the bookkeeping is not — resolves
+        through the unvalidated :meth:`~repro.buffers.arena.Arena.raw_view`
+        path; the owner's refcounting governs its lifetime.
         """
         if ref.payload is not None:
             return ref.payload
-        if self._arena.has_segment(ref.segment):
+        if self._arena.has_block(ref.segment, ref.offset):
             view = self._arena.view(ref.segment, ref.offset, ref.nbytes)
+        elif self._arena.has_segment(ref.segment):
+            view = self._arena.raw_view(ref.segment, ref.offset,
+                                        ref.nbytes)
         else:
             view = self._attach(ref.segment, ref.offset, ref.nbytes)
         array = ArenaArray(ref.shape, dtype=np.dtype(ref.dtype), buffer=view)

@@ -1,0 +1,126 @@
+"""Reusable shared-memory shuttle blocks for cross-process frames.
+
+The serving fleet's router ships one position frame per room per tick to
+a worker process.  Pickling every ``(N, 2)`` float64 frame through the
+command pipe works, but on the shared-memory backend the bytes never
+need to travel at all: the router keeps **one** shared block per
+session, rewrites it in place each submit, and sends only the block's
+:class:`~repro.buffers.backend.BufferRef` — a few dozen bytes however
+large the room.
+
+A single block per key is enough because the fleet's submit is a
+synchronous request/response: the worker copies the frame out of the
+mapping before replying, so by the time :meth:`FrameShuttle.put` is
+called again for the same key the previous payload has been consumed.
+Callers that pipeline submits get the same guarantee per key, because
+replies are collected before the key's next put.
+
+On the heap backend (or a degraded shm backend) :meth:`FrameShuttle.put`
+simply returns the array itself — the transport pickles it by value, the
+pre-fleet behaviour, and the shuttle records the fallback in its stats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..obs import PERF
+
+__all__ = ["FrameShuttle"]
+
+
+class FrameShuttle:
+    """Per-key reusable shared blocks for fixed-shape frame shipping.
+
+    Parameters
+    ----------
+    backend:
+        The :class:`~repro.buffers.backend.BufferBackend` to allocate
+        from (default: the process-wide active backend).  Only a shared
+        backend that may allocate here (owner process, not degraded)
+        yields refs; anything else makes every :meth:`put` a by-value
+        fallback.
+    """
+
+    def __init__(self, backend=None):
+        if backend is None:
+            from . import active
+            backend = active()
+        self._backend = backend
+        self._blocks: dict = {}          # key -> (BufferRef, ndarray view)
+        self._closed = False
+        self.shared_puts = 0
+        self.fallback_puts = 0
+
+    # ------------------------------------------------------------------
+    def put(self, key, array: np.ndarray):
+        """Stage ``array`` for shipping under ``key``.
+
+        Returns a :class:`~repro.buffers.backend.BufferRef` whose block
+        holds a copy of ``array`` when the backend can provide shared
+        memory, or the array itself (by-value fallback) otherwise.  A
+        key's block is reused across puts while shape and dtype match
+        and reallocated when they change.
+        """
+        if self._closed:
+            raise BufferError("frame shuttle is closed")
+        array = np.asarray(array)
+        entry = self._blocks.get(key)
+        if entry is not None:
+            ref, view = entry
+            if view.shape != array.shape or view.dtype != array.dtype:
+                self._release(key)
+                entry = None
+        if entry is None:
+            entry = self._allocate(key, array.shape, array.dtype)
+        if entry is None:
+            self.fallback_puts += 1
+            PERF.count("serving.frame_pickled")
+            return array
+        ref, view = entry
+        view[...] = array
+        self.shared_puts += 1
+        PERF.count("serving.frame_shuttled")
+        return ref
+
+    def _allocate(self, key, shape, dtype):
+        backend = self._backend
+        if not backend.shared or not backend.can_allocate():
+            return None
+        try:
+            ref = backend.allocate(shape, dtype)
+        except (BufferError, OSError):
+            return None
+        entry = (ref, backend.resolve(ref))
+        self._blocks[key] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    def drop(self, key) -> None:
+        """Release ``key``'s block (no-op for unknown / fallback keys)."""
+        if key in self._blocks:
+            self._release(key)
+
+    def _release(self, key) -> None:
+        ref, _ = self._blocks.pop(key)
+        try:
+            self._backend.release(ref)
+        except BufferError:
+            pass
+
+    def close(self) -> None:
+        """Release every live block; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for key in list(self._blocks):
+            self._release(key)
+
+    def __enter__(self) -> "FrameShuttle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self._blocks)

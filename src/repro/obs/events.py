@@ -83,6 +83,40 @@ class EventLog:
             self.records.append(record)
         return record
 
+    def adopt(self, records, **extra) -> list[dict]:
+        """Fold records emitted by *another* log into this one.
+
+        Used to merge a worker process's in-memory event log back into
+        the parent's: each record keeps its original type, payload and
+        wall-clock ``t`` but is re-stamped with this log's ``seq`` (and
+        schema), so the merged stream stays monotonically sequenced.
+        ``extra`` fields — typically ``shard=N`` — are added to every
+        adopted record, tagging its origin.  Respects :attr:`enabled`
+        like :meth:`emit`; returns the adopted records.
+        """
+        adopted: list[dict] = []
+        if not self.enabled:
+            return adopted
+        for record in records:
+            fields = {key: value for key, value in record.items()
+                      if key not in ("schema", "seq", "type", "t")}
+            fields.update(extra)
+            merged = {"schema": EVENT_SCHEMA_VERSION, "seq": self._seq,
+                      "t": record.get("t", time.time()),
+                      "type": record["type"]}
+            merged.update(fields)
+            self._seq += 1
+            self.counts[record["type"]] = \
+                self.counts.get(record["type"], 0) + 1
+            if self._handle is not None:
+                json.dump(merged, self._handle, separators=(",", ":"))
+                self._handle.write("\n")
+                self._handle.flush()
+            else:
+                self.records.append(merged)
+            adopted.append(merged)
+        return adopted
+
     def summary(self) -> dict:
         """Path, total count and per-type counts (for run manifests)."""
         return {"path": self.path, "events": self._seq,

@@ -409,23 +409,32 @@ class Instrumentation:
                            for name, histogram in self.histograms.items()},
         }
 
-    def merge_snapshot(self, state: dict) -> "Instrumentation":
+    def merge_snapshot(self, state: dict,
+                       prefix: str = "") -> "Instrumentation":
         """Fold an :meth:`export_state` payload into this registry.
 
         Merging is exact — counts and totals add, mins/maxes fold — and
         deterministic when applied in a fixed order (the fork-parallel
         evaluator merges chunks in target order).  Applies regardless of
         :attr:`enabled`, since the caller explicitly asked for it.
+
+        ``prefix`` namespaces every merged timer/counter/histogram name
+        (e.g. ``"shard1/"``): the serving fleet merges each worker's
+        state once unprefixed for exact aggregate totals and once
+        shard-tagged so per-shard skew stays visible in one registry.
         """
         for name, payload in state.get("timers", {}).items():
+            name = prefix + name
             stat = self.timers.get(name)
             if stat is None:
                 self.timers[name] = TimerStat.from_state(payload)
             else:
                 stat.merge(TimerStat.from_state(payload))
         for name, value in state.get("counters", {}).items():
+            name = prefix + name
             self.counters[name] = self.counters.get(name, 0) + value
         for name, payload in state.get("histograms", {}).items():
+            name = prefix + name
             histogram = self.histograms.get(name)
             if histogram is None:
                 self.histograms[name] = Histogram.from_state(payload)

@@ -15,9 +15,15 @@ counterpart (see docs/SERVING.md):
   or degrades steps under overload.
 * :class:`ReplayDriver` — replays recorded trajectories as a live
   multi-room workload (the serving bench's traffic generator).
+* :class:`Fleet` — a consistent-hash router over N worker processes,
+  each running its own engine, with zero-copy frame transport
+  (:class:`~repro.buffers.FrameShuttle`), per-shard admission control,
+  shard-tagged obs merging and live session migration
+  (:meth:`~repro.serving.fleet.Fleet.migrate`).
 """
 
-from .engine import SessionEngine, StepTicket
+from .engine import PendingStep, SessionEngine, StepTicket
+from .fleet import Fleet, FleetError, FleetStep, HashRing, ShardFailure
 from .replay import ReplayDriver
 from .session import (
     GreedyMWISFallback,
@@ -26,6 +32,7 @@ from .session import (
     SessionStep,
     stream_episode,
 )
+from .transport import ChannelClosed, PipeChannel, channel_pair
 
 __all__ = [
     "RoomSession",
@@ -35,5 +42,14 @@ __all__ = [
     "stream_episode",
     "SessionEngine",
     "StepTicket",
+    "PendingStep",
     "ReplayDriver",
+    "Fleet",
+    "FleetStep",
+    "FleetError",
+    "ShardFailure",
+    "HashRing",
+    "PipeChannel",
+    "ChannelClosed",
+    "channel_pair",
 ]

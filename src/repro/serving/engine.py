@@ -41,9 +41,9 @@ from ..core.scene import build_room_frames
 from ..geometry.batched import BatchedOcclusionConverter
 from ..geometry.visibility import resolve_rooms_visibility
 from ..obs import DEFAULT_COUNT_BOUNDARIES, EVENTS, PERF
-from .session import RoomSession, SessionStep
+from .session import RoomSession, SessionSnapshot, SessionStep
 
-__all__ = ["StepTicket", "SessionEngine"]
+__all__ = ["StepTicket", "PendingStep", "SessionEngine"]
 
 
 @dataclass(frozen=True)
@@ -62,13 +62,24 @@ class StepTicket:
 
 
 @dataclass
-class _Pending:
-    """One queued (not yet pumped) step of a session."""
+class PendingStep:
+    """One queued (not yet pumped) step of a session.
 
-    positions: np.ndarray
+    The admission decision (``degraded``/``shed``) was already made at
+    submit time, so a pending step is self-contained: it can be popped
+    off one engine's queue and re-enqueued on another —
+    :meth:`SessionEngine.suspend_session` ships these across processes
+    during a live migration — without re-running admission control.
+    """
+
+    positions: np.ndarray | None
     degraded: bool
     shed: bool
     submitted_at: float
+
+
+#: Backwards-compatible alias for the pre-migration private name.
+_Pending = PendingStep
 
 
 class SessionEngine:
@@ -107,9 +118,10 @@ class SessionEngine:
         self.degrade_at = degrade_at
         self.events = events if events is not None else EVENTS
         self._sessions: dict[str, RoomSession] = {}
-        self._queues: dict[str, deque[_Pending]] = {}
+        self._queues: dict[str, deque[PendingStep]] = {}
         self._converters: dict[float, BatchedOcclusionConverter] = {}
         self._queued = 0          # pending steps across all sessions
+        self._cursor = 0          # round-robin start for _collect_batch
         self._pool = None
         if workers is not None and workers > 1:
             self._pool = ThreadPoolExecutor(
@@ -147,8 +159,18 @@ class SessionEngine:
         return session
 
     def close_session(self, session_id: str) -> RoomSession:
-        """Deregister a room (its queue must be drained) and return it."""
-        if self._queues.get(session_id):
+        """Deregister a room (its queue must be drained) and return it.
+
+        Leading shed markers cost nothing to apply, so a queue holding
+        only shed steps — an overloaded room whose every remaining
+        submit was dropped — does not block the close: the markers are
+        applied here exactly as :meth:`_collect_batch` would have, and
+        only *runnable* steps left behind raise.
+        """
+        queue = self._queues.get(session_id)
+        if queue:
+            self._apply_leading_shed(self._sessions[session_id], queue)
+        if queue:
             raise RuntimeError(
                 f"session {session_id!r} still has queued steps; "
                 f"pump() or drain() first")
@@ -158,6 +180,49 @@ class SessionEngine:
                          steps=len(session.steps),
                          shed=session.shed_count,
                          degraded=session.degraded_count)
+        return session
+
+    def suspend_session(
+            self, session_id: str) -> tuple[SessionSnapshot,
+                                            list[PendingStep]]:
+        """Extract a session and its pending queue for live migration.
+
+        Deregisters the room and returns its bit-exact
+        :class:`~repro.serving.session.SessionSnapshot` together with
+        the *unprocessed* pending steps, in submit order and with their
+        submit-time admission decisions intact.  Feeding both to another
+        engine's :meth:`adopt_session` continues the stream with results
+        byte-equal to never having moved — the queue is handed off, not
+        re-admitted, so shed/degrade patterns cannot drift.
+        """
+        if session_id not in self._sessions:
+            raise KeyError(f"unknown session {session_id!r}")
+        session = self._sessions.pop(session_id)
+        pending = list(self._queues.pop(session_id))
+        self._queued -= len(pending)
+        snapshot = session.suspend()
+        self.events.emit("session.suspend", session_id=session_id,
+                         step=session.next_step, pending=len(pending))
+        return snapshot, pending
+
+    def adopt_session(self, snapshot: SessionSnapshot,
+                      pending=()) -> RoomSession:
+        """Resume a suspended session here, re-enqueueing its backlog.
+
+        The inverse of :meth:`suspend_session`: ``pending`` steps join
+        this engine's queue exactly as they left the source's (same
+        order, same already-made shed/degrade flags).
+        """
+        if snapshot.session_id in self._sessions:
+            raise ValueError(
+                f"session {snapshot.session_id!r} already open")
+        session = RoomSession.resume(snapshot)
+        self._sessions[session.session_id] = session
+        self._queues[session.session_id] = deque(pending)
+        self._queued += len(self._queues[session.session_id])
+        self.events.emit("session.adopt", session_id=session.session_id,
+                         step=session.next_step,
+                         pending=len(self._queues[session.session_id]))
         return session
 
     def close(self) -> None:
@@ -187,7 +252,7 @@ class SessionEngine:
 
         if self._queued >= self.max_queue:
             self._queues[session_id].append(
-                _Pending(positions=None, degraded=False, shed=True,
+                PendingStep(positions=None, degraded=False, shed=True,
                          submitted_at=time.perf_counter()))
             self._queued += 1
             PERF.count("serving.submitted_shed")
@@ -198,7 +263,7 @@ class SessionEngine:
         degraded = (self.degrade_at is not None
                     and self._queued >= self.degrade_at)
         self._queues[session_id].append(
-            _Pending(positions=np.asarray(positions, dtype=np.float64),
+            PendingStep(positions=np.asarray(positions, dtype=np.float64),
                      degraded=degraded, shed=False,
                      submitted_at=time.perf_counter()))
         self._queued += 1
@@ -212,27 +277,52 @@ class SessionEngine:
         return StepTicket(session_id, t, "queued")
 
     # ------------------------------------------------------------------
-    def _collect_batch(self) -> list[tuple[RoomSession, _Pending]]:
+    def _apply_leading_shed(self, session: RoomSession,
+                            queue: deque) -> list[SessionStep]:
+        """Apply a queue's leading shed markers; returns their records."""
+        records: list[SessionStep] = []
+        while queue and queue[0].shed:
+            queue.popleft()
+            self._queued -= 1
+            records.append(session.shed_step())
+            PERF.count("serving.steps_shed")
+        return records
+
+    def _collect_batch(self) -> tuple[list[tuple[RoomSession, PendingStep]],
+                                      list[SessionStep]]:
         """Pop up to ``max_batch`` runnable steps, one per session.
+
+        Sessions are visited round-robin from a rotating cursor — the
+        cursor advances past the last session that contributed a step,
+        so when ``max_batch`` is smaller than the number of open rooms
+        each collection resumes where the previous one stopped instead
+        of re-serving dict insertion order (which would permanently
+        starve the latest-opened rooms).
 
         Leading shed markers are applied immediately (they cost
         nothing), preserving each queue's submit order; then the
-        session's first real step, if any, joins the batch.
+        session's first real step, if any, joins the batch.  The applied
+        shed records are returned alongside the batch so :meth:`pump`
+        can report them.
         """
-        batch: list[tuple[RoomSession, _Pending]] = []
-        for session_id, queue in self._queues.items():
+        batch: list[tuple[RoomSession, PendingStep]] = []
+        shed: list[SessionStep] = []
+        session_ids = list(self._queues)
+        if not session_ids:
+            return batch, shed
+        start = self._cursor % len(session_ids)
+        for offset in range(len(session_ids)):
             if len(batch) >= self.max_batch:
                 break
+            session_id = session_ids[(start + offset) % len(session_ids)]
+            queue = self._queues[session_id]
             session = self._sessions[session_id]
-            while queue and queue[0].shed:
-                queue.popleft()
-                self._queued -= 1
-                session.shed_step()
-                PERF.count("serving.steps_shed")
+            shed.extend(self._apply_leading_shed(session, queue))
             if queue:
                 batch.append((session, queue.popleft()))
                 self._queued -= 1
-        return batch
+                self._cursor = (start + offset + 1) % len(session_ids)
+        return batch, shed
 
     def _converter(self, body_radius: float) -> BatchedOcclusionConverter:
         cached = self._converters.get(body_radius)
@@ -242,7 +332,7 @@ class SessionEngine:
         return cached
 
     def _run_batch(self,
-                   batch: list[tuple[RoomSession, _Pending]]) -> list:
+                   batch: list[tuple[RoomSession, PendingStep]]) -> list:
         """One micro-batch: batched kernels around per-room recommenders.
 
         Geometry, frame assembly and visibility run once per *group*
@@ -337,6 +427,12 @@ class SessionEngine:
         is hit.  Safe to interleave freely with :meth:`submit` — a
         replay driver typically submits one tick of every room, then
         pumps once.
+
+        The returned list covers *every* step this pump consumed, shed
+        ones included: a shed step's frozen-display record is appended
+        in the order the collection applied it, so replay drivers
+        counting ticks over the return value see exactly one record per
+        consumed submission.
         """
         completed: list[SessionStep] = []
         batches = 0
@@ -344,7 +440,8 @@ class SessionEngine:
             while self._queued > 0:
                 if max_batches is not None and batches >= max_batches:
                     break
-                batch = self._collect_batch()
+                batch, shed = self._collect_batch()
+                completed.extend(shed)
                 if batch:
                     completed.extend(self._run_batch(batch))
                 batches += 1

@@ -1,0 +1,444 @@
+"""Room-sharded serving fleet: a router over N worker processes.
+
+One :class:`~repro.serving.SessionEngine` saturates a single core — the
+batched geometry kernels are CPU-bound — so rooms beyond one core's
+worth must spread over processes.  :class:`Fleet` is that spread: it
+forks ``num_shards`` workers (each running its own engine, see
+:func:`~repro.serving.transport.shard_main`), places rooms on shards by
+**consistent hashing** over session ids, forwards ``submit``/``pump``
+over the length-prefixed pipe protocol, and folds every shard's
+PERF/EVENTS state back into the parent registry with the exact
+cross-process merge ``repro.obs`` already provides — once as aggregate
+totals, once shard-tagged (``shard0/serving.pump``) so skew stays
+visible.
+
+Frames ride the :class:`~repro.buffers.FrameShuttle`: on the
+shared-memory buffer backend a session's positions are rewritten into
+one reusable shm block and only the tiny
+:class:`~repro.buffers.BufferRef` crosses the pipe; the heap backend
+pickles frames by value.
+
+**Live migration** moves a room between shards without losing a step:
+:meth:`Fleet.migrate` suspends the session on its source shard — the
+bit-identical :class:`~repro.serving.SessionSnapshot` plus the
+*unprocessed* pending queue, admission decisions intact — resumes it on
+the target, and re-routes subsequent submits.  Because the queue is
+handed off rather than re-admitted, a migrated room's
+:class:`~repro.core.evaluation.EpisodeResult` is byte-equal to a run
+that never moved (``tests/serving/test_migration_parity.py`` pins this
+with Hypothesis over arbitrary cut points, including mid-degrade cuts).
+
+Failure semantics: a dead worker (crash, kill) surfaces as
+:class:`ShardFailure` naming the shard and the sessions that lived on
+it — their carried state is lost unless previously suspended; the other
+shards keep serving, and the failed shard's rooms can be reopened on
+survivors.  See docs/SERVING.md.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import multiprocessing
+from bisect import bisect_right
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..buffers import FrameShuttle
+from ..core.problem import AfterProblem
+from ..core.recommender import Recommender
+from ..obs import EVENTS, PERF
+from .engine import StepTicket
+from .transport import ChannelClosed, PipeChannel, channel_pair
+
+__all__ = ["HashRing", "Fleet", "FleetStep", "FleetError", "ShardFailure"]
+
+
+class FleetError(RuntimeError):
+    """Base class for fleet-level serving failures."""
+
+
+class ShardFailure(FleetError):
+    """A worker process died; its live sessions' state is lost."""
+
+    def __init__(self, shard: int, sessions):
+        self.shard = shard
+        self.sessions = sorted(sessions)
+        super().__init__(
+            f"shard {shard} is dead; lost sessions: {self.sessions}")
+
+
+class HashRing:
+    """Consistent hashing of string keys onto ``shards`` buckets.
+
+    Each shard owns ``replicas`` pseudo-random points on a ring (BLAKE2b
+    positions, stable across processes and Python runs — never
+    ``hash()``, which is salted); a key lands on the first point at or
+    after its own position.  Adding or removing one shard moves only the
+    keys in that shard's arcs, which is what makes rebalancing-by-
+    migration incremental instead of a full reshuffle.
+    """
+
+    def __init__(self, shards: int, replicas: int = 64):
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        if replicas < 1:
+            raise ValueError("need at least one replica point per shard")
+        self.shards = shards
+        self.replicas = replicas
+        points = []
+        for shard in range(shards):
+            for replica in range(replicas):
+                points.append((self._position(f"shard{shard}:{replica}"),
+                               shard))
+        points.sort()
+        self._points = [position for position, _ in points]
+        self._owners = [shard for _, shard in points]
+
+    @staticmethod
+    def _position(key: str) -> int:
+        return int.from_bytes(
+            hashlib.blake2b(key.encode(), digest_size=8).digest(), "big")
+
+    def place(self, key: str) -> int:
+        """The shard owning ``key`` (deterministic, process-independent)."""
+        index = bisect_right(self._points, self._position(key))
+        return self._owners[index % len(self._owners)]
+
+
+@dataclass(frozen=True)
+class FleetStep:
+    """Router-side summary of one completed (or shed) worker step."""
+
+    shard: int
+    t: int
+    shed: bool
+    degraded: bool
+    latency_s: float
+
+
+@dataclass
+class _Shard:
+    """Router-side handle for one worker process."""
+
+    index: int
+    process: object
+    channel: PipeChannel
+    alive: bool = True
+
+
+def _worker_entry(router_channel: PipeChannel, worker_channel: PipeChannel,
+                  shard: int, engine_kwargs: dict) -> None:
+    """Forked child entry: drop the router's endpoint, serve the shard."""
+    from .transport import shard_main
+
+    router_channel.close()
+    shard_main(worker_channel, shard, engine_kwargs)
+
+
+class Fleet:
+    """Consistent-hash router over ``num_shards`` engine processes.
+
+    Parameters
+    ----------
+    num_shards:
+        Worker process count (each one core's worth of serving).
+    max_batch, workers:
+        Passed through to every shard's :class:`SessionEngine`.
+    max_queue, degrade_at:
+        **Fleet-wide** admission budgets, divided evenly across shards
+        (ceiling division, min 1) so each shard's existing degrade/shed
+        ladder enforces its share — per-shard admission control with
+        the single-engine semantics unchanged at ``num_shards=1``.
+    replicas:
+        Virtual nodes per shard on the placement ring.
+    events:
+        Router-side event sink (default the global
+        :data:`~repro.obs.EVENTS`); worker-side session events are
+        folded in shard-tagged by :meth:`collect_obs`.
+    """
+
+    def __init__(self, num_shards: int, *, max_batch: int = 32,
+                 max_queue: int = 256, degrade_at: int | None = None,
+                 workers: int | None = None, replicas: int = 64,
+                 events=None):
+        if num_shards < 1:
+            raise ValueError("num_shards must be positive")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "Fleet needs the 'fork' start method (POSIX only)")
+        per_shard_queue = max(1, math.ceil(max_queue / num_shards))
+        per_shard_degrade = None
+        if degrade_at is not None:
+            per_shard_degrade = min(per_shard_queue,
+                                    max(1, math.ceil(degrade_at
+                                                     / num_shards)))
+        engine_kwargs = {"max_batch": max_batch,
+                         "max_queue": per_shard_queue,
+                         "degrade_at": per_shard_degrade,
+                         "workers": workers}
+        self.num_shards = num_shards
+        self.events = events if events is not None else EVENTS
+        self._ring = HashRing(num_shards, replicas)
+        self._sessions: dict[str, int] = {}      # session id -> shard
+        self._shuttle = FrameShuttle()
+        self._closed = False
+        context = multiprocessing.get_context("fork")
+        self._shards: list[_Shard] = []
+        for index in range(num_shards):
+            router_channel, worker_channel = channel_pair()
+            process = context.Process(
+                target=_worker_entry,
+                args=(router_channel, worker_channel, index, engine_kwargs),
+                name=f"serving-shard-{index}", daemon=True)
+            process.start()
+            worker_channel.close()
+            self._shards.append(_Shard(index=index, process=process,
+                                       channel=router_channel))
+
+    # ------------------------------------------------------------------
+    # RPC plumbing
+    # ------------------------------------------------------------------
+    def _shard(self, index: int) -> _Shard:
+        shard = self._shards[index]
+        if not shard.alive:
+            raise ShardFailure(index, self.sessions_on(index))
+        return shard
+
+    def _mark_dead(self, index: int) -> ShardFailure:
+        shard = self._shards[index]
+        shard.alive = False
+        shard.channel.close()
+        return ShardFailure(index, self.sessions_on(index))
+
+    def _send(self, index: int, op: str, *args) -> None:
+        try:
+            self._shard(index).channel.send((op, *args))
+        except ChannelClosed:
+            raise self._mark_dead(index) from None
+
+    def _recv(self, index: int):
+        try:
+            status, value = self._shard(index).channel.recv()
+        except ChannelClosed:
+            raise self._mark_dead(index) from None
+        if status == "error":
+            raise value
+        return value
+
+    def _call(self, index: int, op: str, *args):
+        self._send(index, op, *args)
+        return self._recv(index)
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def place(self, session_id: str) -> int:
+        """The ring's shard for ``session_id`` (ignoring migrations)."""
+        return self._ring.place(session_id)
+
+    def shard_of(self, session_id: str) -> int:
+        """The shard currently serving an open session."""
+        return self._sessions[session_id]
+
+    def sessions_on(self, shard: int) -> list[str]:
+        """Session ids currently routed to ``shard``."""
+        return [session_id for session_id, owner
+                in self._sessions.items() if owner == shard]
+
+    @property
+    def session_ids(self) -> list[str]:
+        """All open sessions, in open order."""
+        return list(self._sessions)
+
+    # ------------------------------------------------------------------
+    # Serving surface (mirrors SessionEngine's)
+    # ------------------------------------------------------------------
+    def open_session(self, problem: AfterProblem, recommender: Recommender,
+                     *, session_id: str | None = None,
+                     shard: int | None = None) -> str:
+        """Open a room on its ring shard (or ``shard``); returns its id."""
+        if session_id is None:
+            session_id = f"{problem.room.name}/t{problem.target}"
+        if session_id in self._sessions:
+            raise ValueError(f"session {session_id!r} already open")
+        if shard is None:
+            shard = self._ring.place(session_id)
+        elif not 0 <= shard < self.num_shards:
+            raise ValueError(f"no shard {shard}")
+        self._call(shard, "open", problem, recommender, session_id)
+        self._sessions[session_id] = shard
+        self.events.emit("fleet.open", session_id=session_id, shard=shard,
+                         room=problem.room.name, target=problem.target)
+        return session_id
+
+    def submit(self, session_id: str, positions: np.ndarray) -> StepTicket:
+        """Route one frame to the session's shard; returns its ticket.
+
+        The admission decision (queue/degrade/shed) is made by the
+        shard's own engine against its share of the fleet budget.
+        """
+        shard = self._sessions[session_id]
+        frame = self._shuttle.put(
+            session_id, np.asarray(positions, dtype=np.float64))
+        return self._call(shard, "submit", session_id, frame)
+
+    def submit_many(self, items) -> list[StepTicket]:
+        """Submit ``(session_id, positions)`` pairs, pipelined per shard.
+
+        Sends every frame before reading any reply, so one tick's worth
+        of submits costs one pipe round-trip per shard instead of one
+        per room.  Per-key shuttle reuse stays safe: a session appears
+        at most once per tick, and replies are gathered before the next
+        tick's puts.
+        """
+        tickets: list[StepTicket] = []
+        items = list(items)
+        # Chunked so the unread-reply backlog can never fill a pipe and
+        # stall a worker mid-write (which would deadlock the router).
+        chunk = 256
+        for start in range(0, len(items), chunk):
+            order: list[int] = []
+            for session_id, positions in items[start:start + chunk]:
+                shard = self._sessions[session_id]
+                frame = self._shuttle.put(
+                    session_id, np.asarray(positions, dtype=np.float64))
+                self._send(shard, "submit", session_id, frame)
+                order.append(shard)
+            tickets.extend(self._recv(shard) for shard in order)
+        return tickets
+
+    def pump(self, max_batches: int | None = None) -> list[FleetStep]:
+        """Pump every live shard concurrently; merged step summaries.
+
+        The pump command is broadcast to all shards before any reply is
+        read, so the shards' batch loops overlap — this is where the
+        multi-core scaling comes from.  Results are gathered in shard
+        order, keeping the merged list deterministic.
+        """
+        live = [shard.index for shard in self._shards if shard.alive]
+        for index in live:
+            self._send(index, "pump", max_batches)
+        merged: list[FleetStep] = []
+        for index in live:
+            merged.extend(FleetStep(index, t, shed, degraded, latency)
+                          for t, shed, degraded, latency
+                          in self._recv(index))
+        return merged
+
+    def drain(self) -> list[FleetStep]:
+        """Pump until every shard's queues are empty."""
+        return self.pump(max_batches=None)
+
+    def queue_depths(self) -> list[int]:
+        """Per-shard pending-step counts (dead shards report -1)."""
+        return [self._call(shard.index, "queue_depth") if shard.alive
+                else -1 for shard in self._shards]
+
+    def result(self, session_id: str):
+        """The session's :class:`EpisodeResult` so far (it stays open)."""
+        return self._call(self._sessions[session_id], "result", session_id)
+
+    def close_session(self, session_id: str):
+        """Close a room on its shard; returns the final episode result."""
+        shard = self._sessions[session_id]
+        result = self._call(shard, "close_session", session_id)
+        del self._sessions[session_id]
+        self._shuttle.drop(session_id)
+        self.events.emit("fleet.close", session_id=session_id, shard=shard)
+        return result
+
+    # ------------------------------------------------------------------
+    # Rebalancing
+    # ------------------------------------------------------------------
+    def migrate(self, session_id: str, shard: int) -> int:
+        """Move a live room to ``shard`` without losing a step.
+
+        Drains the room's pending queue off the source shard (the
+        unprocessed steps travel with their submit-time admission
+        decisions), ships the suspended snapshot, resumes it on the
+        target and re-routes subsequent submits.  If resuming on the
+        target fails, the session is restored on the source, so a
+        failed migration never strands a room.  Returns the new shard.
+        """
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(f"no shard {shard}")
+        source = self._sessions[session_id]
+        if shard == source:
+            return source
+        self._shard(shard)               # target must be alive up front
+        snapshot, pending = self._call(source, "suspend", session_id)
+        try:
+            self._call(shard, "adopt", snapshot, pending)
+        except Exception:
+            self._call(source, "adopt", snapshot, pending)
+            raise
+        self._sessions[session_id] = shard
+        self._shuttle.drop(session_id)   # reallocated lazily on the target
+        self.events.emit("fleet.migrate", session_id=session_id,
+                         source=source, target=shard,
+                         step=snapshot.state["t_next"],
+                         pending=len(pending))
+        PERF.count("serving.migrations")
+        return shard
+
+    # ------------------------------------------------------------------
+    # Observability and lifecycle
+    # ------------------------------------------------------------------
+    def collect_obs(self) -> list[dict]:
+        """Drain every live shard's PERF/EVENTS into the parent.
+
+        Each worker's instrumentation state is merged into the global
+        :data:`~repro.obs.PERF` twice — unprefixed (exact aggregate
+        fold, the totals a single-process run would have produced) and
+        under ``shard<N>/`` (per-shard visibility) — and its session
+        events are adopted into the fleet's event log tagged with
+        ``shard=N``.  Returns the raw per-shard states for callers that
+        want their own reduction (the serving bench does).
+        """
+        states = []
+        for shard in self._shards:
+            if not shard.alive:
+                continue
+            state, records = self._call(shard.index, "obs")
+            PERF.merge_snapshot(state)
+            PERF.merge_snapshot(state, prefix=f"shard{shard.index}/")
+            self.events.adopt(records, shard=shard.index)
+            states.append({"shard": shard.index, "perf": state,
+                           "events": records})
+        return states
+
+    def close(self) -> None:
+        """Shut every worker down cleanly, folding in its final obs."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            if not shard.alive:
+                continue
+            try:
+                state, records = self._call(shard.index, "shutdown")
+                PERF.merge_snapshot(state)
+                PERF.merge_snapshot(state, prefix=f"shard{shard.index}/")
+                self.events.adopt(records, shard=shard.index)
+            except (FleetError, ChannelClosed, OSError):
+                pass
+            shard.alive = False
+            shard.channel.close()
+        for shard in self._shards:
+            shard.process.join(timeout=5.0)
+            if shard.process.is_alive():
+                shard.process.terminate()
+        self._shuttle.close()
+
+    def __enter__(self) -> "Fleet":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        live = sum(shard.alive for shard in self._shards)
+        return (f"Fleet(shards={self.num_shards}, live={live}, "
+                f"sessions={len(self._sessions)})")

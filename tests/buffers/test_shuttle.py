@@ -1,0 +1,140 @@
+"""The :class:`~repro.buffers.FrameShuttle` — reusable frame blocks.
+
+The shuttle is the fleet's frame transport: one shared block per
+session, rewritten in place every submit, shipped as a
+:class:`~repro.buffers.BufferRef`; on a backend without shareable
+memory every put degrades to returning the array itself (by-value
+pickle fallback).
+"""
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.buffers import BufferRef, FrameShuttle, HeapBackend
+
+from .conftest import make_backend
+
+fork_available = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable")
+
+
+def frame(seed, shape=(8, 2)):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=shape)
+
+
+class TestSharedPath:
+    def test_put_returns_ref_and_roundtrips(self):
+        with make_backend("shm") as backend, \
+                FrameShuttle(backend) as shuttle:
+            payload = frame(0)
+            ref = shuttle.put("room0", payload)
+            assert isinstance(ref, BufferRef)
+            np.testing.assert_array_equal(backend.resolve(ref), payload)
+            assert shuttle.shared_puts == 1
+            assert shuttle.fallback_puts == 0
+
+    def test_block_is_reused_across_puts(self):
+        with make_backend("shm") as backend, \
+                FrameShuttle(backend) as shuttle:
+            first = shuttle.put("room0", frame(1))
+            second = shuttle.put("room0", frame(2))
+            assert (first.segment, first.offset) \
+                == (second.segment, second.offset)
+            assert len(shuttle) == 1
+            np.testing.assert_array_equal(backend.resolve(second),
+                                          frame(2))
+
+    def test_shape_change_reallocates(self):
+        with make_backend("shm") as backend, \
+                FrameShuttle(backend) as shuttle:
+            shuttle.put("room0", frame(3, shape=(8, 2)))
+            grown = shuttle.put("room0", frame(4, shape=(12, 2)))
+            np.testing.assert_array_equal(backend.resolve(grown),
+                                          frame(4, shape=(12, 2)))
+            assert len(shuttle) == 1
+            assert backend.stats().live_blocks == 1
+
+    def test_distinct_keys_get_distinct_blocks(self):
+        with make_backend("shm") as backend, \
+                FrameShuttle(backend) as shuttle:
+            refs = [shuttle.put(f"room{i}", frame(i)) for i in range(4)]
+            handles = {(ref.segment, ref.offset) for ref in refs}
+            assert len(handles) == 4
+            for i, ref in enumerate(refs):
+                np.testing.assert_array_equal(backend.resolve(ref),
+                                              frame(i))
+
+    def test_drop_and_close_release_blocks(self):
+        backend = make_backend("shm")
+        try:
+            shuttle = FrameShuttle(backend)
+            for i in range(3):
+                shuttle.put(f"room{i}", frame(i))
+            assert backend.stats().live_blocks == 3
+            shuttle.drop("room0")
+            shuttle.drop("never-opened")     # unknown keys are a no-op
+            assert backend.stats().live_blocks == 2
+            shuttle.close()
+            assert backend.stats().live_blocks == 0
+            with pytest.raises(BufferError):
+                shuttle.put("room1", frame(9))
+        finally:
+            backend.close()
+
+    @fork_available
+    def test_child_process_reads_the_staged_frame(self):
+        """The fleet's actual topology: fork first, allocate later —
+        the child resolves a post-fork block through the inherited
+        segment mapping."""
+        with make_backend("shm") as backend, \
+                FrameShuttle(backend) as shuttle:
+            read_fd, write_fd = os.pipe()
+
+            def child(ref):
+                os.close(write_fd)
+                os.read(read_fd, 1)
+                value = float(np.asarray(backend.resolve(ref)).sum())
+                os._exit(0 if abs(value - frame(7).sum()) < 1e-12
+                         else 1)
+
+            ref = shuttle.put("room0", frame(7))
+            context = multiprocessing.get_context("fork")
+            process = context.Process(target=child, args=(ref,))
+            process.start()
+            os.close(read_fd)
+            os.write(write_fd, b"x")
+            os.close(write_fd)
+            process.join(timeout=10.0)
+            assert process.exitcode == 0
+
+
+class TestFallbackPath:
+    def test_heap_backend_puts_by_value(self):
+        with FrameShuttle(HeapBackend()) as shuttle:
+            payload = frame(5)
+            out = shuttle.put("room0", payload)
+            assert out is payload or np.shares_memory(out, payload)
+            assert shuttle.fallback_puts == 1
+            assert shuttle.shared_puts == 0
+            assert len(shuttle) == 0
+
+    @fork_available
+    def test_forked_child_falls_back(self):
+        """A child may not carve the inherited arena, so its shuttle
+        degrades to by-value instead of corrupting the parent's pool."""
+        with make_backend("shm") as backend:
+            def child():
+                shuttle = FrameShuttle(backend)
+                out = shuttle.put("room0", frame(6))
+                os._exit(0 if isinstance(out, np.ndarray) else 1)
+
+            context = multiprocessing.get_context("fork")
+            process = context.Process(target=child)
+            process.start()
+            process.join(timeout=10.0)
+            assert process.exitcode == 0

@@ -134,3 +134,54 @@ class TestTrainerIntegration:
         assert manifest.events_summary["by_type"]["checkpoint.save"] == 2
         assert "train.epoch_loss" in manifest.metrics
         assert manifest.metrics["train.epoch_loss"]["count"] == 2
+
+
+class TestEventLogAdopt:
+    """Folding a worker log's records into a parent log (fleet merge)."""
+
+    def worker_records(self):
+        worker = EventLog()
+        worker.emit("session.open", session_id="a", room="timik")
+        worker.emit("session.close", session_id="a", steps=3)
+        return worker.records
+
+    def test_adopt_restamps_seq_and_schema(self):
+        parent = EventLog()
+        parent.emit("fleet.open", session_id="a")
+        adopted = parent.adopt(self.worker_records(), shard=1)
+        assert [r["seq"] for r in parent.records] == [0, 1, 2]
+        assert all(r["schema"] == EVENT_SCHEMA_VERSION for r in adopted)
+        assert [r["type"] for r in adopted] \
+            == ["session.open", "session.close"]
+
+    def test_adopt_preserves_payload_and_wallclock(self):
+        records = self.worker_records()
+        parent = EventLog()
+        adopted = parent.adopt(records, shard=2)
+        for original, merged in zip(records, adopted):
+            assert merged["t"] == original["t"]
+            assert merged["shard"] == 2
+            for key, value in original.items():
+                if key not in ("schema", "seq"):
+                    assert merged[key] == value
+
+    def test_adopt_updates_counts_and_summary(self):
+        parent = EventLog()
+        parent.adopt(self.worker_records(), shard=0)
+        parent.adopt(self.worker_records(), shard=1)
+        assert parent.counts == {"session.open": 2, "session.close": 2}
+        assert parent.summary()["events"] == 4
+
+    def test_disabled_log_adopts_nothing(self):
+        parent = EventLog(enabled=False)
+        assert parent.adopt(self.worker_records(), shard=0) == []
+        assert parent.records == [] and parent.counts == {}
+
+    def test_adopt_writes_through_to_jsonl(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as parent:
+            parent.adopt(self.worker_records(), shard=3)
+        records = read_events(str(path))
+        assert [r["type"] for r in records] \
+            == ["session.open", "session.close"]
+        assert all(r["shard"] == 3 for r in records)

@@ -103,3 +103,65 @@ def test_parallel_timer_totals_are_positive_and_exact():
         assert PERF.timers["eval.targets"].total >= episode.max
     finally:
         PERF.disable().reset()
+
+
+# ----------------------------------------------------------------------
+# Prefixed merging (the serving fleet's shard-tagged fold)
+# ----------------------------------------------------------------------
+def _worker_state(pump_seconds, steps):
+    """An export_state payload shaped like one shard's registry."""
+    from repro.obs.instrumentation import Instrumentation
+
+    registry = Instrumentation().enable()
+    with registry.scope("serving.pump"):
+        pass
+    payload = registry.export_state()
+    # Make the timings deterministic for exact-fold assertions.
+    timer = payload["timers"]["serving.pump"]
+    timer["total"] = timer["min"] = timer["max"] = pump_seconds
+    payload["counters"] = {"serving.steps_shed": steps}
+    payload["histograms"] = {}
+    return payload
+
+
+def test_merge_snapshot_prefix_namespaces_every_metric():
+    from repro.obs.instrumentation import Instrumentation
+
+    registry = Instrumentation()
+    registry.merge_snapshot(_worker_state(0.25, 3), prefix="shard0/")
+    registry.merge_snapshot(_worker_state(0.75, 5), prefix="shard1/")
+    assert set(registry.timers) == {"shard0/serving.pump",
+                                    "shard1/serving.pump"}
+    assert registry.timers["shard0/serving.pump"].total == 0.25
+    assert registry.counters == {"shard0/serving.steps_shed": 3,
+                                 "shard1/serving.steps_shed": 5}
+
+
+def test_prefixed_and_unprefixed_folds_coexist_exactly():
+    """The fleet merges each shard twice: aggregate + tagged.  The
+    unprefixed entries must equal the sum of the tagged ones."""
+    from repro.obs.instrumentation import Instrumentation
+
+    registry = Instrumentation()
+    states = [_worker_state(0.25, 3), _worker_state(0.75, 5)]
+    for index, state in enumerate(states):
+        registry.merge_snapshot(state)
+        registry.merge_snapshot(state, prefix=f"shard{index}/")
+    aggregate = registry.timers["serving.pump"]
+    assert aggregate.count == sum(
+        registry.timers[f"shard{i}/serving.pump"].count
+        for i in range(2))
+    assert aggregate.total == 1.0
+    assert aggregate.min == 0.25 and aggregate.max == 0.75
+    assert registry.counters["serving.steps_shed"] == 8
+    assert registry.counters["shard1/serving.steps_shed"] == 5
+
+
+def test_empty_prefix_is_the_exact_legacy_merge():
+    from repro.obs.instrumentation import Instrumentation
+
+    registry = Instrumentation()
+    registry.merge_snapshot(_worker_state(0.5, 2))
+    registry.merge_snapshot(_worker_state(0.5, 2), prefix="")
+    assert registry.timers["serving.pump"].count == 2
+    assert registry.counters == {"serving.steps_shed": 4}

@@ -1,0 +1,172 @@
+"""Regression tests for engine scheduling fairness and lifecycle.
+
+Three bugs pinned here:
+
+* ``_collect_batch`` used to walk ``self._queues`` in dict insertion
+  order on every pump, so with ``max_batch`` smaller than the number of
+  open rooms the latest-opened rooms were *permanently* starved — the
+  collection now round-robins from a rotating cursor;
+* ``close_session`` used to raise for a queue holding only shed markers
+  even though collection applies them for free, so an overloaded room
+  could never be closed;
+* ``pump()`` promised "completed records" but silently dropped the shed
+  records applied during collection, so replay drivers counting the
+  return value undercounted ticks.
+"""
+
+import pytest
+
+from repro.core import AfterProblem
+from repro.models.baselines import NearestRecommender
+from repro.obs import EventLog
+from repro.serving import SessionEngine
+
+from .conftest import make_room
+
+
+def open_rooms(engine, count, num_steps=6, num_users=8):
+    """Open ``count`` distinct rooms; returns their (id, room) pairs."""
+    rooms = []
+    for index in range(count):
+        room = make_room("timik", num_users, num_steps, seed=200 + index)
+        engine.open_session(AfterProblem(room=room, target=0, beta=0.5),
+                            NearestRecommender(),
+                            session_id=f"room{index}")
+        rooms.append((f"room{index}", room))
+    return rooms
+
+
+class TestRoundRobinCollection:
+    def test_no_starvation_at_max_batch_one(self):
+        """3 rooms, max_batch=1: single-batch pumps stay balanced.
+
+        The insertion-order scheduler processed room0's entire queue
+        before room1 ever ran; round-robin keeps per-session processed
+        counts within one step of each other after every pump.
+        """
+        engine = SessionEngine(max_batch=1, max_queue=64)
+        rooms = open_rooms(engine, 3, num_steps=3)
+        for t in range(3):
+            for session_id, room in rooms:
+                engine.submit(session_id, room.trajectory.positions[t])
+
+        for pumps in range(1, 10):
+            records = engine.pump(max_batches=1)
+            assert len(records) == 1
+            counts = [len(engine.session(session_id).steps)
+                      for session_id, _ in rooms]
+            assert max(counts) - min(counts) <= 1, \
+                f"unbalanced after {pumps} pumps: {counts}"
+            assert sum(counts) == pumps
+        # Exactly 3 steps each, i.e. perfectly fair at the end.
+        assert [len(engine.session(sid).steps) for sid, _ in rooms] \
+            == [3, 3, 3]
+
+    def test_rotation_survives_session_churn(self):
+        """Closing a drained room never derails the cursor."""
+        engine = SessionEngine(max_batch=1, max_queue=64)
+        rooms = open_rooms(engine, 4, num_steps=2)
+        for t in range(2):
+            for session_id, room in rooms:
+                engine.submit(session_id, room.trajectory.positions[t])
+        # Drain one room with single-step pumps, close it, keep going.
+        while len(engine.session("room0").steps) < 2:
+            engine.pump(max_batches=1)
+        engine.close_session("room0")
+        engine.drain()
+        for session_id, _ in rooms[1:]:
+            assert len(engine.session(session_id).steps) == 2
+
+    def test_full_drain_unchanged_by_rotation(self):
+        """A full drain still processes every queued step exactly once."""
+        engine = SessionEngine(max_batch=2, max_queue=64)
+        rooms = open_rooms(engine, 3, num_steps=4)
+        for t in range(4):
+            for session_id, room in rooms:
+                engine.submit(session_id, room.trajectory.positions[t])
+        engine.drain()
+        for session_id, _ in rooms:
+            assert [s.t for s in engine.session(session_id).steps] \
+                == list(range(4))
+
+
+class TestCloseWithShedOnlyQueue:
+    def engine_with_shed_tail(self):
+        """One room whose queue ends as a single shed marker."""
+        events = EventLog(enabled=True)
+        engine = SessionEngine(max_batch=4, max_queue=2, events=events)
+        room = make_room("smm", 8, 3, seed=50)
+        engine.open_session(AfterProblem(room=room, target=0, beta=0.5),
+                            NearestRecommender(), session_id="solo")
+        for t in range(3):
+            engine.submit("solo", room.trajectory.positions[t])
+        # Depths at submit: 0, 1 (queued), 2 >= max_queue (shed).
+        engine.pump(max_batches=1)
+        engine.pump(max_batches=1)
+        return engine, events
+
+    def test_shed_only_queue_does_not_block_close(self):
+        engine, events = self.engine_with_shed_tail()
+        session = engine.close_session("solo")
+        assert session.shed_count == 1
+        assert [s.t for s in session.steps] == [0, 1, 2]
+        assert session.steps[-1].shed
+        closes = [r for r in events.records if r["type"] == "session.close"]
+        assert len(closes) == 1 and closes[0]["shed"] == 1
+
+    def test_runnable_steps_still_block_close(self):
+        engine = SessionEngine(max_batch=4, max_queue=1)
+        room = make_room("smm", 8, 3, seed=51)
+        engine.open_session(AfterProblem(room=room, target=0, beta=0.5),
+                            NearestRecommender(), session_id="solo")
+        engine.submit("solo", room.trajectory.positions[0])   # queued
+        engine.submit("solo", room.trajectory.positions[1])   # shed
+        with pytest.raises(RuntimeError, match="queued steps"):
+            engine.close_session("solo")
+        # The refused close must not have consumed the shed marker.
+        assert engine.queue_depth == 2
+        engine.drain()
+        engine.close_session("solo")
+
+
+class TestPumpReturnsShedRecords:
+    def test_drain_returns_one_record_per_submission(self):
+        engine = SessionEngine(max_batch=2, max_queue=3)
+        room = make_room("hubs", 8, 5, seed=60)
+        engine.open_session(AfterProblem(room=room, target=0, beta=0.5),
+                            NearestRecommender(), session_id="solo")
+        tickets = [engine.submit("solo", room.trajectory.positions[t])
+                   for t in range(6)]
+        shed_submitted = sum(t.status == "shed" for t in tickets)
+        assert shed_submitted > 0
+        records = engine.drain()
+        # Every submission — processed or shed — yields its record.
+        assert len(records) == len(tickets)
+        assert sum(r.shed for r in records) == shed_submitted
+        assert sorted(r.t for r in records) == list(range(6))
+
+    def test_returned_records_are_in_consumption_order(self):
+        """Per session, pump's records carry strictly increasing t."""
+        engine = SessionEngine(max_batch=1, max_queue=4)
+        rooms = open_rooms(engine, 2, num_steps=5)
+        for t in range(5):
+            for session_id, room in rooms:
+                engine.submit(session_id, room.trajectory.positions[t])
+        records = engine.pump()
+        for session_id, _ in rooms:
+            ts = [s.t for s in engine.session(session_id).steps]
+            assert ts == sorted(ts)
+        assert len(records) == sum(
+            len(engine.session(sid).steps) for sid, _ in rooms)
+
+    def test_shed_records_match_session_records(self):
+        engine = SessionEngine(max_batch=4, max_queue=2)
+        room = make_room("timik", 8, 4, seed=61)
+        engine.open_session(AfterProblem(room=room, target=0, beta=0.5),
+                            NearestRecommender(), session_id="solo")
+        for t in range(5):
+            engine.submit("solo", room.trajectory.positions[t])
+        records = engine.drain()
+        session_records = engine.session("solo").steps
+        assert [(r.t, r.shed) for r in records] \
+            == [(r.t, r.shed) for r in session_records]

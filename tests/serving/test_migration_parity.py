@@ -1,0 +1,196 @@
+"""Property suite: live migration never changes an episode's result.
+
+:meth:`~repro.serving.Fleet.migrate` promises that a room moved between
+real worker processes — at *any* point in its stream, pending queue and
+all — finishes with an :class:`~repro.core.evaluation.EpisodeResult`
+exactly equal (every deterministic field) to a run that never moved.
+Hypothesis drives the cut point, room shape, recommender and queue
+state; each example streams through a forked two-shard fleet using the
+production pipe transport.
+
+Three parity obligations are pinned separately:
+
+* a clean cut (queues drained before the move) matches the *offline*
+  :func:`~repro.core.evaluation.evaluate_episode` reference;
+* a cut with **undrained pending steps** still matches — the queue is
+  handed off verbatim, never re-admitted;
+* a cut while the admission ladder is **degrading/shedding** matches an
+  unmigrated fleet run under the identical budget, because the
+  submit-time admission decisions travel with the queue.
+"""
+
+import multiprocessing
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import AfterProblem, evaluate_episode
+from repro.models.baselines import NearestRecommender
+from repro.models.poshgnn import POSHGNN
+from repro.serving import Fleet
+
+from .conftest import DATASETS, make_room
+from .test_stream_parity import assert_episodes_identical
+
+fork_available = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable")
+
+pytestmark = fork_available
+
+RECOMMENDERS = {
+    "nearest": lambda: NearestRecommender(),
+    "poshgnn": lambda: POSHGNN(seed=11),
+}
+
+# Offline references are deterministic in the case parameters, so each
+# distinct room/recommender pair is evaluated once across all examples.
+_REFERENCE_CACHE: dict = {}
+
+
+@st.composite
+def migration_cases(draw):
+    """(room, problem, recommender name, cut step, target shard)."""
+    dataset = draw(st.sampled_from(DATASETS))
+    num_users = draw(st.integers(6, 9))
+    num_steps = draw(st.integers(2, 5))
+    seed = draw(st.integers(0, 500))
+    room = make_room(dataset, num_users, num_steps, seed)
+    target = draw(st.integers(0, num_users - 1))
+    name = draw(st.sampled_from(sorted(RECOMMENDERS)))
+    cut = draw(st.integers(0, num_steps))       # cut after `cut` frames
+    shard = draw(st.integers(0, 1))
+    return room, AfterProblem(room=room, target=target, beta=0.5), \
+        name, cut, shard
+
+
+def offline_reference(problem, name):
+    key = (problem.room.name, problem.room.seed, problem.target, name)
+    if key not in _REFERENCE_CACHE:
+        _REFERENCE_CACHE[key] = evaluate_episode(problem,
+                                                 RECOMMENDERS[name]())
+    return _REFERENCE_CACHE[key]
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(migration_cases())
+def test_clean_cut_matches_offline_reference(case):
+    """Drained-queue migration at an arbitrary step is invisible."""
+    room, problem, name, cut, shard = case
+    positions = room.trajectory.positions
+    with Fleet(2, max_batch=4, max_queue=64) as fleet:
+        sid = fleet.open_session(problem, RECOMMENDERS[name]())
+        for t in range(cut):
+            fleet.submit(sid, positions[t])
+        fleet.drain()
+        new_shard = fleet.migrate(sid, shard)
+        assert new_shard == shard == fleet.shard_of(sid)
+        for t in range(cut, len(positions)):
+            fleet.submit(sid, positions[t])
+        fleet.drain()
+        result = fleet.close_session(sid)
+    assert_episodes_identical(offline_reference(problem, name), result)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(migration_cases(), st.integers(1, 3))
+def test_pending_queue_rides_the_migration(case, backlog):
+    """Undrained submits are handed off verbatim, not re-admitted."""
+    room, problem, name, cut, shard = case
+    positions = room.trajectory.positions
+    cut = min(cut, len(positions) - 1)          # leave work to queue
+    with Fleet(2, max_batch=4, max_queue=64) as fleet:
+        sid = fleet.open_session(problem, RECOMMENDERS[name]())
+        for t in range(cut):
+            fleet.submit(sid, positions[t])
+        fleet.drain()
+        # Queue up unprocessed frames, then move with them in flight.
+        queued = positions[cut:cut + backlog]
+        for frame in queued:
+            fleet.submit(sid, frame)
+        fleet.migrate(sid, shard)
+        for t in range(cut + len(queued), len(positions)):
+            fleet.submit(sid, positions[t])
+        fleet.drain()
+        result = fleet.close_session(sid)
+    assert_episodes_identical(offline_reference(problem, name), result)
+
+
+def stream_with_overload(fleet, problem, recommender, cut, shard):
+    """Stream a room two-frames-per-pump so the ladder degrades/sheds;
+    optionally migrate after ``cut`` submitted frames."""
+    positions = problem.room.trajectory.positions
+    sid = fleet.open_session(problem, recommender)
+    tickets = []
+    for t in range(len(positions)):
+        tickets.append(fleet.submit(sid, positions[t]).status)
+        if t % 2 == 1:
+            fleet.pump(max_batches=1)
+        if cut is not None and t + 1 == cut:
+            fleet.migrate(sid, shard)
+    fleet.drain()
+    return tickets, fleet.close_session(sid)
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.sampled_from(DATASETS), st.integers(0, 200),
+       st.integers(1, 6), st.integers(0, 1))
+def test_mid_degrade_cut_matches_unmigrated_fleet(dataset, seed, cut,
+                                                  shard):
+    """Migration under admission pressure: the shed/degrade pattern —
+    decided at submit time — travels with the queue, so the migrated
+    run's tickets AND result equal the unmigrated run's."""
+    room = make_room(dataset, 8, 6, seed)
+    problem = AfterProblem(room=room, target=0, beta=0.5)
+    budgets = dict(max_batch=1, max_queue=6, degrade_at=2)
+    with Fleet(2, **budgets) as fleet:
+        baseline_tickets, baseline = stream_with_overload(
+            fleet, problem, NearestRecommender(), None, shard)
+    with Fleet(2, **budgets) as fleet:
+        migrated_tickets, migrated = stream_with_overload(
+            fleet, problem, NearestRecommender(), cut, shard)
+    assert migrated_tickets == baseline_tickets
+    assert_episodes_identical(baseline, migrated)
+
+
+def test_double_migration_round_trip():
+    """There and back again: two migrations still match offline."""
+    room = make_room("timik", 8, 4, seed=77)
+    problem = AfterProblem(room=room, target=3, beta=0.5)
+    positions = room.trajectory.positions
+    with Fleet(2, max_batch=4, max_queue=64) as fleet:
+        sid = fleet.open_session(problem, POSHGNN(seed=11))
+        home = fleet.shard_of(sid)
+        away = 1 - home
+        fleet.submit(sid, positions[0])
+        fleet.drain()
+        fleet.migrate(sid, away)
+        fleet.submit(sid, positions[1])
+        fleet.migrate(sid, home)        # pending step rides back home
+        for t in range(2, len(positions)):
+            fleet.submit(sid, positions[t])
+        fleet.drain()
+        result = fleet.close_session(sid)
+    assert_episodes_identical(offline_reference(problem, "poshgnn"),
+                              result)
+
+
+def test_migrate_to_same_shard_is_a_noop():
+    room = make_room("smm", 8, 3, seed=78)
+    problem = AfterProblem(room=room, target=0, beta=0.5)
+    with Fleet(2, max_batch=4, max_queue=64) as fleet:
+        sid = fleet.open_session(problem, NearestRecommender())
+        shard = fleet.shard_of(sid)
+        assert fleet.migrate(sid, shard) == shard
+        with pytest.raises(ValueError):
+            fleet.migrate(sid, 5)
+        for frame in room.trajectory.positions:
+            fleet.submit(sid, frame)
+        fleet.drain()
+        result = fleet.close_session(sid)
+    assert_episodes_identical(
+        offline_reference(problem, "nearest"), result)
