@@ -22,7 +22,8 @@ the full observability stack enabled and writes ``trace.json`` — a
 Chrome/Perfetto ``trace_event`` file with the nested per-episode phases
 (frame build, recommend, visibility, utility) — openable directly at
 ``ui.perfetto.dev``.  The trace lands under ``REPRO_RUN_DIR`` when that
-is set (next to the run's manifests), else at the repo root.  Gate a fresh run against the committed baseline
+is set (next to the run's manifests), else in the repo's gitignored
+``runs/`` directory.  Gate a fresh run against the committed baseline
 with::
 
     python -m repro.obs gate --baseline BENCH_eval_engine.json \
@@ -57,12 +58,12 @@ def default_trace_path() -> Path:
 
     With ``REPRO_RUN_DIR`` set the trace sits next to the run's other
     artifacts (manifests, checkpoints); otherwise it falls back to the
-    repo root (gitignored).
+    repo's gitignored ``runs/`` directory — never the repo root.
     """
     run_dir = os.environ.get("REPRO_RUN_DIR")
     if run_dir:
         return Path(run_dir) / "trace.json"
-    return Path(__file__).resolve().parent.parent / "trace.json"
+    return Path(__file__).resolve().parent.parent / "runs" / "trace.json"
 
 #: Acceptance floor: the batched engine must beat the reference engine
 #: by at least this factor at the default scale.

@@ -30,7 +30,21 @@ Besides the timings the harness records:
 * an instrumented pass with the full observability stack on, written as
   ``trace_serving.json`` — a Chrome/Perfetto ``trace_event`` file of the
   per-batch serving phases (geometry, frames, recommend, visibility) —
-  openable directly at ``ui.perfetto.dev``.
+  openable directly at ``ui.perfetto.dev``;
+* an *SLO overload* run: the same undersized ladder monitored live by a
+  :class:`~repro.obs.SloMonitor` with a :class:`~repro.obs.FlightRecorder`
+  attached — the deterministic shedding must trigger an ``slo.breach``
+  and the dumped incident bundle must round-trip through
+  :func:`~repro.obs.load_incident`;
+* a *telemetry overhead* row: the identical steady-state tick loop run
+  with the :class:`~repro.obs.TelemetrySampler` off and on (one sample
+  per tick), proving live sampling costs under
+  :data:`TELEMETRY_OVERHEAD_CEILING` and writing the sampled per-shard
+  series as ``telemetry_serving.json`` for ``python -m repro.obs
+  top``/``slo``.
+
+Artifacts land under ``REPRO_RUN_DIR`` (falling back to the repo's
+gitignored ``runs/`` directory), never at the repo root.
 
 Gate a fresh run against the committed baseline with::
 
@@ -43,6 +57,7 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import tempfile
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -52,7 +67,9 @@ import numpy as np
 from repro.core.problem import AfterProblem
 from repro.datasets import RoomConfig, generate_room
 from repro.models import NearestRecommender
-from repro.obs import PERF, TRACER, EventLog, write_chrome_trace
+from repro.obs import (PERF, TRACER, EventLog, FlightRecorder, SloMonitor,
+                       SloRule, TelemetrySampler, load_incident,
+                       write_chrome_trace)
 from repro.serving import Fleet, ReplayDriver, RoomSession, SessionEngine
 
 __all__ = ["ServingBenchConfig", "run_serving_bench", "main"]
@@ -74,6 +91,21 @@ FLEET_SHARD_COUNTS = (1, 2)
 #: measured factor, it just cannot gate.
 FLEET_SCALING_FLOOR = 1.7
 
+#: Acceptance ceiling: steady-state streaming with the telemetry
+#: sampler on (one sample per tick, PERF enabled) may cost at most this
+#: fraction over the telemetry-off loop.  Enforced at full scale only —
+#: tiny CI runs record the measured fraction but are pure noise.
+TELEMETRY_OVERHEAD_CEILING = 0.03
+
+#: The SLO rules the forced-overload run is monitored against.  The
+#: shed-rate rule *must* breach — the undersized queue sheds
+#: deterministically (admission is pure queue-depth arithmetic) — which
+#: is what pins the breach -> event -> incident-bundle path end to end.
+SLO_OVERLOAD_RULES = (
+    ("shed-rate", "mean(serving.shed_rate) < 0.01 over 60s"),
+    ("step-latency", "p99(serving.step_latency_s) < 25ms over 60s"),
+)
+
 
 def _available_cores() -> int:
     """Cores this process may run on (affinity-aware, min 1)."""
@@ -83,16 +115,23 @@ def _available_cores() -> int:
         return max(1, os.cpu_count() or 1)
 
 
-def default_trace_path() -> Path:
-    """Where the Perfetto trace lands: the bench run directory.
-
-    With ``REPRO_RUN_DIR`` set the trace sits next to the run's other
-    artifacts; otherwise it falls back to the repo root (gitignored).
-    """
+def default_run_dir() -> Path:
+    """Where bench artifacts land: ``REPRO_RUN_DIR`` when set, else the
+    repo's gitignored ``runs/`` directory — never the repo root."""
     run_dir = os.environ.get("REPRO_RUN_DIR")
     if run_dir:
-        return Path(run_dir) / "trace_serving.json"
-    return Path(__file__).resolve().parent.parent / "trace_serving.json"
+        return Path(run_dir)
+    return Path(__file__).resolve().parent.parent / "runs"
+
+
+def default_trace_path() -> Path:
+    """The Perfetto trace's default location in the run directory."""
+    return default_run_dir() / "trace_serving.json"
+
+
+def default_telemetry_path() -> Path:
+    """The sampled telemetry series' default location."""
+    return default_run_dir() / "telemetry_serving.json"
 
 
 @dataclass(frozen=True)
@@ -230,6 +269,149 @@ def _overload_replay(workload, config: ServingBenchConfig) -> dict:
     }
 
 
+def _telemetry_stream(workload, config: ServingBenchConfig,
+                      telemetry: bool) -> tuple:
+    """One steady-state tick loop, with or without the live sampler.
+
+    Both arms run the *identical* manual submit-then-pump loop (the
+    only difference is PERF being enabled and one
+    :meth:`~repro.obs.TelemetrySampler.sample` per tick), so the timing
+    ratio isolates exactly the cost of live telemetry.  Sample
+    timestamps are the tick index, keeping the recorded series
+    deterministic.
+    """
+    sampler = None
+    with SessionEngine(max_batch=config.num_rooms,
+                       max_queue=config.num_rooms * config.ticks,
+                       events=EventLog()) as engine:
+        sessions = [engine.open_session(
+            AfterProblem(room=room, target=target), NearestRecommender(),
+            session_id=f"telemetry-{index:03d}")
+            for index, (room, target) in enumerate(workload)]
+        if telemetry:
+            PERF.reset().enable()
+            sampler = TelemetrySampler(engine)
+        start = time.perf_counter()
+        for tick in range(config.ticks):
+            for index, (room, _) in enumerate(workload):
+                engine.submit(f"telemetry-{index:03d}",
+                              room.trajectory.positions[tick])
+            engine.pump()
+            if sampler is not None:
+                sampler.sample(now=float(tick))
+        elapsed = time.perf_counter() - start
+        if telemetry:
+            PERF.disable()
+        results = [session.result() for session in sessions]
+    return elapsed, results, sampler
+
+
+def _telemetry_overhead(workload, config: ServingBenchConfig,
+                        fingerprint, telemetry_path=None) -> dict:
+    """Best-of-repeats telemetry-off vs telemetry-on comparison.
+
+    The arms alternate within each repeat so thermal/background drift
+    hits both sides equally.  The sampled series of the fastest
+    telemetry run is written to ``telemetry_path`` for the ``obs top`` /
+    ``obs slo`` CLIs.
+    """
+    baseline_s = np.inf
+    telemetry_s = np.inf
+    baseline_results = telemetry_results = None
+    sampler = None
+    for _ in range(config.repeats):
+        elapsed, baseline_results, _ = _telemetry_stream(
+            workload, config, telemetry=False)
+        baseline_s = min(baseline_s, elapsed)
+        elapsed, telemetry_results, run_sampler = _telemetry_stream(
+            workload, config, telemetry=True)
+        if elapsed < telemetry_s:
+            telemetry_s, sampler = elapsed, run_sampler
+    record = {
+        "baseline_s": baseline_s,
+        "telemetry_s": telemetry_s,
+        "overhead_frac": telemetry_s / baseline_s - 1.0,
+        "samples": sampler.samples,
+        "metrics_identical": bool(
+            _episode_fingerprint(baseline_results) == fingerprint
+            and _episode_fingerprint(telemetry_results) == fingerprint),
+    }
+    if telemetry_path is not None:
+        record["series_path"] = sampler.save(telemetry_path)
+    return record
+
+
+def _slo_overload(workload, config: ServingBenchConfig,
+                  incident_root=None) -> dict:
+    """Monitored overload: breach must fire, bundle must round-trip.
+
+    Replays the undersized-queue ladder with a per-tick
+    :class:`~repro.obs.TelemetrySampler` + :class:`~repro.obs.SloMonitor`
+    and a :class:`~repro.obs.FlightRecorder` attached to the global
+    tracer (retention off, so memory stays bounded).  Shedding is
+    deterministic, so the shed-rate rule breaches on every run — at
+    full scale *and* in the tiny CI smoke — dumping an incident bundle
+    that is then loaded back to prove the Perfetto trace and event
+    JSONL round-trip.
+    """
+    if incident_root is None:
+        incident_root = tempfile.mkdtemp(prefix="repro-slo-incidents-")
+    events = EventLog()
+    recorder = FlightRecorder(directory=incident_root)
+    recorder.attach(tracer=TRACER, events=events, retain_spans=False)
+    rules = [SloRule.parse(spec, name=name)
+             for name, spec in SLO_OVERLOAD_RULES]
+    PERF.reset().enable()
+    try:
+        max_queue = max(2, config.num_rooms // 2)
+        with SessionEngine(max_batch=config.num_rooms, max_queue=max_queue,
+                           degrade_at=max(1, max_queue // 2),
+                           events=events) as engine:
+            sampler = TelemetrySampler(engine)
+            monitor = SloMonitor(rules, events=events, recorder=recorder)
+            for index, (room, target) in enumerate(workload):
+                engine.open_session(AfterProblem(room=room, target=target),
+                                    NearestRecommender(),
+                                    session_id=f"slo-{index:03d}")
+            for tick in range(config.ticks):
+                for index, (room, _) in enumerate(workload):
+                    engine.submit(f"slo-{index:03d}",
+                                  room.trajectory.positions[tick])
+                if (tick + 1) % config.overload_pump_interval == 0:
+                    engine.pump()
+                sampler.sample(now=float(tick))
+                monitor.evaluate(sampler, now=float(tick))
+            engine.drain()
+            sampler.sample(now=float(config.ticks))
+            monitor.evaluate(sampler, now=float(config.ticks))
+    finally:
+        PERF.disable()
+        recorder.detach()
+    breaches = [record for record in events.records
+                if record["type"] == "slo.breach"]
+    recovers = [record for record in events.records
+                if record["type"] == "slo.recover"]
+    bundle = recorder.dumps[0] if recorder.dumps else None
+    bundle_spans = bundle_events = 0
+    loadable = False
+    if bundle is not None:
+        incident = load_incident(bundle)
+        bundle_spans = len(incident["spans"])
+        bundle_events = len(incident["events"])
+        loadable = (incident["manifest"]["reason"].startswith("slo-")
+                    and bundle_spans > 0 and bundle_events > 0)
+    return {
+        "rules": [rule.describe() for rule in rules],
+        "breach_events": len(breaches),
+        "recover_events": len(recovers),
+        "breached_rules": sorted({record["rule"] for record in breaches}),
+        "bundle": None if bundle is None else str(bundle),
+        "bundle_spans": bundle_spans,
+        "bundle_events": bundle_events,
+        "bundle_loadable": bool(loadable),
+    }
+
+
 def _fleet_stream(workload, config: ServingBenchConfig, num_shards: int,
                   migrate_one: bool = False) -> tuple:
     """Steady-state fleet run: one tick per room per pump, N shards.
@@ -314,11 +496,14 @@ def _episode_fingerprint(results) -> list:
 
 
 def run_serving_bench(config: ServingBenchConfig | None = None,
-                      trace_path=None) -> dict:
+                      trace_path=None, telemetry_path=None,
+                      incident_root=None) -> dict:
     """Run the serving comparison and return the bench record.
 
     ``trace_path`` (optional) names a file for the Perfetto trace of the
-    instrumented engine pass.
+    instrumented engine pass; ``telemetry_path`` one for the sampled
+    per-shard series; ``incident_root`` a parent directory for the SLO
+    run's flight-recorder bundles (a temp directory when omitted).
     """
     config = config or ServingBenchConfig.from_env()
     workload = _generate_rooms(config)
@@ -356,6 +541,9 @@ def run_serving_bench(config: ServingBenchConfig | None = None,
                            process_labels={os.getpid(): "serving-engine"})
 
     overload = _overload_replay(workload, config)
+    slo = _slo_overload(workload, config, incident_root)
+    telemetry = _telemetry_overhead(workload, config, fingerprint,
+                                    telemetry_path)
     fleet = _fleet_scaling(workload, config, fingerprint)
 
     steps = config.num_rooms * config.ticks
@@ -382,6 +570,8 @@ def run_serving_bench(config: ServingBenchConfig | None = None,
             "engine_vs_serial": serial_s / engine_s,
         },
         "overload": overload,
+        "slo": slo,
+        "telemetry": telemetry,
         "fleet": fleet,
         "metrics_identical": bool(identical),
         "instrumentation": instrumentation,
@@ -390,9 +580,13 @@ def run_serving_bench(config: ServingBenchConfig | None = None,
 
 def main() -> dict:
     config = ServingBenchConfig.from_env()
+    run_dir = default_run_dir()
+    run_dir.mkdir(parents=True, exist_ok=True)
     trace_path = default_trace_path()
-    trace_path.parent.mkdir(parents=True, exist_ok=True)
-    record = run_serving_bench(config, trace_path=trace_path)
+    telemetry_path = default_telemetry_path()
+    record = run_serving_bench(config, trace_path=trace_path,
+                               telemetry_path=telemetry_path,
+                               incident_root=run_dir / "incidents")
     RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
 
     speedup = record["speedup"]["engine_vs_serial"]
@@ -410,6 +604,16 @@ def main() -> dict:
     print(f"  overload shed rate           "
           f"{record['overload']['shed_rate']:9.1%}")
     print(f"  speedup (engine vs serial)   {speedup:9.2f}x")
+    slo = record["slo"]
+    print(f"  slo breaches (forced)        {slo['breach_events']:9d}  "
+          f"({', '.join(slo['breached_rules'])})")
+    print(f"  incident bundle              {slo['bundle']}  "
+          f"({slo['bundle_spans']} spans, {slo['bundle_events']} events, "
+          f"loadable={slo['bundle_loadable']})")
+    telemetry = record["telemetry"]
+    print(f"  telemetry overhead           "
+          f"{telemetry['overhead_frac']:9.2%}  "
+          f"({telemetry['samples']} samples)")
     fleet = record["fleet"]
     if fleet is not None:
         for shards, row in fleet["shards"].items():
@@ -423,11 +627,26 @@ def main() -> dict:
     print(f"  metrics identical: {record['metrics_identical']}")
     print(f"wrote {RESULT_PATH}")
     print(f"wrote {trace_path} (open at ui.perfetto.dev)")
+    print(f"wrote {telemetry_path} (python -m repro.obs top/slo)")
 
     if not record["metrics_identical"]:
         raise SystemExit("streamed metrics diverge from serial stepping")
     if not record["overload"]["events_consistent"]:
         raise SystemExit("shed/degrade events disagree with step records")
+    if slo["breach_events"] < 1 or "shed-rate" not in slo["breached_rules"]:
+        raise SystemExit("forced overload did not breach the shed-rate "
+                         "SLO — admission control or the monitor broke")
+    if not slo["bundle_loadable"]:
+        raise SystemExit("flight-recorder incident bundle missing or not "
+                         "loadable")
+    if not telemetry["metrics_identical"]:
+        raise SystemExit("telemetry-on metrics diverge from serial "
+                         "stepping")
+    if not config.is_tiny \
+            and telemetry["overhead_frac"] > TELEMETRY_OVERHEAD_CEILING:
+        raise SystemExit(
+            f"telemetry overhead {telemetry['overhead_frac']:.2%} above "
+            f"the {TELEMETRY_OVERHEAD_CEILING:.0%} ceiling")
     if not config.is_tiny and speedup < SPEEDUP_FLOOR:
         raise SystemExit(f"speedup {speedup:.2f}x below the "
                          f"{SPEEDUP_FLOOR}x floor")

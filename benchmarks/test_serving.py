@@ -8,7 +8,7 @@ equivalence and shed accounting only.
 """
 
 from perf_serving import FLEET_SCALING_FLOOR, SPEEDUP_FLOOR, \
-    ServingBenchConfig, run_serving_bench
+    TELEMETRY_OVERHEAD_CEILING, ServingBenchConfig, run_serving_bench
 
 
 def test_serving_speedup_and_parity(benchmark):
@@ -27,6 +27,17 @@ def test_serving_speedup_and_parity(benchmark):
     assert record["metrics_identical"]
     assert record["overload"]["events_consistent"]
     assert record["overload"]["shed"] > 0
+    # The monitored overload must breach the shed-rate SLO and dump a
+    # loadable incident bundle, at tiny scale too — shedding is
+    # deterministic queue-depth arithmetic, not timing.
+    assert record["slo"]["breach_events"] >= 1
+    assert "shed-rate" in record["slo"]["breached_rules"]
+    assert record["slo"]["bundle_loadable"]
+    assert record["slo"]["bundle_spans"] > 0
+    # Live sampling must not perturb results; the <3% overhead ceiling
+    # gates at full scale only (tiny timings are noise).
+    assert record["telemetry"]["metrics_identical"]
+    assert record["telemetry"]["samples"] >= config.ticks
     fleet = record["fleet"]
     if fleet is not None:
         # The sharded runs (including one live migration) reproduced
@@ -36,5 +47,7 @@ def test_serving_speedup_and_parity(benchmark):
         assert set(fleet["shards"]) == {"1", "2"}
     if not config.is_tiny:
         assert record["speedup"]["engine_vs_serial"] >= SPEEDUP_FLOOR
+        assert record["telemetry"]["overhead_frac"] \
+            <= TELEMETRY_OVERHEAD_CEILING
         if fleet is not None and fleet["available_cores"] >= 2:
             assert fleet["scaling_2_vs_1"] >= FLEET_SCALING_FLOOR

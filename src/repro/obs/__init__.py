@@ -16,6 +16,12 @@ docs/OBSERVABILITY.md):
   by :class:`~repro.training.RunManifest`.
 * :func:`compare_benchmarks` / :class:`GateReport` — the
   bench-regression gate behind ``python -m repro.obs gate``.
+* :class:`TelemetrySampler` / :class:`ShardTelemetry` — live per-shard
+  time series pulled from a serving fleet (``python -m repro.obs top``).
+* :class:`SloRule` / :class:`SloMonitor` — declarative windowed SLO
+  thresholds with breach/recover events (``python -m repro.obs slo``).
+* :class:`FlightRecorder` — always-on bounded span/event rings dumping
+  Perfetto + JSONL incident bundles on SLO breach or shard failure.
 
 Everything is disabled by default and near-free when disabled, so the
 instrumentation stays permanently wired into the evaluation engine, the
@@ -42,11 +48,35 @@ from .instrumentation import (
     Instrumentation,
     TimerStat,
 )
+from .live import (
+    TELEMETRY_SCHEMA_VERSION,
+    HistogramSeries,
+    SamplePoint,
+    ShardTelemetry,
+    TelemetrySampler,
+    TimeSeries,
+    load_telemetry,
+    render_top,
+)
 from .perfetto import (
     load_chrome_trace,
     span_tree_report,
     to_chrome_trace,
     write_chrome_trace,
+)
+from .recorder import (
+    INCIDENT_SCHEMA_VERSION,
+    FlightRecorder,
+    default_incident_root,
+    load_incident,
+)
+from .slo import (
+    SloBatchReport,
+    SloMonitor,
+    SloRule,
+    SloStatus,
+    evaluate_recorded,
+    load_rules,
 )
 from .trace import TRACER, SpanRecord, Tracer
 
@@ -75,4 +105,22 @@ __all__ = [
     "load_bench_timings",
     "DEFAULT_THRESHOLD",
     "DEFAULT_MIN_TIME",
+    "SamplePoint",
+    "TimeSeries",
+    "HistogramSeries",
+    "ShardTelemetry",
+    "TelemetrySampler",
+    "load_telemetry",
+    "render_top",
+    "TELEMETRY_SCHEMA_VERSION",
+    "SloRule",
+    "SloStatus",
+    "SloMonitor",
+    "SloBatchReport",
+    "load_rules",
+    "evaluate_recorded",
+    "FlightRecorder",
+    "load_incident",
+    "default_incident_root",
+    "INCIDENT_SCHEMA_VERSION",
 ]

@@ -7,12 +7,20 @@ against a committed baseline::
         --current /tmp/new.json [--threshold 0.25] [--report-only]
     python -m repro.obs trace trace.json
     python -m repro.obs metrics BENCH_eval_engine.json
+    python -m repro.obs top runs/telemetry_serving.json [--watch 1.0]
+    python -m repro.obs slo --rules benchmarks/slo_rules.json \\
+        runs/telemetry_serving.json [--report-only]
 
 ``gate`` exits nonzero when any compared timer slowed down by more than
 the threshold (``--report-only`` always exits zero, for informational
 CI jobs).  ``trace`` prints the aggregated span call tree of a Perfetto
 trace; ``metrics`` prints the timers/counters/histograms of a
-``PERF.report()`` document or a bench record.
+``PERF.report()`` document or a bench record.  ``top`` renders the
+per-shard live table of a telemetry document written by
+:class:`~repro.obs.TelemetrySampler` (``--watch`` re-reads and redraws,
+which makes a document being rewritten by ``sampler.start(path=...)`` a
+live fleet view); ``slo`` replays a recorded series through a rules
+file and exits nonzero if any rule breached at any timestamp.
 """
 
 from __future__ import annotations
@@ -20,9 +28,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
 from .gate import DEFAULT_MIN_TIME, DEFAULT_THRESHOLD, compare_benchmarks
+from .live import load_telemetry, render_top
 from .perfetto import load_chrome_trace, span_tree_report
+from .slo import evaluate_recorded, load_rules
 
 
 def _cmd_gate(args) -> int:
@@ -67,6 +78,37 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_top(args) -> int:
+    while True:
+        try:
+            shards = load_telemetry(args.series)
+        except FileNotFoundError:
+            print(f"no telemetry document at {args.series}",
+                  file=sys.stderr)
+            return 1
+        table = render_top(shards, window_s=args.window)
+        if args.watch:
+            # Home the cursor and clear so the redraw behaves like top(1).
+            sys.stdout.write("\x1b[H\x1b[2J")
+        print(table)
+        if not args.watch:
+            return 0
+        try:
+            time.sleep(args.watch)
+        except KeyboardInterrupt:
+            return 0
+
+
+def _cmd_slo(args) -> int:
+    rules = load_rules(args.rules)
+    shards = load_telemetry(args.series)
+    report = evaluate_recorded(rules, shards)
+    print(report.render())
+    if args.report_only:
+        return 0
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro.obs`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -105,6 +147,29 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("metrics", help="PERF.report() JSON or a bench "
                                          "record")
     metrics.set_defaults(run=_cmd_metrics)
+
+    top = commands.add_parser(
+        "top", help="per-shard live table of a telemetry document")
+    top.add_argument("series", help="telemetry JSON written by "
+                                    "TelemetrySampler.save")
+    top.add_argument("--window", type=float, default=5.0,
+                     help="trailing window in seconds for the rate and "
+                          "latency columns (default %(default)s)")
+    top.add_argument("--watch", type=float, default=0.0, metavar="SECONDS",
+                     help="re-read and redraw every SECONDS "
+                          "(0 = render once and exit)")
+    top.set_defaults(run=_cmd_top)
+
+    slo = commands.add_parser(
+        "slo", help="replay SLO rules over a recorded telemetry series")
+    slo.add_argument("series", help="telemetry JSON written by "
+                                    "TelemetrySampler.save")
+    slo.add_argument("--rules", required=True,
+                     help="JSON rules file ({\"rules\": [...]}; entries "
+                          "are spec strings or rule dicts)")
+    slo.add_argument("--report-only", action="store_true",
+                     help="print the evaluation but always exit zero")
+    slo.set_defaults(run=_cmd_slo)
     return parser
 
 

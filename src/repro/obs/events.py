@@ -42,6 +42,9 @@ class EventLog:
         self.enabled = enabled
         self.records: list[dict] = []
         self.counts: dict[str, int] = {}
+        #: Callables invoked with every emitted/adopted record (e.g. a
+        #: flight recorder's bounded ring).
+        self.listeners: list = []
         self._seq = 0
         self._handle = None
         if self.path is not None:
@@ -81,6 +84,8 @@ class EventLog:
             self._handle.flush()
         else:
             self.records.append(record)
+        for listener in self.listeners:
+            listener(record)
         return record
 
     def adopt(self, records, **extra) -> list[dict]:
@@ -114,6 +119,8 @@ class EventLog:
                 self._handle.flush()
             else:
                 self.records.append(merged)
+            for listener in self.listeners:
+                listener(merged)
             adopted.append(merged)
         return adopted
 

@@ -23,6 +23,7 @@ fail the gate — renames should not mask real regressions elsewhere.
 from __future__ import annotations
 
 import json
+import math
 import os
 from dataclasses import dataclass, field
 
@@ -115,11 +116,11 @@ def load_bench_timings(source) -> dict:
     if not isinstance(document, dict):
         raise ValueError("benchmark document must be a JSON object")
     if "timings_s" in document:
-        return {name: float(value)
-                for name, value in document["timings_s"].items()}
+        return _finite_timings(document["timings_s"])
     if "timers" in document:
-        return {name: float(stat["total_s"])
-                for name, stat in document["timers"].items()}
+        return _finite_timings({name: stat["total_s"]
+                                for name, stat
+                                in document["timers"].items()})
     if "instrumentation" in document:
         return load_bench_timings(document["instrumentation"])
     flat = {name: value for name, value in document.items()
@@ -128,7 +129,19 @@ def load_bench_timings(source) -> dict:
         raise ValueError("no timings found: expected 'timings_s', "
                          "'timers', 'instrumentation', or a flat "
                          "name->seconds mapping")
-    return {name: float(value) for name, value in flat.items()}
+    return _finite_timings(flat)
+
+
+def _finite_timings(timings: dict) -> dict:
+    """Coerce to float, dropping NaN/inf entries.
+
+    Empty-histogram summaries serialise NaN aggregates (see
+    :meth:`~repro.obs.Histogram.as_dict`); a NaN on either side of a
+    ratio would poison the verdict, so non-finite timings are treated
+    as absent rather than comparable.
+    """
+    return {name: float(value) for name, value in timings.items()
+            if math.isfinite(float(value))}
 
 
 def compare_benchmarks(baseline, current,

@@ -162,8 +162,8 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        """Mean observed value (0 when empty)."""
-        return self.total / self.count if self.count else 0.0
+        """Mean observed value (NaN when empty, like :meth:`quantile`)."""
+        return self.total / self.count if self.count else float("nan")
 
     def quantile(self, q: float) -> float:
         """Estimated ``q``-quantile (``q`` in [0, 1]); NaN when empty."""
@@ -214,8 +214,8 @@ class Histogram:
             "count": self.count,
             "sum": self.total,
             "mean": self.mean,
-            "min": 0.0 if empty else self.min,
-            "max": 0.0 if empty else self.max,
+            "min": float("nan") if empty else self.min,
+            "max": float("nan") if empty else self.max,
             "p50": float("nan") if empty else self.quantile(0.50),
             "p90": float("nan") if empty else self.quantile(0.90),
             "p99": float("nan") if empty else self.quantile(0.99),

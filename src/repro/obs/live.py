@@ -1,0 +1,578 @@
+"""Live fleet telemetry: bounded time series sampled from serving shards.
+
+End-of-run folding (:meth:`~repro.obs.Instrumentation.merge_snapshot`,
+:meth:`~repro.obs.EventLog.adopt`) answers "where did the wall-clock
+go"; rebalancing, autoscaling and SLO monitoring instead need the
+*trajectory* of each shard's load while the fleet is serving.  This
+module provides that substrate:
+
+* :class:`TimeSeries` / :class:`HistogramSeries` — bounded ring buffers
+  of ``(timestamp, value)`` gauge points and per-interval histogram
+  deltas, with windowed aggregates (``mean``/``max``/``min``/``last``/
+  ``sum``/``p50``...``p99``) that return NaN on an empty window instead
+  of inventing data;
+* :class:`ShardTelemetry` — one shard's named series;
+* :class:`TelemetrySampler` — periodically pulls per-shard samples from
+  a :class:`~repro.serving.Fleet` (the ``sample`` transport command) or
+  a local :class:`~repro.serving.SessionEngine`, turns cumulative
+  :meth:`~repro.obs.Instrumentation.export_state` counters into
+  interval rates (shed/degrade fractions, steps/s) and histogram
+  deltas (step latency, batch size), and appends them to the rings.
+
+Sampling is **pull-based and read-only**: the ``sample`` command never
+resets a worker's registry, so it composes with the fleet's end-of-run
+``obs`` fold (a registry reset between samples is detected and treated
+as a fresh baseline).  Series serialise to a schema-versioned JSON
+document (:meth:`TelemetrySampler.save`, :func:`load_telemetry`) that
+``python -m repro.obs top``/``slo`` and the SLO monitor consume.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from .instrumentation import Histogram
+
+__all__ = ["SamplePoint", "TimeSeries", "HistogramSeries",
+           "ShardTelemetry", "TelemetrySampler", "load_telemetry",
+           "render_top", "TELEMETRY_SCHEMA_VERSION",
+           "TRACKED_HISTOGRAMS"]
+
+#: Version stamped into saved telemetry documents; bump on layout breaks.
+TELEMETRY_SCHEMA_VERSION = 1
+
+#: Cumulative PERF histograms turned into per-interval delta series.
+TRACKED_HISTOGRAMS = ("serving.step_latency_s", "serving.batch_size")
+
+#: Cumulative PERF counters behind the interval shed/degrade/throughput
+#: gauges (processed-side accounting, folded at pump time).
+_TRACKED_COUNTERS = ("serving.steps", "serving.steps_degraded",
+                     "serving.steps_shed")
+
+
+@dataclass(frozen=True)
+class SamplePoint:
+    """One gauge observation: a value at a sampler timestamp."""
+
+    t: float
+    value: float
+
+
+class TimeSeries:
+    """Bounded ring buffer of :class:`SamplePoint` gauge observations.
+
+    Appending past ``capacity`` evicts the oldest point, so a live
+    sampler can run indefinitely with constant memory.  Timestamps must
+    be fed monotonically (the sampler's clock guarantees it).
+    """
+
+    __slots__ = ("capacity", "_points")
+
+    def __init__(self, capacity: int = 512):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._points: deque[SamplePoint] = deque(maxlen=capacity)
+
+    def append(self, t: float, value: float) -> None:
+        """Record ``value`` at timestamp ``t`` (evicts the oldest)."""
+        self._points.append(SamplePoint(float(t), float(value)))
+
+    def __len__(self) -> int:
+        """Number of retained points."""
+        return len(self._points)
+
+    @property
+    def last(self) -> SamplePoint | None:
+        """The most recent point (``None`` while empty)."""
+        return self._points[-1] if self._points else None
+
+    def window(self, start: float | None = None,
+               end: float | None = None) -> list[SamplePoint]:
+        """Points with ``start <= t <= end`` (``None`` bounds are open).
+
+        The ``end`` bound is what makes replaying a *recorded* series
+        faithful: evaluating "as of" timestamp T must not see points
+        sampled after T.
+        """
+        return [point for point in self._points
+                if (start is None or point.t >= start)
+                and (end is None or point.t <= end)]
+
+    def values(self, start: float | None = None,
+               end: float | None = None) -> list[float]:
+        """The windowed values only (see :meth:`window`)."""
+        return [point.value for point in self.window(start, end)]
+
+    def aggregate(self, op: str, start: float | None = None,
+                  end: float | None = None) -> float:
+        """Windowed aggregate; NaN when the window holds no points.
+
+        ``op`` is ``mean``/``max``/``min``/``last``/``sum`` or a
+        percentile such as ``p99`` (linear interpolation over the
+        window's raw values).
+        """
+        values = self.values(start, end)
+        if not values:
+            return float("nan")
+        if op == "mean":
+            return float(np.mean(values))
+        if op == "max":
+            return float(max(values))
+        if op == "min":
+            return float(min(values))
+        if op == "last":
+            return values[-1]
+        if op == "sum":
+            return float(np.sum(values))
+        if op.startswith("p") and op[1:].isdigit():
+            return float(np.percentile(values, int(op[1:])))
+        raise ValueError(f"unknown aggregate {op!r}")
+
+    def state(self) -> dict:
+        """JSON-able lossless view (inverse of :meth:`from_state`)."""
+        return {"capacity": self.capacity,
+                "points": [[point.t, point.value]
+                           for point in self._points]}
+
+    @classmethod
+    def from_state(cls, payload: dict) -> "TimeSeries":
+        """Rebuild a series saved by :meth:`state`."""
+        series = cls(payload["capacity"])
+        for t, value in payload["points"]:
+            series.append(t, value)
+        return series
+
+
+class HistogramSeries:
+    """Bounded ring of per-interval :class:`Histogram` deltas.
+
+    Each point is the histogram of observations made *during one
+    sampling interval* (bucket-count deltas of a cumulative registry
+    histogram).  Windowed quantiles merge the interval deltas back
+    together, so ``p99`` over the last 5 s is exact over whatever the
+    shard observed in those 5 s — no decaying approximations.
+    """
+
+    __slots__ = ("capacity", "_points")
+
+    def __init__(self, capacity: int = 512):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._points: deque[tuple[float, Histogram]] = deque(
+            maxlen=capacity)
+
+    def append(self, t: float, delta: Histogram) -> None:
+        """Record the interval histogram ``delta`` at timestamp ``t``."""
+        self._points.append((float(t), delta))
+
+    def __len__(self) -> int:
+        """Number of retained interval deltas."""
+        return len(self._points)
+
+    @property
+    def last(self) -> tuple[float, Histogram] | None:
+        """The most recent ``(t, delta)`` pair (``None`` while empty)."""
+        return self._points[-1] if self._points else None
+
+    def window(self, start: float | None = None,
+               end: float | None = None) -> list[tuple[float, Histogram]]:
+        """``(t, delta)`` pairs with ``start <= t <= end``."""
+        return [(t, delta) for t, delta in self._points
+                if (start is None or t >= start)
+                and (end is None or t <= end)]
+
+    def window_histogram(self, start: float | None = None,
+                         end: float | None = None) -> Histogram | None:
+        """The merged histogram over the window (None when empty)."""
+        merged: Histogram | None = None
+        for t, delta in self.window(start, end):
+            if merged is None:
+                merged = Histogram.from_state(delta.state())
+            else:
+                merged.merge(delta)
+        return merged
+
+    def quantile(self, q: float, start: float | None = None,
+                 end: float | None = None) -> float:
+        """Windowed ``q``-quantile (``q`` in [0, 1]); NaN when empty."""
+        merged = self.window_histogram(start, end)
+        if merged is None or not merged.count:
+            return float("nan")
+        return merged.quantile(q)
+
+    def aggregate(self, op: str, start: float | None = None,
+                  end: float | None = None) -> float:
+        """Windowed aggregate over the merged histogram; NaN when empty.
+
+        ``op``: a percentile (``p50``...``p99``), ``mean``, ``max``,
+        ``min``, ``sum`` (total of observations) or ``count``.
+        """
+        merged = self.window_histogram(start, end)
+        if merged is None or not merged.count:
+            return float("nan")
+        if op.startswith("p") and op[1:].isdigit():
+            return merged.quantile(int(op[1:]) / 100.0)
+        if op == "mean":
+            return merged.mean
+        if op == "max":
+            return merged.max
+        if op == "min":
+            return merged.min
+        if op == "sum":
+            return merged.total
+        if op in ("count", "last"):
+            return float(merged.count) if op == "count" else float("nan")
+        raise ValueError(f"unknown aggregate {op!r}")
+
+    def state(self) -> dict:
+        """JSON-able lossless view (inverse of :meth:`from_state`)."""
+        return {"capacity": self.capacity,
+                "points": [[t, delta.state()]
+                           for t, delta in self._points]}
+
+    @classmethod
+    def from_state(cls, payload: dict) -> "HistogramSeries":
+        """Rebuild a series saved by :meth:`state`."""
+        series = cls(payload["capacity"])
+        for t, state in payload["points"]:
+            series.append(t, Histogram.from_state(state))
+        return series
+
+
+class ShardTelemetry:
+    """One shard's named gauge and histogram series."""
+
+    def __init__(self, shard: int, capacity: int = 512):
+        self.shard = shard
+        self.capacity = capacity
+        self.gauges: dict[str, TimeSeries] = {}
+        self.histograms: dict[str, HistogramSeries] = {}
+
+    def gauge(self, name: str) -> TimeSeries:
+        """The gauge series ``name`` (created on first use)."""
+        series = self.gauges.get(name)
+        if series is None:
+            series = self.gauges[name] = TimeSeries(self.capacity)
+        return series
+
+    def histogram(self, name: str) -> HistogramSeries:
+        """The histogram series ``name`` (created on first use)."""
+        series = self.histograms.get(name)
+        if series is None:
+            series = self.histograms[name] = HistogramSeries(self.capacity)
+        return series
+
+    def aggregate(self, metric: str, op: str, start: float | None = None,
+                  end: float | None = None) -> float:
+        """Windowed aggregate of ``metric``; NaN when unknown or empty.
+
+        Histogram metrics (e.g. ``serving.step_latency_s``) support the
+        quantile aggregates; gauge metrics aggregate their raw points.
+        An unknown metric is *no data*, never an error — a rule against
+        a not-yet-sampled metric simply reports ``no_data``.
+        """
+        if metric in self.histograms:
+            return self.histograms[metric].aggregate(op, start, end)
+        if metric in self.gauges:
+            return self.gauges[metric].aggregate(op, start, end)
+        return float("nan")
+
+    def latest_timestamp(self) -> float:
+        """The newest timestamp across all series (NaN while empty)."""
+        latest = float("nan")
+        for series in self.gauges.values():
+            if series.last is not None:
+                t = series.last.t
+                latest = t if math.isnan(latest) else max(latest, t)
+        for series in self.histograms.values():
+            if series.last is not None:
+                t = series.last[0]
+                latest = t if math.isnan(latest) else max(latest, t)
+        return latest
+
+    def state(self) -> dict:
+        """JSON-able lossless view (inverse of :meth:`from_state`)."""
+        return {"shard": self.shard, "capacity": self.capacity,
+                "gauges": {name: series.state()
+                           for name, series in sorted(self.gauges.items())},
+                "histograms": {name: series.state()
+                               for name, series
+                               in sorted(self.histograms.items())}}
+
+    @classmethod
+    def from_state(cls, payload: dict) -> "ShardTelemetry":
+        """Rebuild shard telemetry saved by :meth:`state`."""
+        telemetry = cls(payload["shard"], payload.get("capacity", 512))
+        for name, state in payload.get("gauges", {}).items():
+            telemetry.gauges[name] = TimeSeries.from_state(state)
+        for name, state in payload.get("histograms", {}).items():
+            telemetry.histograms[name] = HistogramSeries.from_state(state)
+        return telemetry
+
+
+def _counter(state: dict, name: str) -> int:
+    """A counter's cumulative value in an ``export_state`` payload."""
+    return int(state.get("counters", {}).get(name, 0))
+
+
+def _counter_delta(current: dict, previous: dict | None, name: str) -> int:
+    """Interval delta of a cumulative counter, reset-aware.
+
+    A counter that went *backwards* means the worker's registry was
+    reset between samples (the fleet's ``obs`` fold does this); the
+    current value then becomes the whole interval's delta.
+    """
+    value = _counter(current, name)
+    if previous is None:
+        return value
+    delta = value - _counter(previous, name)
+    return value if delta < 0 else delta
+
+
+def _histogram_delta(current: dict, previous: dict | None,
+                     name: str) -> Histogram | None:
+    """Interval delta of a cumulative histogram, reset-aware.
+
+    Returns ``None`` when the interval saw no observations.  The delta
+    keeps the cumulative min/max (exact interval extremes are not
+    recoverable from bucket counts); quantile clamping therefore uses a
+    slightly-too-wide range, which can only make tails *less* extreme.
+    """
+    state = current.get("histograms", {}).get(name)
+    if state is None:
+        return None
+    current_hist = Histogram.from_state(state)
+    previous_state = None if previous is None \
+        else previous.get("histograms", {}).get(name)
+    if previous_state is not None \
+            and tuple(previous_state["boundaries"]) \
+            == current_hist.boundaries:
+        deltas = [now - before for now, before
+                  in zip(state["bucket_counts"],
+                         previous_state["bucket_counts"])]
+        if all(delta >= 0 for delta in deltas):   # no reset in between
+            current_hist.bucket_counts = deltas
+            current_hist.count -= previous_state["count"]
+            current_hist.total -= previous_state["total"]
+    if not current_hist.count:
+        return None
+    return current_hist
+
+
+class TelemetrySampler:
+    """Pull-based sampler maintaining per-shard telemetry rings.
+
+    ``source`` is anything with a ``telemetry_sample()`` method
+    returning per-shard sample dicts — a :class:`~repro.serving.Fleet`
+    (which broadcasts the lightweight ``sample`` transport command) or
+    a local :class:`~repro.serving.SessionEngine` (which reports itself
+    as shard 0).  Each :meth:`sample` appends:
+
+    * gauges ``serving.queue_depth`` and ``serving.open_sessions``
+      (direct reads);
+    * gauges ``serving.shed_rate`` / ``serving.degrade_rate`` (fraction
+      of the steps *consumed this interval*) and
+      ``serving.throughput_steps_per_s`` — only when the interval
+      actually consumed steps, so idle intervals are no-data, not zero;
+    * histogram deltas for :data:`TRACKED_HISTOGRAMS` (step latency,
+      batch size) — only when the interval observed anything.
+
+    Rate/latency series need the source's :data:`~repro.obs.PERF`
+    registry enabled (workers inherit the flag across the fleet fork);
+    with it disabled the sampler still maintains the direct gauges.
+    ``clock`` defaults to :func:`time.monotonic`; tests and benches
+    pass explicit ``now=`` timestamps for determinism.
+    """
+
+    def __init__(self, source, *, capacity: int = 512, clock=time.monotonic):
+        self.source = source
+        self.capacity = capacity
+        self.clock = clock
+        self.shards: dict[int, ShardTelemetry] = {}
+        self.samples = 0
+        self.last_error: Exception | None = None
+        self._previous: dict[int, dict] = {}
+        self._previous_t: dict[int, float] = {}
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    def sample(self, now: float | None = None) -> list[dict]:
+        """Pull one sample from every shard; returns the raw samples."""
+        now = float(self.clock() if now is None else now)
+        raw = self.source.telemetry_sample()
+        for entry in raw:
+            shard = int(entry["shard"])
+            telemetry = self.shards.get(shard)
+            if telemetry is None:
+                telemetry = self.shards[shard] = ShardTelemetry(
+                    shard, self.capacity)
+            telemetry.gauge("serving.queue_depth").append(
+                now, float(entry["queue_depth"]))
+            telemetry.gauge("serving.open_sessions").append(
+                now, float(entry["open_sessions"]))
+            perf = entry.get("perf") or {}
+            previous = self._previous.get(shard)
+            steps = (_counter_delta(perf, previous, "serving.steps")
+                     + _counter_delta(perf, previous,
+                                      "serving.steps_degraded"))
+            shed = _counter_delta(perf, previous, "serving.steps_shed")
+            consumed = steps + shed
+            if consumed:
+                degraded = _counter_delta(perf, previous,
+                                          "serving.steps_degraded")
+                telemetry.gauge("serving.shed_rate").append(
+                    now, shed / consumed)
+                telemetry.gauge("serving.degrade_rate").append(
+                    now, degraded / consumed)
+                elapsed = now - self._previous_t.get(shard, now)
+                if elapsed > 0.0:
+                    telemetry.gauge(
+                        "serving.throughput_steps_per_s").append(
+                        now, steps / elapsed)
+            for name in TRACKED_HISTOGRAMS:
+                delta = _histogram_delta(perf, previous, name)
+                if delta is not None:
+                    telemetry.histogram(name).append(now, delta)
+            self._previous[shard] = perf
+            self._previous_t[shard] = now
+        self.samples += 1
+        return raw
+
+    # ------------------------------------------------------------------
+    # Background sampling
+    # ------------------------------------------------------------------
+    def start(self, interval_s: float = 1.0, *,
+              path=None) -> "TelemetrySampler":
+        """Sample on a daemon thread every ``interval_s`` seconds.
+
+        With ``path`` set, the full telemetry document is rewritten
+        after every sample, which is what makes ``python -m repro.obs
+        top <path> --watch`` a live view.  A failing pull (e.g. a
+        :class:`~repro.serving.ShardFailure` mid-sample) lands in
+        :attr:`last_error` and stops the thread instead of raising on a
+        thread nobody joins.
+        """
+        if self._thread is not None:
+            raise RuntimeError("sampler already started")
+        self._stop.clear()
+
+        def _loop() -> None:
+            while not self._stop.is_set():
+                try:
+                    self.sample()
+                    if path is not None:
+                        self.save(path)
+                except Exception as exc:      # noqa: BLE001 — recorded
+                    self.last_error = exc
+                    return
+                self._stop.wait(interval_s)
+
+        self._thread = threading.Thread(target=_loop, daemon=True,
+                                        name="telemetry-sampler")
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop and join the background sampling thread (idempotent)."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+    def __enter__(self) -> "TelemetrySampler":
+        """Context-manager entry; returns self."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: stops background sampling."""
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_document(self) -> dict:
+        """The full telemetry state as a schema-versioned JSON document."""
+        return {"schema": TELEMETRY_SCHEMA_VERSION,
+                "kind": "repro.telemetry",
+                "samples": self.samples,
+                "shards": {str(shard): telemetry.state()
+                           for shard, telemetry
+                           in sorted(self.shards.items())}}
+
+    def save(self, path) -> str:
+        """Write :meth:`to_document` JSON to ``path``; returns the path."""
+        path = os.fspath(path)
+        with open(path, "w") as handle:
+            json.dump(self.to_document(), handle)
+            handle.write("\n")
+        return path
+
+
+def load_telemetry(source) -> dict[int, ShardTelemetry]:
+    """Per-shard telemetry from a saved document (path or parsed dict).
+
+    Rejects documents from a newer schema rather than misreading them.
+    """
+    if isinstance(source, (str, os.PathLike)):
+        with open(source) as handle:
+            document = json.load(handle)
+    else:
+        document = source
+    version = document.get("schema", 0)
+    if version > TELEMETRY_SCHEMA_VERSION:
+        raise ValueError(f"telemetry document has schema {version}; this "
+                         f"build reads up to {TELEMETRY_SCHEMA_VERSION}")
+    return {int(shard): ShardTelemetry.from_state(state)
+            for shard, state in document.get("shards", {}).items()}
+
+
+def _format_cell(value: float, scale: float = 1.0,
+                 digits: int = 1) -> str:
+    """A fixed-width table cell; ``-`` for NaN (no data)."""
+    if value is None or math.isnan(value):
+        return "-"
+    return f"{value * scale:.{digits}f}"
+
+
+def render_top(shards: dict[int, ShardTelemetry],
+               window_s: float = 5.0) -> str:
+    """The per-shard live table behind ``python -m repro.obs top``.
+
+    One row per shard: open sessions and queue depth (latest), interval
+    shed/degrade percentages, mean batch size and step-latency p50/p99
+    over the trailing ``window_s`` seconds.  Metrics the sampler has no
+    data for render as ``-``.
+    """
+    if not shards:
+        return "(no telemetry)"
+    header = (f"{'shard':>5s} {'sessions':>9s} {'queue':>6s} "
+              f"{'steps/s':>8s} {'shed%':>6s} {'degr%':>6s} "
+              f"{'batch':>6s} {'p50 ms':>8s} {'p99 ms':>8s}")
+    lines = [header]
+    for shard in sorted(shards):
+        telemetry = shards[shard]
+        now = telemetry.latest_timestamp()
+        start = None if math.isnan(now) else now - window_s
+        lines.append(
+            f"{shard:5d} "
+            f"{_format_cell(telemetry.aggregate('serving.open_sessions', 'last', start), digits=0):>9s} "
+            f"{_format_cell(telemetry.aggregate('serving.queue_depth', 'last', start), digits=0):>6s} "
+            f"{_format_cell(telemetry.aggregate('serving.throughput_steps_per_s', 'mean', start)):>8s} "
+            f"{_format_cell(telemetry.aggregate('serving.shed_rate', 'mean', start), 100.0):>6s} "
+            f"{_format_cell(telemetry.aggregate('serving.degrade_rate', 'mean', start), 100.0):>6s} "
+            f"{_format_cell(telemetry.aggregate('serving.batch_size', 'mean', start)):>6s} "
+            f"{_format_cell(telemetry.aggregate('serving.step_latency_s', 'p50', start), 1000.0, 2):>8s} "
+            f"{_format_cell(telemetry.aggregate('serving.step_latency_s', 'p99', start), 1000.0, 2):>8s}")
+    return "\n".join(lines)

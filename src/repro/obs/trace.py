@@ -126,9 +126,18 @@ class Tracer:
     private instances.
     """
 
-    def __init__(self, enabled: bool = False, max_spans: int = 1_000_000):
+    def __init__(self, enabled: bool = False, max_spans: int = 1_000_000,
+                 retain_spans: bool = True):
         self.enabled = enabled
         self.max_spans = max_spans
+        #: With ``retain_spans=False`` finished spans are only handed to
+        #: :attr:`listeners` (e.g. a flight recorder's bounded ring) and
+        #: never accumulated in :attr:`spans` — always-on tracing with
+        #: constant memory.
+        self.retain_spans = retain_spans
+        #: Callables invoked with every finished :class:`SpanRecord`
+        #: before retention/drop accounting.
+        self.listeners: list = []
         self.spans: list[SpanRecord] = []
         self.dropped = 0
         self.epoch = time.perf_counter()
@@ -170,6 +179,10 @@ class Tracer:
         return _SpanScope(self, name, attrs)
 
     def _record(self, span: SpanRecord) -> None:
+        for listener in self.listeners:
+            listener(span)
+        if not self.retain_spans:
+            return
         if len(self.spans) >= self.max_spans:
             self.dropped += 1
             return

@@ -133,6 +133,26 @@ class SessionEngine:
         """Number of submitted steps not yet pumped (shed ones included)."""
         return self._queued
 
+    @property
+    def open_sessions(self) -> int:
+        """Number of currently registered sessions."""
+        return len(self._sessions)
+
+    def telemetry_sample(self) -> list[dict]:
+        """One live load sample, in the fleet's per-shard shape.
+
+        A bare engine reports itself as shard 0 with its queue depth,
+        open-session count and the cumulative :data:`~repro.obs.PERF`
+        state — exactly what :meth:`~repro.serving.Fleet.telemetry_sample`
+        gathers per worker — so a
+        :class:`~repro.obs.TelemetrySampler` works identically over an
+        in-process engine and a forked fleet.  Read-only: the registry
+        is never reset.
+        """
+        return [{"shard": 0, "queue_depth": self._queued,
+                 "open_sessions": len(self._sessions),
+                 "perf": PERF.export_state()}]
+
     def session(self, session_id: str) -> RoomSession:
         """The live session registered under ``session_id``."""
         return self._sessions[session_id]

@@ -157,12 +157,16 @@ class Fleet:
         Router-side event sink (default the global
         :data:`~repro.obs.EVENTS`); worker-side session events are
         folded in shard-tagged by :meth:`collect_obs`.
+    recorder:
+        Optional :class:`~repro.obs.FlightRecorder`: a detected shard
+        death dumps an incident bundle capturing the recent span/event
+        rings, alongside the ``fleet.shard_failure`` event.
     """
 
     def __init__(self, num_shards: int, *, max_batch: int = 32,
                  max_queue: int = 256, degrade_at: int | None = None,
                  workers: int | None = None, replicas: int = 64,
-                 events=None):
+                 events=None, recorder=None):
         if num_shards < 1:
             raise ValueError("num_shards must be positive")
         if "fork" not in multiprocessing.get_all_start_methods():
@@ -180,6 +184,7 @@ class Fleet:
                          "workers": workers}
         self.num_shards = num_shards
         self.events = events if events is not None else EVENTS
+        self.recorder = recorder
         self._ring = HashRing(num_shards, replicas)
         self._sessions: dict[str, int] = {}      # session id -> shard
         self._shuttle = FrameShuttle()
@@ -210,7 +215,17 @@ class Fleet:
         shard = self._shards[index]
         shard.alive = False
         shard.channel.close()
-        return ShardFailure(index, self.sessions_on(index))
+        failure = ShardFailure(index, self.sessions_on(index))
+        self.events.emit("fleet.shard_failure", shard=index,
+                         sessions=failure.sessions)
+        if self.recorder is not None:
+            try:
+                self.recorder.dump(f"shard{index}-failure",
+                                   extra={"shard": index,
+                                          "sessions": failure.sessions})
+            except OSError:      # incident dir unwritable: keep serving
+                pass
+        return failure
 
     def _send(self, index: int, op: str, *args) -> None:
         try:
@@ -386,6 +401,25 @@ class Fleet:
     # ------------------------------------------------------------------
     # Observability and lifecycle
     # ------------------------------------------------------------------
+    def telemetry_sample(self) -> list[dict]:
+        """One read-only load sample from every live shard.
+
+        Broadcasts the lightweight ``sample`` command (queue depth, open
+        sessions, cumulative :meth:`~repro.obs.Instrumentation.export_state`
+        — never a reset) and gathers per-shard dicts in shard order, the
+        shape :class:`~repro.obs.TelemetrySampler` consumes.  Like
+        :meth:`pump`, the broadcast overlaps the workers' replies.
+        """
+        live = [shard.index for shard in self._shards if shard.alive]
+        for index in live:
+            self._send(index, "sample")
+        samples = []
+        for index in live:
+            queue_depth, open_sessions, perf = self._recv(index)
+            samples.append({"shard": index, "queue_depth": queue_depth,
+                            "open_sessions": open_sessions, "perf": perf})
+        return samples
+
     def collect_obs(self) -> list[dict]:
         """Drain every live shard's PERF/EVENTS into the parent.
 

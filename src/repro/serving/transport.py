@@ -175,6 +175,13 @@ def shard_main(channel: PipeChannel, shard: int, engine_kwargs: dict,
                     reply = _light_records(engine.pump(max_batches))
                 elif op == "queue_depth":
                     reply = engine.queue_depth
+                elif op == "sample":
+                    # Lightweight read-only telemetry pull: unlike the
+                    # "obs" fold this never resets the registry, so a
+                    # sampler can run all through a serving run without
+                    # disturbing the end-of-run shard-tagged merge.
+                    reply = (engine.queue_depth, engine.open_sessions,
+                             PERF.export_state())
                 elif op == "result":
                     (session_id,) = args
                     reply = engine.session(session_id).result()

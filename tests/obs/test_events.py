@@ -185,3 +185,51 @@ class TestEventLogAdopt:
         assert [r["type"] for r in records] \
             == ["session.open", "session.close"]
         assert all(r["shard"] == 3 for r in records)
+
+    def test_readopting_shard_tagged_records_retags(self):
+        """Re-adoption (fleet log folded into a higher-level log) must
+        restamp seq and let the new extra win over the old shard tag."""
+        fleet = EventLog()
+        fleet.adopt(self.worker_records(), shard=1)
+        parent = EventLog()
+        readopted = parent.adopt(fleet.records, shard=7)
+        assert [r["seq"] for r in readopted] == [0, 1]
+        assert all(r["shard"] == 7 for r in readopted)
+        assert parent.counts == {"session.open": 1, "session.close": 1}
+
+    def test_readopting_without_extra_preserves_existing_tags(self):
+        fleet = EventLog()
+        fleet.adopt(self.worker_records(), shard=4)
+        parent = EventLog()
+        readopted = parent.adopt(fleet.records)
+        assert all(r["shard"] == 4 for r in readopted)
+        assert [r["seq"] for r in readopted] == [0, 1]
+
+
+class TestEventLogListeners:
+    def test_emit_notifies_listeners(self):
+        log = EventLog()
+        seen = []
+        log.listeners.append(seen.append)
+        record = log.emit("serving.session_shed", session_id="x")
+        assert seen == [record]
+
+    def test_adopt_notifies_listeners_per_record(self):
+        log = EventLog()
+        seen = []
+        log.listeners.append(seen.append)
+        worker = EventLog()
+        worker.emit("session.open")
+        worker.emit("session.close")
+        log.adopt(worker.records, shard=1)
+        assert [r["type"] for r in seen] == ["session.open",
+                                             "session.close"]
+        assert all(r["shard"] == 1 for r in seen)
+
+    def test_disabled_log_does_not_notify(self):
+        log = EventLog(enabled=False)
+        seen = []
+        log.listeners.append(seen.append)
+        log.emit("x")
+        log.adopt([{"schema": 1, "seq": 0, "t": 0.0, "type": "y"}])
+        assert seen == []

@@ -111,6 +111,18 @@ class TestLoadBenchTimings:
         path = _write(tmp_path, "bench.json", BASELINE)
         assert load_bench_timings(path)["reference"] == 0.50
 
+    def test_non_finite_timings_are_dropped(self):
+        """NaN/inf entries must not poison gate ratios."""
+        document = {"timings_s": {"batched": 0.10,
+                                  "broken": float("nan"),
+                                  "hung": float("inf")}}
+        assert load_bench_timings(document) == {"batched": 0.10}
+        timers = {"timers": {"ok": {"total_s": 1.0},
+                             "bad": {"total_s": float("nan")}}}
+        assert load_bench_timings(timers) == {"ok": 1.0}
+        # a section that is *all* non-finite reads as absent, not fatal
+        assert load_bench_timings({"timings_s": {"x": float("nan")}}) == {}
+
 
 class TestCli:
     def test_gate_identical_exits_zero(self, tmp_path, capsys):

@@ -77,6 +77,17 @@ class TestHistogram:
         assert empty["count"] == 0
         assert math.isnan(empty["p50"])
 
+    def test_empty_histogram_stats_are_nan_not_zero(self):
+        """Regression: empty ``mean`` used to read 0.0 while ``p50``
+        read NaN — an SLO like ``mean(latency) < x`` would then treat
+        "never observed" as "instantaneously fast"."""
+        empty = Histogram(boundaries=(1.0,))
+        assert math.isnan(empty.mean)
+        summary = empty.as_dict()
+        assert math.isnan(summary["min"]) and math.isnan(summary["max"])
+        assert math.isnan(summary["p50"])
+        assert summary["count"] == 0
+
     def test_merge_equals_single_histogram(self):
         a = Histogram(boundaries=(1.0, 2.0, 5.0))
         b = Histogram(boundaries=(1.0, 2.0, 5.0))

@@ -165,3 +165,38 @@ def test_empty_prefix_is_the_exact_legacy_merge():
     registry.merge_snapshot(_worker_state(0.5, 2), prefix="")
     assert registry.timers["serving.pump"].count == 2
     assert registry.counters == {"serving.steps_shed": 4}
+
+
+def test_colliding_prefixes_fold_not_overwrite():
+    """Two folds under the *same* prefix must add exactly, the same as
+    an unprefixed double-merge — a restarted shard reusing an index
+    must not clobber its predecessor's numbers."""
+    from repro.obs.instrumentation import Instrumentation
+
+    registry = Instrumentation()
+    registry.merge_snapshot(_worker_state(0.25, 3), prefix="shard0/")
+    registry.merge_snapshot(_worker_state(0.75, 5), prefix="shard0/")
+    timer = registry.timers["shard0/serving.pump"]
+    assert timer.count == 2
+    assert timer.total == 1.0
+    assert timer.min == 0.25 and timer.max == 0.75
+    assert registry.counters == {"shard0/serving.steps_shed": 8}
+
+
+def test_reprefixing_already_tagged_state_nests_namespaces():
+    """Prefixing is purely textual: folding a registry that already
+    holds ``shard1/``-tagged entries under another prefix nests the
+    namespaces instead of silently colliding with the flat names."""
+    from repro.obs.instrumentation import Instrumentation
+
+    inner = Instrumentation()
+    inner.merge_snapshot(_worker_state(0.5, 2), prefix="shard1/")
+    outer = Instrumentation()
+    outer.merge_snapshot(inner.export_state(), prefix="shard1/")
+    assert set(outer.timers) == {"shard1/shard1/serving.pump"}
+    assert outer.counters == {"shard1/shard1/serving.steps_shed": 2}
+    # ...and a colliding flat fold of the same inner state stays distinct
+    outer.merge_snapshot(inner.export_state())
+    assert set(outer.timers) == {"shard1/shard1/serving.pump",
+                                 "shard1/serving.pump"}
+    assert outer.counters["shard1/serving.steps_shed"] == 2

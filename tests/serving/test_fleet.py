@@ -238,6 +238,81 @@ class TestFleetObs:
                   if record["type"] == "session.open"}
         assert shards == {0, 1}
 
+    def test_telemetry_sample_is_read_only_and_per_shard(self):
+        """The ``sample`` command reads every live shard without
+        resetting worker registries, so a later ``collect_obs`` fold is
+        still exact — sampling composes with end-of-run accounting."""
+        from repro.obs import TelemetrySampler
+
+        room = make_room("timik", 8, 3, seed=352)
+        PERF.reset().enable()
+        try:
+            with Fleet(2, max_batch=4, max_queue=64) as fleet:
+                sids = [fleet.open_session(
+                    AfterProblem(room=room, target=t, beta=0.5),
+                    NearestRecommender(), shard=t % 2,
+                    session_id=f"tel{t}") for t in range(2)]
+                sampler = TelemetrySampler(fleet)
+                sampler.sample(now=0.0)
+                for t in range(3):
+                    fleet.submit_many(
+                        (sid, room.trajectory.positions[t])
+                        for sid in sids)
+                    fleet.drain()
+                    sampler.sample(now=float(t + 1))
+                raw = fleet.telemetry_sample()
+                assert [entry["shard"] for entry in raw] == [0, 1]
+                for shard in (0, 1):
+                    telemetry = sampler.shards[shard]
+                    assert telemetry.aggregate("serving.open_sessions",
+                                               "last") == 1.0
+                    # each shard stepped its session every tick
+                    assert telemetry.aggregate(
+                        "serving.step_latency_s", "count") == 3.0
+                    assert telemetry.aggregate("serving.shed_rate",
+                                               "max") == 0.0
+                fleet.collect_obs()
+                for sid in sids:
+                    fleet.close_session(sid)
+            # Sampling consumed nothing: the fold still sees all steps.
+            assert PERF.histograms["serving.step_latency_s"].count == 6
+        finally:
+            PERF.disable().reset()
+
+    def test_shard_failure_emits_event_and_dumps_incident(self, tmp_path):
+        """_mark_dead feeds the flight recorder: one bundle per lost
+        shard, with the events that preceded the failure inside it."""
+        from repro.obs import FlightRecorder, load_incident
+
+        room = make_room("timik", 8, 3, seed=353)
+        events = EventLog(enabled=True)
+        recorder = FlightRecorder(directory=tmp_path)
+        recorder.attach(events=events)
+        try:
+            with Fleet(2, max_batch=4, max_queue=64, events=events,
+                       recorder=recorder) as fleet:
+                sid = fleet.open_session(
+                    AfterProblem(room=room, target=0, beta=0.5),
+                    NearestRecommender(), shard=0)
+                os.kill(fleet._shards[0].process.pid, signal.SIGKILL)
+                fleet._shards[0].process.join(timeout=5.0)
+                with pytest.raises(ShardFailure):
+                    for _ in range(3):
+                        fleet.submit(sid, room.trajectory.positions[0])
+                failures = [r for r in events.records
+                            if r["type"] == "fleet.shard_failure"]
+                assert len(failures) == 1
+                assert failures[0]["shard"] == 0
+                assert failures[0]["sessions"] == [sid]
+                assert len(recorder.dumps) == 1
+                incident = load_incident(recorder.dumps[0])
+                assert "shard0" in incident["manifest"]["reason"]
+                kinds = [r["type"] for r in incident["events"]]
+                assert "fleet.shard_failure" in kinds
+                assert "fleet.open" in kinds
+        finally:
+            recorder.detach()
+
     def test_shutdown_folds_final_worker_state(self):
         room = make_room("smm", 8, 2, seed=351)
         PERF.reset().enable()

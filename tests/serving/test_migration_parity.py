@@ -66,7 +66,12 @@ def migration_cases(draw):
 
 
 def offline_reference(problem, name):
-    key = (problem.room.name, problem.room.seed, problem.target, name)
+    # The room's size and length vary independently of its seed, so the
+    # cache key must carry them or same-seed rooms of different shapes
+    # collide and an example is compared against a stale reference.
+    room = problem.room
+    key = (room.name, room.seed, room.preference.shape[0],
+           len(room.trajectory.positions), problem.target, name)
     if key not in _REFERENCE_CACHE:
         _REFERENCE_CACHE[key] = evaluate_episode(problem,
                                                  RECOMMENDERS[name]())
