@@ -1,0 +1,263 @@
+#!/usr/bin/env python
+"""Perf harness for the batched multi-room BPTT training path.
+
+Trains the same multi-room POSHGNN workload three ways and times the
+steady state:
+
+* **serial** — the per-episode loop (one room, one autograd graph and
+  one optimiser step per BPTT window at a time);
+* **batched eager** — rooms stacked through ``(B, N, N)`` tensors,
+  eager tape construction every window;
+* **batched replay** — the same stacked graph, recorded once per window
+  signature and replayed into pre-allocated buffers thereafter
+  (``ReplayFunction``, see docs/AUTOGRAD.md).
+
+Before the clock starts the harness asserts the contracts that make the
+timings comparable:
+
+* batched replay is **byte-identical** to batched eager — loss history
+  and every parameter tensor;
+* at lr=0 the batched losses match the serial loop to float summation
+  reordering (``rtol=1e-12``) — stacking changes grouping, not math.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/perf_training.py
+
+or as a benchmark test::
+
+    PYTHONPATH=src pytest benchmarks/test_training.py
+
+Timings are best-of-``repeats`` full training runs from a fresh model
+(so the replay column pays its one-time recording cost inside the timed
+region and still has to win).  Throughput is reported as room-steps/sec
+— one room advancing one timestep — the unit that is invariant across
+the serial/batched split.  ``REPRO_PERF_TINY=1`` shrinks the workload
+to a seconds-long CI smoke that skips the speedup floor.
+
+Artifacts land under ``REPRO_RUN_DIR`` (falling back to the repo's
+gitignored ``runs/`` directory); the committed record is
+``BENCH_training.json`` at the repo root.  Gate a fresh run against it
+with::
+
+    python -m repro.obs gate --baseline BENCH_training.json \
+        --current /tmp/new.json
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import AfterProblem
+from repro.datasets import RoomConfig, generate_timik_room
+from repro.models import POSHGNN
+from repro.models.poshgnn.trainer import POSHGNNTrainer
+
+__all__ = ["TrainingBenchConfig", "run_training_bench", "main"]
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_training.json"
+
+#: Acceptance floor: batched training with replay must beat the serial
+#: per-episode loop by at least this factor at the default scale.
+TRAINING_SPEEDUP_FLOOR = 2.0
+
+
+@dataclass(frozen=True)
+class TrainingBenchConfig:
+    """Scale knobs for the training-throughput benchmark."""
+
+    num_rooms: int = 8
+    num_users: int = 48
+    num_steps: int = 8
+    epochs: int = 6
+    bptt_window: int = 4
+    repeats: int = 3
+    lr: float = 1e-2
+    seed: int = 0
+
+    @classmethod
+    def from_env(cls) -> "TrainingBenchConfig":
+        if os.environ.get("REPRO_PERF_TINY"):
+            return cls(num_rooms=4, num_users=12, num_steps=5, epochs=3,
+                       repeats=1)
+        return cls()
+
+    @property
+    def is_tiny(self) -> bool:
+        return self.num_users < 32
+
+    @property
+    def room_steps(self) -> int:
+        """Room-steps per full run: rooms x timesteps x epochs."""
+        return self.num_rooms * (self.num_steps + 1) * self.epochs
+
+
+def default_run_dir() -> Path:
+    """Where bench artifacts land: ``REPRO_RUN_DIR`` when set, else the
+    repo's gitignored ``runs/`` directory — never the repo root."""
+    run_dir = os.environ.get("REPRO_RUN_DIR")
+    if run_dir:
+        return Path(run_dir)
+    return Path(__file__).resolve().parent.parent / "runs"
+
+
+def _problems(config: TrainingBenchConfig) -> list:
+    room_config = RoomConfig(num_users=config.num_users,
+                             num_steps=config.num_steps)
+    rooms = [generate_timik_room(room_config, seed=config.seed + index)
+             for index in range(config.num_rooms)]
+    return [AfterProblem(room, 0) for room in rooms]
+
+
+def _train_once(problems, config: TrainingBenchConfig, *,
+                batch_rooms=None, replay=True, lr=None) -> dict:
+    """One full training run from a fresh model; returns result + state."""
+    model = POSHGNN(seed=config.seed)
+    trainer = POSHGNNTrainer(
+        model, lr=config.lr if lr is None else lr, epochs=config.epochs,
+        bptt_window=config.bptt_window, seed=config.seed,
+        batch_rooms=batch_rooms, replay=replay)
+    start = time.perf_counter()
+    result = trainer.train(problems)
+    elapsed = time.perf_counter() - start
+    return {
+        "elapsed_s": elapsed,
+        "history": result["loss"],
+        "state": model.state_dict(),
+        "replay_stats": trainer._runner.stats if trainer._runner else None,
+    }
+
+
+def _timed_mode(problems, config: TrainingBenchConfig, **kwargs) -> dict:
+    """Best-of-repeats timing for one mode (history is repeat-invariant:
+    every repeat starts from the same seeded model and RNG)."""
+    runs = [_train_once(problems, config, **kwargs)
+            for _ in range(config.repeats)]
+    best = min(runs, key=lambda run: run["elapsed_s"])
+    for run in runs[1:]:
+        assert run["history"] == runs[0]["history"], \
+            "training is nondeterministic across repeats"
+    return best
+
+
+def _states_equal(left: dict, right: dict) -> bool:
+    return set(left) == set(right) and all(
+        np.array_equal(left[name], right[name]) for name in left)
+
+
+def run_training_bench(config: TrainingBenchConfig | None = None) -> dict:
+    config = config or TrainingBenchConfig.from_env()
+    problems = _problems(config)
+    batch = config.num_rooms
+
+    # -- parity contracts (untimed) ------------------------------------
+    lr0_serial = _train_once(problems, config, lr=0.0)
+    lr0_batched = _train_once(problems, config, batch_rooms=batch, lr=0.0)
+    np.testing.assert_allclose(lr0_serial["history"],
+                               lr0_batched["history"], rtol=1e-12)
+
+    # -- timed runs ----------------------------------------------------
+    serial = _timed_mode(problems, config, batch_rooms=None)
+    eager = _timed_mode(problems, config, batch_rooms=batch, replay=False)
+    replay = _timed_mode(problems, config, batch_rooms=batch, replay=True)
+
+    # Replay mode must be invisible in the numbers: identical loss
+    # trajectory and identical final parameters, byte for byte.
+    assert replay["history"] == eager["history"], \
+        "replay loss history diverged from eager batched"
+    assert _states_equal(replay["state"], eager["state"]), \
+        "replay final parameters diverged from eager batched"
+
+    stats = replay["replay_stats"]
+    assert stats is not None and stats["replays"] > 0, \
+        "replay mode never replayed a recorded graph"
+    assert not stats["volatile"], \
+        f"training graph went volatile: {stats['volatile_reason']}"
+
+    timings = {
+        "serial_train": serial["elapsed_s"],
+        "batched_eager_train": eager["elapsed_s"],
+        "batched_replay_train": replay["elapsed_s"],
+    }
+    throughput = {
+        f"{name.rsplit('_', 1)[0]}_room_steps_per_s":
+            config.room_steps / seconds
+        for name, seconds in timings.items()
+    }
+    record = {
+        "config": asdict(config),
+        "room_steps_per_run": config.room_steps,
+        "timings_s": timings,
+        "throughput": throughput,
+        "speedup": {
+            "batched_eager_vs_serial":
+                serial["elapsed_s"] / eager["elapsed_s"],
+            "batched_replay_vs_serial":
+                serial["elapsed_s"] / replay["elapsed_s"],
+            "replay_vs_eager": eager["elapsed_s"] / replay["elapsed_s"],
+        },
+        "parity": {
+            "lr0_serial_vs_batched_allclose": True,
+            "replay_vs_eager_bitwise": True,
+        },
+        "replay_stats": stats,
+        "floor": {
+            "batched_replay_vs_serial_min": TRAINING_SPEEDUP_FLOOR,
+            "enforced": not config.is_tiny,
+        },
+    }
+
+    run_dir = default_run_dir()
+    run_dir.mkdir(parents=True, exist_ok=True)
+    histories = {
+        "serial": serial["history"],
+        "batched_eager": eager["history"],
+        "batched_replay": replay["history"],
+        "lr0_serial": lr0_serial["history"],
+        "lr0_batched": lr0_batched["history"],
+    }
+    (run_dir / "training_bench_histories.json").write_text(
+        json.dumps(histories, indent=2) + "\n")
+    (run_dir / "BENCH_training.json").write_text(
+        json.dumps(record, indent=2) + "\n")
+
+    if not config.is_tiny:
+        assert record["speedup"]["batched_replay_vs_serial"] >= \
+            TRAINING_SPEEDUP_FLOOR, (
+                f"batched+replay speedup "
+                f"{record['speedup']['batched_replay_vs_serial']:.2f}x "
+                f"under the {TRAINING_SPEEDUP_FLOOR}x floor")
+    return record
+
+
+def main() -> dict:
+    config = TrainingBenchConfig.from_env()
+    print(f"training bench: {config.num_rooms} rooms x "
+          f"{config.num_users} users x {config.num_steps} steps, "
+          f"{config.epochs} epochs, window {config.bptt_window}"
+          f"{' (tiny)' if config.is_tiny else ''}")
+    record = run_training_bench(config)
+    for name, seconds in record["timings_s"].items():
+        steps = record["throughput"][
+            f"{name.rsplit('_', 1)[0]}_room_steps_per_s"]
+        print(f"  {name:22s} {seconds * 1000.0:9.1f} ms  "
+              f"{steps:9.1f} room-steps/s")
+    for name, factor in record["speedup"].items():
+        print(f"  {name:28s} {factor:6.2f}x")
+    stats = record["replay_stats"]
+    print(f"  replay: {stats['records']} records, {stats['replays']} "
+          f"replays, {stats['fused_chains']} fused chains, "
+          f"{stats['instructions']}/{stats['recorded_nodes']} instructions")
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {RESULT_PATH}")
+    return record
+
+
+if __name__ == "__main__":
+    main()

@@ -37,16 +37,17 @@ class LWP(Module):
         self.conv3 = GraphConv(hidden_dim, 1, rng, activation="sigmoid")
 
     def forward(self, features, delta, previous_hidden,
-                previous_recommendation, adjacency: np.ndarray) -> Tensor:
-        """Return the preservation vector ``sigma`` of shape (N,)."""
+                previous_recommendation, adjacency) -> Tensor:
+        """Return the preservation vector ``sigma`` of shape (..., N)."""
         prev_rec = previous_recommendation
-        if prev_rec.ndim == 1:
-            prev_rec = prev_rec.reshape(-1, 1)
+        if prev_rec.ndim == features.ndim - 1:
+            prev_rec = prev_rec.reshape(prev_rec.shape + (1,))
         joint = F.concatenate(
-            [features, delta, previous_hidden, prev_rec], axis=1)
+            [features, delta, previous_hidden, prev_rec], axis=-1)
         hidden = self.conv1(joint, adjacency)
         hidden = self.conv2(hidden, adjacency)
-        return self.conv3(hidden, adjacency).reshape(-1)
+        sigma = self.conv3(hidden, adjacency)
+        return sigma.reshape(sigma.shape[:-1])
 
 
 def preservation_gate(mask, sigma, prototype, previous) -> Tensor:

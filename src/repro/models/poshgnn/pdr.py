@@ -34,10 +34,10 @@ class PDR(Module):
                                activation="relu")
         self.conv2 = GraphConv(hidden_dim, 1, rng, activation="sigmoid")
 
-    def forward(self, features, adjacency: np.ndarray
-                ) -> tuple[Tensor, Tensor]:
-        """Return ``(r_tilde_t, h_t)`` — probabilities (N,) and hidden
-        states (N, hidden_dim)."""
+    def forward(self, features, adjacency) -> tuple[Tensor, Tensor]:
+        """Return ``(r_tilde_t, h_t)`` — probabilities (..., N) and hidden
+        states (..., N, hidden_dim); the leading batch axis is optional."""
         hidden = self.conv1(features, adjacency)
-        prototype = self.conv2(hidden, adjacency).reshape(-1)
+        scores = self.conv2(hidden, adjacency)
+        prototype = scores.reshape(scores.shape[:-1])
         return prototype, hidden

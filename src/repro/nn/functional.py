@@ -2,14 +2,16 @@
 
 Thin, composable wrappers used across model code.  Every function accepts
 tensors or array-likes and returns a tensor participating in the autograd
-graph.
+graph.  The n-ary ops (``concatenate``, ``stack``) are tape primitives so
+they replay inside recorded graphs like every other operation.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor, as_tensor
+from .tape import Primitive, active_tape, register
+from .tensor import Tensor, amax_const, as_tensor, _apply
 
 __all__ = [
     "relu",
@@ -30,6 +32,41 @@ __all__ = [
     "softplus",
     "dropout",
 ]
+
+
+def _fwd_concatenate(attrs, *arrays):
+    return np.concatenate(arrays, axis=attrs)
+
+
+def _vjp_concatenate(attrs, out, ins, grad, needs):
+    axis = attrs
+    sizes = [a.shape[axis] for a in ins]
+    offsets = np.cumsum([0] + sizes)
+    partials = []
+    for need, lo, hi in zip(needs, offsets[:-1], offsets[1:]):
+        if need:
+            index = [slice(None)] * grad.ndim
+            index[axis] = slice(lo, hi)
+            partials.append(grad[tuple(index)])
+        else:
+            partials.append(None)
+    return tuple(partials)
+
+
+def _fwd_stack(attrs, *arrays):
+    return np.stack(arrays, axis=attrs)
+
+
+def _vjp_stack(attrs, out, ins, grad, needs):
+    axis = attrs
+    slices = np.split(grad, len(ins), axis=axis)
+    return tuple(np.squeeze(g, axis=axis) if need else None
+                 for need, g in zip(needs, slices))
+
+
+P_CONCATENATE = register(
+    Primitive("concatenate", _fwd_concatenate, _vjp_concatenate))
+P_STACK = register(Primitive("stack", _fwd_stack, _vjp_stack))
 
 
 def relu(x) -> Tensor:
@@ -66,7 +103,7 @@ def softplus(x) -> Tensor:
 def softmax(x, axis: int = -1) -> Tensor:
     """Softmax along ``axis`` with max-subtraction for stability."""
     x = as_tensor(x)
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x - amax_const(x, axis)
     e = shifted.exp()
     return e / e.sum(axis=axis, keepdims=True)
 
@@ -78,33 +115,12 @@ def log_softmax(x, axis: int = -1) -> Tensor:
 
 def concatenate(tensors, axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` with full gradient routing."""
-    tensors = [as_tensor(t) for t in tensors]
-    data = np.concatenate([t.data for t in tensors], axis=axis)
-    sizes = [t.data.shape[axis] for t in tensors]
-    offsets = np.cumsum([0] + sizes)
-
-    def backward(grad):
-        for t, lo, hi in zip(tensors, offsets[:-1], offsets[1:]):
-            if t.requires_grad:
-                index = [slice(None)] * grad.ndim
-                index[axis] = slice(lo, hi)
-                t._accumulate(grad[tuple(index)])
-
-    return Tensor._make(data, tuple(tensors), backward)
+    return _apply(P_CONCATENATE, axis, tuple(as_tensor(t) for t in tensors))
 
 
 def stack(tensors, axis: int = 0) -> Tensor:
     """Stack tensors along a new axis."""
-    tensors = [as_tensor(t) for t in tensors]
-    data = np.stack([t.data for t in tensors], axis=axis)
-
-    def backward(grad):
-        slices = np.split(grad, len(tensors), axis=axis)
-        for t, g in zip(tensors, slices):
-            if t.requires_grad:
-                t._accumulate(np.squeeze(g, axis=axis))
-
-    return Tensor._make(data, tuple(tensors), backward)
+    return _apply(P_STACK, axis, tuple(as_tensor(t) for t in tensors))
 
 
 def dot(a, b) -> Tensor:
@@ -135,17 +151,24 @@ def binary_cross_entropy(pred, target, eps: float = 1e-9) -> Tensor:
     return loss.mean()
 
 
-def mse_loss(pred, target) -> Tensor:
-    """Mean squared error."""
-    diff = as_tensor(pred) - as_tensor(target)
-    return (diff * diff).mean()
-
-
 def dropout(x, rate: float, rng: np.random.Generator, training: bool = True) -> Tensor:
-    """Inverted dropout; identity when ``training`` is False or rate is 0."""
+    """Inverted dropout; identity when ``training`` is False or rate is 0.
+
+    A fresh mask is drawn per call, so a recording tape is marked volatile:
+    dropout graphs always execute eagerly rather than replaying a stale mask.
+    """
     if not training or rate <= 0.0:
         return as_tensor(x)
+    tape = active_tape()
+    if tape is not None:
+        tape.mark_volatile("dropout")
     x = as_tensor(x)
     keep = 1.0 - rate
     mask = (rng.random(x.shape) < keep) / keep
     return x * Tensor(mask)
+
+
+def mse_loss(pred, target) -> Tensor:
+    """Mean squared error."""
+    diff = as_tensor(pred) - as_tensor(target)
+    return (diff * diff).mean()

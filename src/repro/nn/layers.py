@@ -3,9 +3,10 @@
 Layers here are deliberately small and explicit — the paper's networks are
 2-3 layer GNNs with hidden dimension 8, so clarity beats generality.
 
-Graph layers accept the adjacency operator as a plain numpy array (or any
-object supporting ``@``); the adjacency is environment data, not a learned
-quantity, so it stays outside the autograd graph.
+Graph layers accept the adjacency operator as a plain numpy array or as a
+(possibly batched ``(B, N, N)``) tensor; the adjacency is environment data,
+not a learned quantity, so it never requires gradients — but passing it as
+a tensor lets a recording tape treat it as a per-step replay input.
 """
 
 from __future__ import annotations
@@ -154,10 +155,16 @@ class GraphConv(Module):
             raise ValueError(f"unknown activation {activation!r}")
         self.activation = activation
 
-    def forward(self, x, adjacency: np.ndarray) -> Tensor:
-        """Eq. 1: self transform plus aggregated-neighbour transform."""
+    def forward(self, x, adjacency) -> Tensor:
+        """Eq. 1: self transform plus aggregated-neighbour transform.
+
+        ``adjacency`` may be a plain array (the serial path) or a tensor —
+        e.g. a stacked ``(B, N, N)`` batch fed through a recording tape.
+        """
         x = as_tensor(x)
-        aggregated = Tensor(np.asarray(adjacency)).matmul(x)
+        if not isinstance(adjacency, Tensor):
+            adjacency = Tensor(np.asarray(adjacency))
+        aggregated = adjacency.matmul(x)
         out = x.matmul(self.self_weight) + aggregated.matmul(self.neigh_weight)
         out = out + self.bias
         if self.activation == "relu":
@@ -197,16 +204,25 @@ class DiffusionConv(Module):
         inv = np.where(degree > 0, 1.0 / np.maximum(degree, 1e-12), 0.0)
         return np.asarray(adjacency) * inv[:, None]
 
-    def forward(self, x, adjacency: np.ndarray) -> Tensor:
-        """K-hop bidirectional diffusion convolution."""
+    def forward(self, x, adjacency=None, transitions=None) -> Tensor:
+        """K-hop bidirectional diffusion convolution.
+
+        Transition matrices are derived from ``adjacency`` (the 2-D serial
+        path) unless ``transitions=(p_fwd, p_bwd)`` supplies them directly —
+        used by the batched path, where row normalisation must happen
+        per-room before stacking to ``(B, N, N)``.
+        """
         x = as_tensor(x)
-        p_fwd = self.transition_matrix(adjacency)
-        p_bwd = self.transition_matrix(np.asarray(adjacency).T)
+        if transitions is None:
+            p_fwd = Tensor(self.transition_matrix(adjacency))
+            p_bwd = Tensor(self.transition_matrix(np.asarray(adjacency).T))
+        else:
+            p_fwd, p_bwd = (as_tensor(p) for p in transitions)
         out = x.matmul(self.weight_self)
         fwd, bwd = x, x
         for k in range(self.k_hops):
-            fwd = Tensor(p_fwd).matmul(fwd)
-            bwd = Tensor(p_bwd).matmul(bwd)
+            fwd = p_fwd.matmul(fwd)
+            bwd = p_bwd.matmul(bwd)
             out = out + fwd.matmul(getattr(self, f"weight_fwd{k}"))
             out = out + bwd.matmul(getattr(self, f"weight_bwd{k}"))
         return out + self.bias
@@ -252,7 +268,7 @@ class GraphGRUCell(Module):
         self.reset = GraphConv(cat, hidden_size, rng, activation="none")
         self.candidate = GraphConv(cat, hidden_size, rng, activation="none")
 
-    def forward(self, x, hidden, adjacency: np.ndarray) -> Tensor:
+    def forward(self, x, hidden, adjacency) -> Tensor:
         """One graph-GRU step; returns the new hidden state."""
         x = as_tensor(x)
         hidden = as_tensor(hidden)

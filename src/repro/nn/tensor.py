@@ -9,63 +9,362 @@ layers, hidden dimension 8).
 
 Design notes
 ------------
-* A :class:`Tensor` wraps a ``float64`` numpy array.  Non-leaf tensors
-  remember their parents and a backward closure; ``backward()`` performs a
-  topological sweep and accumulates gradients into every tensor with
-  ``requires_grad=True``.
+* Every operation is a shared :class:`~repro.nn.tape.Primitive`; applying
+  one allocates a single :class:`~repro.nn.tape.TapeNode` recording
+  ``(primitive, attrs, inputs)`` instead of a per-op backward closure.
+  ``backward()`` performs the same depth-first topological sweep as the
+  original closure design — gradient accumulation order (and therefore
+  every bit of every gradient) is unchanged.
 * Broadcasting is fully supported: gradients flowing into a broadcast
   operand are summed back down to the operand's shape.
 * Graph-structured aggregation (adjacency matmul) treats the adjacency
   matrix as a constant numpy operand, so sparse scipy matrices can be used
   directly without entering the autograd graph.
+* Grad mode is thread-local: ``no_grad`` on one thread does not disable
+  graph construction on another (see :mod:`repro.nn.tape`).
+* When a :class:`~repro.nn.tape.Tape` is active on the current thread,
+  executed nodes are additionally appended to its arena, enabling the
+  recorded-graph replay documented in ``docs/AUTOGRAD.md``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
+from .tape import (
+    _STATE,
+    Primitive,
+    TapeNode,
+    _unbroadcast,
+    register,
+)
 
-_GRAD_ENABLED = True
+__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
 
 
 class no_grad:
-    """Context manager that disables graph construction.
+    """Context manager that disables graph construction on this thread.
 
     Mirrors ``torch.no_grad()``: operations executed inside the block
-    produce constant tensors, which keeps inference cheap.
+    produce constant tensors, which keeps inference cheap.  The flag is
+    thread-local, so concurrent forwards on other threads (e.g. a serving
+    thread pool) keep building graphs normally.
     """
 
     def __enter__(self):
-        global _GRAD_ENABLED
-        self._previous = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._previous = _STATE.enabled
+        _STATE.enabled = False
         return self
 
     def __exit__(self, exc_type, exc, tb):
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._previous
+        _STATE.enabled = self._previous
         return False
 
 
 def is_grad_enabled() -> bool:
-    """Return whether autograd graph construction is currently enabled."""
-    return _GRAD_ENABLED
+    """Return whether autograd graph construction is enabled on this thread."""
+    return _STATE.enabled
 
 
-def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
-    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting."""
-    if grad.shape == shape:
-        return grad
-    # Sum out prepended axes.
-    extra = grad.ndim - len(shape)
-    if extra > 0:
-        grad = grad.sum(axis=tuple(range(extra)))
-    # Sum along axes that were broadcast from size 1.
-    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
-    if axes:
-        grad = grad.sum(axis=axes, keepdims=True)
-    return grad.reshape(shape)
+# ----------------------------------------------------------------------
+# Primitive definitions (shared forward/vjp pairs)
+# ----------------------------------------------------------------------
+def _fwd_add(attrs, a, b):
+    return a + b
+
+
+def _vjp_add(attrs, out, ins, grad, needs):
+    return (grad if needs[0] else None, grad if needs[1] else None)
+
+
+def _fwd_neg(attrs, a):
+    return -a
+
+
+def _vjp_neg(attrs, out, ins, grad, needs):
+    return (-grad,)
+
+
+def _fwd_mul(attrs, a, b):
+    return a * b
+
+
+def _vjp_mul(attrs, out, ins, grad, needs):
+    a, b = ins
+    return (grad * b if needs[0] else None,
+            grad * a if needs[1] else None)
+
+
+def _fwd_div(attrs, a, b):
+    return a / b
+
+
+def _vjp_div(attrs, out, ins, grad, needs):
+    a, b = ins
+    return (grad / b if needs[0] else None,
+            -grad * a / (b ** 2) if needs[1] else None)
+
+
+def _fwd_pow(attrs, a):
+    return a ** attrs
+
+
+def _vjp_pow(attrs, out, ins, grad, needs):
+    (a,) = ins
+    return (grad * attrs * a ** (attrs - 1),)
+
+
+def _fwd_matmul(attrs, a, b):
+    return a @ b
+
+
+def _vjp_matmul(attrs, out, ins, grad, needs):
+    a, b = ins
+    if a.ndim <= 2 and b.ndim <= 2:
+        ga = gb = None
+        if needs[0]:
+            if b.ndim == 1:
+                ga = np.outer(grad, b) if a.ndim == 2 else grad * b
+            else:
+                g = np.atleast_2d(grad)
+                ga = (g @ b.T).reshape(a.shape)
+        if needs[1]:
+            if a.ndim == 1:
+                gb = np.outer(a, grad) if b.ndim == 2 else grad * a
+            else:
+                g = grad.reshape(a.shape[0], -1)
+                gb = (a.T @ g).reshape(b.shape)
+        return (ga, gb)
+    if a.ndim < 2 or b.ndim < 2:
+        raise ValueError("batched matmul backward requires ndim >= 2 operands")
+    ga = (_unbroadcast(grad @ np.swapaxes(b, -1, -2), a.shape)
+          if needs[0] else None)
+    gb = (_unbroadcast(np.swapaxes(a, -1, -2) @ grad, b.shape)
+          if needs[1] else None)
+    return (ga, gb)
+
+
+def _fwd_transpose(attrs, a):
+    return a.T
+
+
+def _vjp_transpose(attrs, out, ins, grad, needs):
+    return (grad.T,)
+
+
+def _fwd_reshape(attrs, a):
+    return a.reshape(attrs)
+
+
+def _vjp_reshape(attrs, out, ins, grad, needs):
+    (a,) = ins
+    return (grad.reshape(a.shape),)
+
+
+def _fwd_getitem(attrs, a):
+    return a[attrs]
+
+
+def _vjp_getitem(attrs, out, ins, grad, needs):
+    (a,) = ins
+    full = np.zeros_like(a)
+    np.add.at(full, attrs, grad)
+    return (full,)
+
+
+def _fwd_sum(attrs, a):
+    axis, keepdims = attrs
+    return a.sum(axis=axis, keepdims=keepdims)
+
+
+def _vjp_sum(attrs, out, ins, grad, needs):
+    axis, keepdims = attrs
+    (a,) = ins
+    g = np.asarray(grad)
+    if axis is not None and not keepdims:
+        g = np.expand_dims(g, axis)
+    return (np.broadcast_to(g, a.shape),)
+
+
+def _fwd_max(attrs, a):
+    return a.max(axis=attrs)
+
+
+def _vjp_max(attrs, out, ins, grad, needs):
+    axis = attrs
+    (a,) = ins
+    mask = a == (out if axis is None else np.expand_dims(out, axis))
+    counts = mask.sum(axis=axis, keepdims=axis is not None)
+    g = np.asarray(grad)
+    if axis is not None:
+        g = np.expand_dims(g, axis)
+    return (mask * g / counts,)
+
+
+def _fwd_relu(attrs, a):
+    return a * (a > 0)
+
+
+def _vjp_relu(attrs, out, ins, grad, needs):
+    (a,) = ins
+    return (grad * (a > 0),)
+
+
+def _fwd_sigmoid(attrs, a):
+    return 1.0 / (1.0 + np.exp(-np.clip(a, -60.0, 60.0)))
+
+
+def _vjp_sigmoid(attrs, out, ins, grad, needs):
+    return (grad * out * (1.0 - out),)
+
+
+def _fwd_tanh(attrs, a):
+    return np.tanh(a)
+
+
+def _vjp_tanh(attrs, out, ins, grad, needs):
+    return (grad * (1.0 - out ** 2),)
+
+
+def _fwd_exp(attrs, a):
+    return np.exp(np.clip(a, -60.0, 60.0))
+
+
+def _vjp_exp(attrs, out, ins, grad, needs):
+    return (grad * out,)
+
+
+def _fwd_log(attrs, a):
+    return np.log(np.maximum(a, attrs))
+
+
+def _vjp_log(attrs, out, ins, grad, needs):
+    (a,) = ins
+    return (grad / np.maximum(a, attrs),)
+
+
+def _fwd_sqrt(attrs, a):
+    return np.sqrt(np.maximum(a, 0.0))
+
+
+def _vjp_sqrt(attrs, out, ins, grad, needs):
+    return (grad * 0.5 / np.maximum(out, 1e-12),)
+
+
+def _fwd_abs(attrs, a):
+    return np.abs(a)
+
+
+def _vjp_abs(attrs, out, ins, grad, needs):
+    (a,) = ins
+    return (grad * np.sign(a),)
+
+
+def _fwd_clip(attrs, a):
+    return np.clip(a, attrs[0], attrs[1])
+
+
+def _vjp_clip(attrs, out, ins, grad, needs):
+    (a,) = ins
+    return (grad * ((a > attrs[0]) & (a < attrs[1])),)
+
+
+def _fwd_amax_const(attrs, a):
+    return a.max(axis=attrs, keepdims=True)
+
+
+def _vjp_amax_const(attrs, out, ins, grad, needs):
+    return (None,)
+
+
+def _out_exp(attrs, vals, out):
+    np.clip(vals[0], -60.0, 60.0, out=out)
+    np.exp(out, out=out)
+
+
+P_ADD = register(Primitive(
+    "add", _fwd_add, _vjp_add, elementwise=True,
+    out_forward=lambda attrs, vals, out: np.add(vals[0], vals[1], out=out)))
+P_NEG = register(Primitive(
+    "neg", _fwd_neg, _vjp_neg, elementwise=True,
+    out_forward=lambda attrs, vals, out: np.negative(vals[0], out=out)))
+P_MUL = register(Primitive(
+    "mul", _fwd_mul, _vjp_mul, elementwise=True,
+    out_forward=lambda attrs, vals, out: np.multiply(vals[0], vals[1], out=out)))
+P_DIV = register(Primitive(
+    "div", _fwd_div, _vjp_div, elementwise=True,
+    out_forward=lambda attrs, vals, out: np.divide(vals[0], vals[1], out=out)))
+P_POW = register(Primitive(
+    "pow", _fwd_pow, _vjp_pow, elementwise=True,
+    out_forward=lambda attrs, vals, out: np.power(vals[0], attrs, out=out)))
+P_MATMUL = register(Primitive(
+    "matmul", _fwd_matmul, _vjp_matmul,
+    out_forward=lambda attrs, vals, out: np.matmul(vals[0], vals[1], out=out)))
+P_TRANSPOSE = register(Primitive("transpose", _fwd_transpose, _vjp_transpose))
+P_RESHAPE = register(Primitive("reshape", _fwd_reshape, _vjp_reshape))
+P_GETITEM = register(Primitive("getitem", _fwd_getitem, _vjp_getitem))
+P_SUM = register(Primitive("sum", _fwd_sum, _vjp_sum))
+P_MAX = register(Primitive("max", _fwd_max, _vjp_max))
+P_RELU = register(Primitive("relu", _fwd_relu, _vjp_relu, elementwise=True))
+P_SIGMOID = register(Primitive(
+    "sigmoid", _fwd_sigmoid, _vjp_sigmoid, elementwise=True))
+P_TANH = register(Primitive(
+    "tanh", _fwd_tanh, _vjp_tanh, elementwise=True,
+    out_forward=lambda attrs, vals, out: np.tanh(vals[0], out=out)))
+P_EXP = register(Primitive(
+    "exp", _fwd_exp, _vjp_exp, elementwise=True, out_forward=_out_exp))
+P_LOG = register(Primitive("log", _fwd_log, _vjp_log, elementwise=True))
+P_SQRT = register(Primitive("sqrt", _fwd_sqrt, _vjp_sqrt, elementwise=True))
+P_ABS = register(Primitive("abs", _fwd_abs, _vjp_abs, elementwise=True))
+P_CLIP = register(Primitive("clip", _fwd_clip, _vjp_clip, elementwise=True))
+P_AMAX_CONST = register(Primitive(
+    "amax_const", _fwd_amax_const, _vjp_amax_const, nondiff=True))
+
+
+def _index_is_static(index) -> bool:
+    """True when a ``__getitem__`` index is shape-static (no index arrays)."""
+    if isinstance(index, tuple):
+        return all(_index_is_static(i) for i in index)
+    return (index is None or index is Ellipsis
+            or isinstance(index, (int, np.integer, slice)))
+
+
+def _apply(prim: Primitive, attrs, inputs: tuple) -> "Tensor":
+    """Execute ``prim`` on ``inputs``, building a node when grads flow.
+
+    This is the single graph-construction entry point: it mirrors the old
+    ``Tensor._make`` (requires-grad inheritance, parent filtering) and
+    additionally appends the node to the active tape when one is recording.
+    """
+    arrays = tuple(t.data for t in inputs)
+    out = Tensor.__new__(Tensor)
+    out.data = np.asarray(prim.forward(attrs, *arrays), dtype=np.float64)
+    out.grad = None
+    out._node = None
+    state = _STATE
+    requires = False
+    if state.enabled and not prim.nondiff:
+        for t in inputs:
+            if t.requires_grad:
+                requires = True
+                break
+    out.requires_grad = requires
+    tape = state.tape
+    tracked = False
+    if tape is not None and not requires:
+        for t in inputs:
+            if tape.varies(t):
+                tracked = True
+                break
+    if requires or tracked:
+        needs = tuple(t.requires_grad for t in inputs)
+        node = TapeNode(prim, attrs, inputs, arrays, needs, out.data)
+        if requires:
+            node.parents = tuple(t for t in inputs if t.requires_grad)
+        out._node = node
+        if tape is not None:
+            tape.record(node)
+    return out
 
 
 class Tensor:
@@ -81,16 +380,15 @@ class Tensor:
         inherit it from their parents.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __slots__ = ("data", "grad", "requires_grad", "_node")
 
     def __init__(self, data, requires_grad: bool = False):
         if isinstance(data, Tensor):
             data = data.data
         self.data = np.asarray(data, dtype=np.float64)
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and _STATE.enabled
         self.grad: np.ndarray | None = None
-        self._backward = None
-        self._parents: tuple = ()
+        self._node = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -138,20 +436,6 @@ class Tensor:
         """Return a constant tensor with copied data."""
         return Tensor(self.data.copy())
 
-    # ------------------------------------------------------------------
-    # Graph construction helper
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _make(data: np.ndarray, parents: tuple, backward) -> "Tensor":
-        """Create a non-leaf tensor from ``parents`` with closure ``backward``."""
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
-        out = Tensor(data)
-        if requires:
-            out.requires_grad = True
-            out._parents = tuple(p for p in parents if p.requires_grad)
-            out._backward = backward
-        return out
-
     def _accumulate(self, grad: np.ndarray) -> None:
         grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
         if self.grad is None:
@@ -166,7 +450,11 @@ class Tensor:
         """Run reverse-mode differentiation from this tensor.
 
         ``grad`` defaults to 1 for scalar outputs; a gradient of the same
-        shape must be supplied for non-scalar outputs.
+        shape must be supplied for non-scalar outputs.  The traversal is
+        the same iterative depth-first post-order as the original closure
+        implementation, so accumulation order — and gradient bits — are
+        unchanged.  When the local tape is capturing, the executed vjp
+        order is recorded for replay compilation.
         """
         if not self.requires_grad:
             raise RuntimeError("backward() on a tensor that does not require grad")
@@ -189,14 +477,20 @@ class Tensor:
                 continue
             seen.add(id(node))
             stack.append((node, True))
-            for parent in node._parents:
-                if id(parent) not in seen:
-                    stack.append((parent, False))
+            tape_node = node._node
+            if tape_node is not None:
+                for parent in tape_node.parents:
+                    if id(parent) not in seen:
+                        stack.append((parent, False))
 
         self._accumulate(grad)
         for node in reversed(order):
-            if node._backward is not None and node.grad is not None:
-                node._backward(node.grad)
+            tape_node = node._node
+            if tape_node is not None and tape_node.parents and node.grad is not None:
+                tape_node.execute_vjp(node.grad)
+                tape = tape_node.tape
+                if tape is not None and tape.capturing:
+                    tape.backward_program.append(tape_node)
 
     def zero_grad(self) -> None:
         """Clear the accumulated gradient."""
@@ -206,24 +500,12 @@ class Tensor:
     # Elementwise arithmetic
     # ------------------------------------------------------------------
     def __add__(self, other) -> "Tensor":
-        other = as_tensor(other)
-        out_data = self.data + other.data
-
-        def backward(grad):
-            if self.requires_grad:
-                self._accumulate(grad)
-            if other.requires_grad:
-                other._accumulate(grad)
-
-        return Tensor._make(out_data, (self, other), backward)
+        return _apply(P_ADD, None, (self, as_tensor(other)))
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
-        def backward(grad):
-            self._accumulate(-grad)
-
-        return Tensor._make(-self.data, (self,), backward)
+        return _apply(P_NEG, None, (self,))
 
     def __sub__(self, other) -> "Tensor":
         return self + (-as_tensor(other))
@@ -232,30 +514,12 @@ class Tensor:
         return as_tensor(other) + (-self)
 
     def __mul__(self, other) -> "Tensor":
-        other = as_tensor(other)
-        out_data = self.data * other.data
-
-        def backward(grad):
-            if self.requires_grad:
-                self._accumulate(grad * other.data)
-            if other.requires_grad:
-                other._accumulate(grad * self.data)
-
-        return Tensor._make(out_data, (self, other), backward)
+        return _apply(P_MUL, None, (self, as_tensor(other)))
 
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
-        other = as_tensor(other)
-        out_data = self.data / other.data
-
-        def backward(grad):
-            if self.requires_grad:
-                self._accumulate(grad / other.data)
-            if other.requires_grad:
-                other._accumulate(-grad * self.data / (other.data ** 2))
-
-        return Tensor._make(out_data, (self, other), backward)
+        return _apply(P_DIV, None, (self, as_tensor(other)))
 
     def __rtruediv__(self, other) -> "Tensor":
         return as_tensor(other) / self
@@ -263,38 +527,14 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if not np.isscalar(exponent):
             raise TypeError("only scalar exponents are supported")
-        out_data = self.data ** exponent
-
-        def backward(grad):
-            self._accumulate(grad * exponent * self.data ** (exponent - 1))
-
-        return Tensor._make(out_data, (self,), backward)
+        return _apply(P_POW, exponent, (self,))
 
     # ------------------------------------------------------------------
     # Matrix operations
     # ------------------------------------------------------------------
     def matmul(self, other) -> "Tensor":
-        """Matrix product with gradient support for 1-D/2-D operands."""
-        other = as_tensor(other)
-        out_data = self.data @ other.data
-
-        def backward(grad):
-            if self.requires_grad:
-                if other.data.ndim == 1:
-                    self._accumulate(np.outer(grad, other.data) if self.data.ndim == 2
-                                     else grad * other.data)
-                else:
-                    g = np.atleast_2d(grad)
-                    self._accumulate((g @ other.data.T).reshape(self.data.shape))
-            if other.requires_grad:
-                if self.data.ndim == 1:
-                    other._accumulate(np.outer(self.data, grad) if other.data.ndim == 2
-                                      else grad * self.data)
-                else:
-                    g = grad.reshape(self.data.shape[0], -1)
-                    other._accumulate((self.data.T @ g).reshape(other.data.shape))
-
-        return Tensor._make(out_data, (self, other), backward)
+        """Matrix product; supports 1-D/2-D and stacked ``(B, …)`` operands."""
+        return _apply(P_MATMUL, None, (self, as_tensor(other)))
 
     def __matmul__(self, other) -> "Tensor":
         return self.matmul(other)
@@ -304,46 +544,27 @@ class Tensor:
 
     def transpose(self) -> "Tensor":
         """Matrix transpose."""
-        def backward(grad):
-            self._accumulate(grad.T)
-
-        return Tensor._make(self.data.T, (self,), backward)
+        return _apply(P_TRANSPOSE, None, (self,))
 
     def reshape(self, *shape) -> "Tensor":
         """Reshape to ``shape`` (gradient reshaped back)."""
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        original = self.data.shape
-
-        def backward(grad):
-            self._accumulate(grad.reshape(original))
-
-        return Tensor._make(self.data.reshape(shape), (self,), backward)
+        return _apply(P_RESHAPE, shape, (self,))
 
     def __getitem__(self, index) -> "Tensor":
-        out_data = self.data[index]
-
-        def backward(grad):
-            full = np.zeros_like(self.data)
-            np.add.at(full, index, grad)
-            self._accumulate(full)
-
-        return Tensor._make(out_data, (self,), backward)
+        tape = _STATE.tape
+        if tape is not None and not _index_is_static(index) \
+                and (self.requires_grad or tape.varies(self)):
+            tape.mark_volatile("data-dependent getitem index")
+        return _apply(P_GETITEM, index, (self,))
 
     # ------------------------------------------------------------------
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
         """Sum reduction along ``axis`` (all elements by default)."""
-        out_data = self.data.sum(axis=axis, keepdims=keepdims)
-
-        def backward(grad):
-            g = np.asarray(grad)
-            if axis is not None and not keepdims:
-                g = np.expand_dims(g, axis)
-            self._accumulate(np.broadcast_to(g, self.data.shape))
-
-        return Tensor._make(out_data, (self,), backward)
+        return _apply(P_SUM, (axis, keepdims), (self,))
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         """Mean reduction along ``axis``."""
@@ -356,93 +577,52 @@ class Tensor:
 
     def max(self, axis=None) -> "Tensor":
         """Max reduction; ties share the gradient equally."""
-        out_data = self.data.max(axis=axis)
-        mask = self.data == (out_data if axis is None
-                             else np.expand_dims(out_data, axis))
-        counts = mask.sum(axis=axis, keepdims=axis is not None)
-
-        def backward(grad):
-            g = np.asarray(grad)
-            if axis is not None:
-                g = np.expand_dims(g, axis)
-            self._accumulate(mask * g / counts)
-
-        return Tensor._make(out_data, (self,), backward)
+        return _apply(P_MAX, axis, (self,))
 
     # ------------------------------------------------------------------
     # Elementwise nonlinearities
     # ------------------------------------------------------------------
     def relu(self) -> "Tensor":
         """Rectified linear unit."""
-        mask = self.data > 0
-
-        def backward(grad):
-            self._accumulate(grad * mask)
-
-        return Tensor._make(self.data * mask, (self,), backward)
+        return _apply(P_RELU, None, (self,))
 
     def sigmoid(self) -> "Tensor":
         """Logistic sigmoid (input clipped for stability)."""
-        out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
-
-        def backward(grad):
-            self._accumulate(grad * out_data * (1.0 - out_data))
-
-        return Tensor._make(out_data, (self,), backward)
+        return _apply(P_SIGMOID, None, (self,))
 
     def tanh(self) -> "Tensor":
         """Hyperbolic tangent."""
-        out_data = np.tanh(self.data)
-
-        def backward(grad):
-            self._accumulate(grad * (1.0 - out_data ** 2))
-
-        return Tensor._make(out_data, (self,), backward)
+        return _apply(P_TANH, None, (self,))
 
     def exp(self) -> "Tensor":
         """Elementwise exponential (input clipped for stability)."""
-        out_data = np.exp(np.clip(self.data, -60.0, 60.0))
-
-        def backward(grad):
-            self._accumulate(grad * out_data)
-
-        return Tensor._make(out_data, (self,), backward)
+        return _apply(P_EXP, None, (self,))
 
     def log(self, eps: float = 1e-12) -> "Tensor":
         """Natural logarithm with an ``eps`` floor."""
-        safe = np.maximum(self.data, eps)
-
-        def backward(grad):
-            self._accumulate(grad / safe)
-
-        return Tensor._make(np.log(safe), (self,), backward)
+        return _apply(P_LOG, eps, (self,))
 
     def sqrt(self) -> "Tensor":
         """Elementwise square root (negative input floored at 0)."""
-        out_data = np.sqrt(np.maximum(self.data, 0.0))
-
-        def backward(grad):
-            self._accumulate(grad * 0.5 / np.maximum(out_data, 1e-12))
-
-        return Tensor._make(out_data, (self,), backward)
+        return _apply(P_SQRT, None, (self,))
 
     def abs(self) -> "Tensor":
         """Elementwise absolute value."""
-        sign = np.sign(self.data)
-
-        def backward(grad):
-            self._accumulate(grad * sign)
-
-        return Tensor._make(np.abs(self.data), (self,), backward)
+        return _apply(P_ABS, None, (self,))
 
     def clip(self, lo: float, hi: float) -> "Tensor":
         """Clamp into ``[lo, hi]``; gradients stop at the bounds."""
-        mask = (self.data > lo) & (self.data < hi)
+        return _apply(P_CLIP, (lo, hi), (self,))
 
-        def backward(grad):
-            self._accumulate(grad * mask)
 
-        return Tensor._make(np.clip(self.data, lo, hi), (self,), backward)
+def amax_const(x: "Tensor", axis: int = -1) -> "Tensor":
+    """Stop-gradient ``max(axis, keepdims=True)`` used for softmax shifting.
+
+    Produces a constant (detached) tensor, but — unlike wrapping
+    ``x.data.max(...)`` in a fresh ``Tensor`` — records onto an active
+    tape, so replayed graphs recompute the shift from live data.
+    """
+    return _apply(P_AMAX_CONST, axis, (x,))
 
 
 def as_tensor(value) -> Tensor:

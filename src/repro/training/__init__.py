@@ -16,8 +16,12 @@ trainers (see docs/TRAINING.md):
   :func:`load_fit` for the shared multi-restart fit protocol.
 * :class:`CheckpointStore` backends — pluggable checkpoint storage
   (local directory, in-memory, sharded fan-out).
+* :class:`BatchedBPTTRunner` / :class:`RoomEpisode` — the stacked
+  multi-room truncated-BPTT path with recorded-graph replay (see
+  docs/TRAINING.md and docs/AUTOGRAD.md).
 """
 
+from .batched import BatchedBPTTRunner, RoomEpisode, batched_step_loss
 from .checkpoint import (
     CHECKPOINT_VERSION,
     CheckpointManager,
@@ -47,6 +51,9 @@ from .storage import (
 )
 
 __all__ = [
+    "BatchedBPTTRunner",
+    "RoomEpisode",
+    "batched_step_loss",
     "CHECKPOINT_VERSION",
     "CheckpointManager",
     "TrainerCheckpoint",

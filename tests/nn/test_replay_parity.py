@@ -1,0 +1,135 @@
+"""Property tests: recorded-graph replay is byte-equal to eager autograd.
+
+For randomized shapes, seeds and graph structures, a ``ReplayFunction``
+replaying its compiled graph must produce the exact same loss, aux
+outputs and parameter gradients as a fresh eager build — not merely
+close, bit-identical.  Shape changes must fall back and re-record.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Parameter, ReplayFunction
+
+FLOATS = st.floats(min_value=-2.0, max_value=2.0,
+                   allow_nan=False, allow_infinity=False)
+
+
+def _window_build(w1, w2):
+    """A small BPTT-shaped graph: two steps, carried hidden state."""
+
+    def build(x0, x1, hidden):
+        for x in (x0, x1):
+            hidden = (x @ w1 + hidden @ w2).tanh()
+        loss = (hidden * hidden).sum() + hidden.abs().sum() * 0.5
+        return loss, [hidden]
+
+    return build
+
+
+def _run_eager(seed, batch, features, hidden_dim):
+    """Ground truth: fresh eager ReplayFunction, never replayed."""
+    rng = np.random.default_rng(seed)
+    w1 = Parameter(rng.normal(size=(features, hidden_dim)))
+    w2 = Parameter(rng.normal(size=(hidden_dim, hidden_dim)))
+    inputs = [rng.normal(size=(batch, features)) for _ in range(2)]
+    carry = rng.normal(size=(batch, hidden_dim))
+    fn = ReplayFunction(_window_build(w1, w2))
+    loss, aux = fn.forward(*inputs, carry)
+    fn.backward()
+    return loss, aux[0], w1.grad.copy(), w2.grad.copy()
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1),
+       batch=st.integers(1, 4),
+       features=st.integers(1, 5),
+       hidden_dim=st.integers(1, 4),
+       replays=st.integers(1, 3))
+def test_replay_gradients_byte_equal_to_eager(seed, batch, features,
+                                              hidden_dim, replays):
+    loss_ref, aux_ref, g1_ref, g2_ref = _run_eager(
+        seed, batch, features, hidden_dim)
+
+    rng = np.random.default_rng(seed)
+    w1 = Parameter(rng.normal(size=(features, hidden_dim)))
+    w2 = Parameter(rng.normal(size=(hidden_dim, hidden_dim)))
+    inputs = [rng.normal(size=(batch, features)) for _ in range(2)]
+    carry = rng.normal(size=(batch, hidden_dim))
+    fn = ReplayFunction(_window_build(w1, w2))
+
+    fn.forward(*inputs, carry)   # record step
+    fn.backward()
+    for _ in range(replays):     # replayed steps must not drift
+        w1.zero_grad()
+        w2.zero_grad()
+        loss, aux = fn.forward(*inputs, carry)
+        fn.backward()
+        assert loss == loss_ref
+        np.testing.assert_array_equal(aux[0], aux_ref)
+        np.testing.assert_array_equal(w1.grad, g1_ref)
+        np.testing.assert_array_equal(w2.grad, g2_ref)
+    assert fn.stats["records"] == 1
+    assert fn.stats["replays"] == replays
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1),
+       shapes=st.lists(st.tuples(st.integers(1, 4), st.integers(1, 4)),
+                       min_size=2, max_size=5))
+def test_shape_changes_trigger_fallback_and_rerecord(seed, shapes):
+    rng = np.random.default_rng(seed)
+    features = 3
+    w1 = Parameter(rng.normal(size=(features, 2)))
+    w2 = Parameter(rng.normal(size=(2, 2)))
+    fn = ReplayFunction(_window_build(w1, w2))
+
+    signatures = set()
+    records = replays = fallbacks = 0
+    for batch, _ in shapes:
+        x0 = rng.normal(size=(batch, features))
+        x1 = rng.normal(size=(batch, features))
+        carry = np.zeros((batch, 2))
+        fn.forward(x0, x1, carry)
+        fn.backward()
+        if batch in signatures:
+            replays += 1
+        else:
+            records += 1
+            if signatures:
+                fallbacks += 1
+            signatures.add(batch)
+    assert fn.stats["records"] == records
+    assert fn.stats["replays"] == replays
+    assert fn.stats["fallbacks"] == fallbacks
+    assert not fn.stats["volatile"]
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), batch=st.integers(1, 4))
+def test_rerecorded_signature_still_matches_eager(seed, batch):
+    """After a fallback re-record, the NEW signature replays byte-equal."""
+    other = batch % 4 + 1
+    loss_ref, aux_ref, g1_ref, g2_ref = _run_eager(seed, other, 3, 2)
+
+    rng = np.random.default_rng(seed)
+    w1 = Parameter(rng.normal(size=(3, 2)))
+    w2 = Parameter(rng.normal(size=(2, 2)))
+    inputs = [rng.normal(size=(other, 3)) for _ in range(2)]
+    carry = rng.normal(size=(other, 2))
+    fn = ReplayFunction(_window_build(w1, w2))
+
+    # Record an unrelated signature first, forcing a fallback re-record.
+    fn.forward(np.zeros((batch, 3)), np.zeros((batch, 3)),
+               np.zeros((batch, 2)))
+    fn.backward()
+    for _ in range(2):
+        w1.zero_grad()
+        w2.zero_grad()
+        loss, aux = fn.forward(*inputs, carry)
+        fn.backward()
+        assert loss == loss_ref
+        np.testing.assert_array_equal(aux[0], aux_ref)
+        np.testing.assert_array_equal(w1.grad, g1_ref)
+        np.testing.assert_array_equal(w2.grad, g2_ref)

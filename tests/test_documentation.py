@@ -41,9 +41,11 @@ def test_public_api_documented(module_name):
 
 @pytest.mark.parametrize("module_name", [
     "repro.core", "repro.models", "repro.geometry", "repro.datasets",
-    "repro.nn", "repro.mwis", "repro.crowd", "repro.social", "repro.study",
+    "repro.nn", "repro.nn.tape", "repro.mwis", "repro.crowd",
+    "repro.social", "repro.study",
     "repro.bench", "repro.viz", "repro.training", "repro.training.engine",
-    "repro.training.storage", "repro.runtime", "repro.obs",
+    "repro.training.batched", "repro.training.storage",
+    "repro.runtime", "repro.obs",
     "repro.serving", "repro.serving.session", "repro.serving.engine",
     "repro.serving.replay", "repro.buffers", "repro.buffers.arena",
     "repro.buffers.backend", "repro.buffers.heap", "repro.buffers.shm",
