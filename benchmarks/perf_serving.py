@@ -68,9 +68,10 @@ from repro.core.problem import AfterProblem
 from repro.datasets import RoomConfig, generate_room
 from repro.models import NearestRecommender
 from repro.obs import (PERF, TRACER, EventLog, FlightRecorder, SloMonitor,
-                       SloRule, TelemetrySampler, load_incident,
-                       write_chrome_trace)
-from repro.serving import Fleet, ReplayDriver, RoomSession, SessionEngine
+                       SloRule, TelemetrySampler, evaluate_recorded,
+                       load_incident, write_chrome_trace)
+from repro.serving import (Fleet, ReplayDriver, RoomSession, SessionEngine,
+                           WorkloadGenerator, canned_spec)
 
 __all__ = ["ServingBenchConfig", "run_serving_bench", "main"]
 
@@ -105,6 +106,16 @@ SLO_OVERLOAD_RULES = (
     ("shed-rate", "mean(serving.shed_rate) < 0.01 over 60s"),
     ("step-latency", "p99(serving.step_latency_s) < 25ms over 60s"),
 )
+
+
+#: Catalogue workload scenarios the bench replays end to end (see
+#: :mod:`repro.serving.workload`).  Each run records its deterministic
+#: schedule hash, shed accounting and telemetry-derived latency, and
+#: replays the recorded series through the spec's own SLO rules.  The
+#: SLO verdict gates only on >=2-core non-tiny hosts — the declared
+#: latency budgets assume a machine that can actually parallelise the
+#: fleet; elsewhere the verdict is recorded report-only.
+BENCH_SCENARIOS = ("diurnal", "flash_crowd")
 
 
 def _available_cores() -> int:
@@ -488,6 +499,61 @@ def _fleet_scaling(workload, config: ServingBenchConfig,
     }
 
 
+def _scenario_run(name: str, config: ServingBenchConfig) -> dict:
+    """One catalogue scenario end to end, with SLO replay.
+
+    Lowers the canned spec (shortened horizon in the tiny smoke),
+    drives the plan through a two-shard fleet (in-process engine where
+    fork is unavailable) with a per-tick sampler, and replays the
+    recorded telemetry through the spec's declared SLO rules.  The
+    schedule hash pins that the traffic itself is deterministic, so
+    cross-run shed/latency comparisons are apples to apples.
+    """
+    overrides = {"ticks": 8} if config.is_tiny else {}
+    spec = canned_spec(name, **overrides)
+    plan = WorkloadGenerator(spec).schedule()
+    use_fleet = "fork" in multiprocessing.get_all_start_methods()
+    # Enabled before the fork so workers inherit the flag and the
+    # latency histograms feed the sampler.
+    PERF.reset().enable()
+    try:
+        if use_fleet:
+            stack = Fleet(2, max_batch=16, max_queue=64, degrade_at=48)
+        else:
+            stack = SessionEngine(max_batch=16, max_queue=64,
+                                  degrade_at=48)
+        with stack:
+            sampler = TelemetrySampler(stack)
+            outcome = ReplayDriver(stack).run_plan(
+                plan, NearestRecommender(), sampler=sampler)
+    finally:
+        PERF.disable()
+    report = evaluate_recorded(list(spec.slo), sampler.shards,
+                               scenario=spec.name)
+    tickets = [ticket for per_session in outcome.tickets.values()
+               for ticket in per_session]
+    shed = sum(ticket.status == "shed" for ticket in tickets)
+    p99 = max((telemetry.aggregate("serving.step_latency_s", "p99",
+                                   start=0.0, end=float(spec.ticks))
+               for telemetry in sampler.shards.values()),
+              default=float("nan"))
+    return {
+        "ticks": spec.ticks,
+        "stack": "fleet-2" if use_fleet else "engine",
+        "schedule_hash": plan.schedule_hash(),
+        "events": len(plan.events),
+        "sessions": len(outcome.results),
+        "submitted": len(tickets),
+        "shed_rate": shed / len(tickets) if tickets else 0.0,
+        "latency_p99_s": float(p99),
+        "slo": {
+            "ok": report.ok,
+            "breaches": len(report.breach_events),
+            "rules": list(spec.slo),
+        },
+    }
+
+
 def _episode_fingerprint(results) -> list:
     """Order-sensitive exact fingerprint of per-room episode results."""
     return [(episode.after_utility, episode.preference, episode.presence,
@@ -545,6 +611,8 @@ def run_serving_bench(config: ServingBenchConfig | None = None,
     telemetry = _telemetry_overhead(workload, config, fingerprint,
                                     telemetry_path)
     fleet = _fleet_scaling(workload, config, fingerprint)
+    scenarios = {name: _scenario_run(name, config)
+                 for name in BENCH_SCENARIOS}
 
     steps = config.num_rooms * config.ticks
     quantiles = np.percentile(latencies, [50, 99]) if latencies else [0, 0]
@@ -573,6 +641,7 @@ def run_serving_bench(config: ServingBenchConfig | None = None,
         "slo": slo,
         "telemetry": telemetry,
         "fleet": fleet,
+        "scenarios": scenarios,
         "metrics_identical": bool(identical),
         "instrumentation": instrumentation,
     }
@@ -624,6 +693,12 @@ def main() -> dict:
               f"{fleet['scaling_2_vs_1']:9.2f}x  "
               f"({fleet['migrations']} live migrations, "
               f"{fleet['available_cores']} cores)")
+    for name, row in record["scenarios"].items():
+        print(f"  scenario {name:20s} {row['events']:3d} events, "
+              f"{row['sessions']} sessions, shed "
+              f"{row['shed_rate']:.1%}, p99 "
+              f"{row['latency_p99_s'] * 1000.0:.1f} ms, "
+              f"slo_ok={row['slo']['ok']} ({row['stack']})")
     print(f"  metrics identical: {record['metrics_identical']}")
     print(f"wrote {RESULT_PATH}")
     print(f"wrote {trace_path} (open at ui.perfetto.dev)")
@@ -658,6 +733,12 @@ def main() -> dict:
             raise SystemExit(
                 f"fleet scaling {fleet['scaling_2_vs_1']:.2f}x below "
                 f"the {FLEET_SCALING_FLOOR}x floor at 2 shards")
+    if not config.is_tiny and _available_cores() >= 2:
+        failing = sorted(name for name, row in record["scenarios"].items()
+                         if not row["slo"]["ok"])
+        if failing:
+            raise SystemExit(
+                f"scenario(s) {failing} breached their declared SLOs")
     return record
 
 

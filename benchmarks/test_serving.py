@@ -7,8 +7,9 @@ floor.  ``REPRO_PERF_TINY=1`` shrinks it to a CI smoke run that checks
 equivalence and shed accounting only.
 """
 
-from perf_serving import FLEET_SCALING_FLOOR, SPEEDUP_FLOOR, \
-    TELEMETRY_OVERHEAD_CEILING, ServingBenchConfig, run_serving_bench
+from perf_serving import BENCH_SCENARIOS, FLEET_SCALING_FLOOR, \
+    SPEEDUP_FLOOR, TELEMETRY_OVERHEAD_CEILING, ServingBenchConfig, \
+    run_serving_bench
 
 
 def test_serving_speedup_and_parity(benchmark):
@@ -45,9 +46,20 @@ def test_serving_speedup_and_parity(benchmark):
         assert fleet["metrics_identical"]
         assert fleet["migrations"] >= 1
         assert set(fleet["shards"]) == {"1", "2"}
+    # The catalogue workload scenarios replayed end to end: traffic is
+    # hash-pinned deterministic and every session produced an episode.
+    scenarios = record["scenarios"]
+    assert set(scenarios) == set(BENCH_SCENARIOS)
+    for row in scenarios.values():
+        assert row["schedule_hash"]
+        assert row["sessions"] >= 1
+        assert row["submitted"] >= row["sessions"]
     if not config.is_tiny:
         assert record["speedup"]["engine_vs_serial"] >= SPEEDUP_FLOOR
         assert record["telemetry"]["overhead_frac"] \
             <= TELEMETRY_OVERHEAD_CEILING
         if fleet is not None and fleet["available_cores"] >= 2:
             assert fleet["scaling_2_vs_1"] >= FLEET_SCALING_FLOOR
+            # Declared p99-latency / shed-rate SLOs gate only where the
+            # fleet has real cores to run on.
+            assert all(row["slo"]["ok"] for row in scenarios.values())

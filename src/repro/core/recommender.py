@@ -71,6 +71,23 @@ class Recommender:
         """
         return {}
 
+    def reroster(self, problem: AfterProblem,
+                 keep: np.ndarray) -> None:
+        """Rebind to a resized roster mid-episode (population churn).
+
+        ``problem`` is the post-churn instance and ``keep`` maps each
+        new-roster index to its old-roster index (``-1`` for a user who
+        just joined).  Stateful recommenders override this to *project*
+        their carried per-user state along ``keep`` — rows for kept
+        users travel, joiners start from the initial state — so
+        discovery continuity survives joins and leaves.  The default is
+        a cold :meth:`reset` on the new roster, which is exact for
+        stateless recommenders (their only carried attribute is the
+        bound problem).
+        """
+        del keep
+        self.reset(problem)
+
     def session_clone(self) -> "Recommender":
         """An independent copy of this recommender for one live session.
 

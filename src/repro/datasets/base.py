@@ -199,6 +199,49 @@ class ConferenceRoom:
         self._dog_cache.clear()
         self._frame_cache.clear()
 
+    def subset(self, users, *, name: str | None = None,
+               interfaces_mr: np.ndarray | None = None) -> "ConferenceRoom":
+        """A new room over a sub-roster of this room's users.
+
+        ``users`` indexes this room; every per-user and pairwise field
+        (trajectory, social graph, utility matrices, interfaces) is
+        gathered along that roster, so two subsets of one *universe*
+        room stay mutually consistent — the merge/split machinery of
+        :mod:`repro.serving.workload` relies on exactly that to fuse
+        rosters without inventing cross-room utilities.  ``interfaces_mr``
+        overrides the gathered device flags (VR<->MR handoff).  Caches
+        are not shared: the subset starts cold.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        if users.ndim != 1 or users.size < 2:
+            raise ValueError("a sub-roster needs at least two users")
+        if users.size != np.unique(users).size:
+            raise ValueError("duplicate users in sub-roster")
+        if users.min() < 0 or users.max() >= self.num_users:
+            raise IndexError("sub-roster user out of range")
+        if interfaces_mr is None:
+            interfaces_mr = self.interfaces_mr[users].copy()
+        else:
+            interfaces_mr = np.asarray(interfaces_mr, dtype=bool).copy()
+            if interfaces_mr.shape != (users.size,):
+                raise ValueError("interfaces_mr length mismatch")
+        pairwise = np.ix_(users, users)
+        social = SocialGraph(self.social.adjacency[pairwise],
+                             self.social.communities[users],
+                             self.social.tie_strengths[pairwise])
+        return ConferenceRoom(
+            name=name if name is not None
+            else f"{self.name}[{users.size}u]",
+            trajectory=Trajectory(self.trajectory.positions[:, users]),
+            social=social,
+            preference=self.preference[pairwise].copy(),
+            presence=self.presence[pairwise].copy(),
+            interfaces_mr=interfaces_mr,
+            room=self.room,
+            body_radius=self.body_radius,
+            seed=self.seed,
+        )
+
     def sample_targets(self, count: int, rng: np.random.Generator
                        ) -> np.ndarray:
         """Sample distinct target users for evaluation."""

@@ -184,6 +184,34 @@ class POSHGNN(Module, Recommender):
             problem.num_users)
         self._rendered = np.zeros(problem.num_users, dtype=bool)
 
+    def reroster(self, problem: AfterProblem, keep) -> None:
+        """Project the carried episode state onto a churned roster.
+
+        Kept users keep their LWP rows (``h_{t-1}``/``r_{t-1}``), their
+        previous-display bit and their block of MIA's ``A_{t-1}``;
+        joiners start from the zero initial state exactly as in
+        :meth:`reset`.  Learned parameters are untouched — only the
+        per-episode per-user state is resized.
+        """
+        keep = np.asarray(keep, dtype=np.int64)
+        hidden, recommendation = self._hidden, self._recommendation
+        rendered = self._rendered
+        previous_adjacency = self.mia._previous_adjacency
+        self.reset(problem)
+        kept = keep >= 0
+        sources = keep[kept]
+        if hidden is not None:
+            self._hidden.data[kept] = hidden.data[sources]
+            self._recommendation.data[kept] = recommendation.data[sources]
+        self._rendered[kept] = rendered[sources]
+        if previous_adjacency is not None:
+            adjacency = np.zeros((problem.num_users, problem.num_users),
+                                 dtype=previous_adjacency.dtype)
+            slots = np.nonzero(kept)[0]
+            adjacency[np.ix_(slots, slots)] = \
+                previous_adjacency[np.ix_(sources, sources)]
+            self.mia._previous_adjacency = adjacency
+
     def carried_state(self) -> dict:
         """Copies of the per-episode state carried across steps.
 

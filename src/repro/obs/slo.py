@@ -235,11 +235,16 @@ class SloMonitor:
 
 @dataclass
 class SloBatchReport:
-    """Outcome of replaying a recorded series through a rule set."""
+    """Outcome of replaying a recorded series through a rule set.
+
+    ``scenario`` names the workload scenario the replay was scoped to
+    (empty for a whole-series evaluation).
+    """
 
     statuses: list[SloStatus] = field(default_factory=list)
     events: list[dict] = field(default_factory=list)
     timestamps: int = 0
+    scenario: str = ""
 
     @property
     def breach_events(self) -> list[dict]:
@@ -254,7 +259,8 @@ class SloBatchReport:
 
     def render(self) -> str:
         """Multi-line report: final statuses plus breach transitions."""
-        lines = [status.describe() for status in self.statuses]
+        lines = [f"scenario: {self.scenario}"] if self.scenario else []
+        lines += [status.describe() for status in self.statuses]
         breaches = self.breach_events
         lines.append(f"{len(breaches)} breach transition(s) across "
                      f"{self.timestamps} timestamp(s)")
@@ -279,13 +285,18 @@ def load_rules(source) -> list[SloRule]:
     return [SloRule.from_spec(spec) for spec in source]
 
 
-def evaluate_recorded(rules, shards: dict[int, ShardTelemetry],
-                      ) -> SloBatchReport:
+def evaluate_recorded(rules, shards: dict[int, ShardTelemetry], *,
+                      start: float | None = None,
+                      end: float | None = None,
+                      scenario: str = "") -> SloBatchReport:
     """Replay a recorded telemetry series through a fresh monitor.
 
     Evaluates at every distinct sample timestamp in order, so breach
-    *transitions* fire exactly as they would have live.  The returned
-    report carries the final statuses and all transition events.
+    *transitions* fire exactly as they would have live.  ``start`` /
+    ``end`` scope the replay to one scenario's span of a longer
+    recording (timestamps outside the closed interval are skipped;
+    ``scenario`` labels the resulting report).  The returned report
+    carries the final statuses and all transition events.
     """
     rules = [SloRule.from_spec(rule) for rule in rules]
     events = EventLog(path=None, enabled=True)
@@ -296,6 +307,10 @@ def evaluate_recorded(rules, shards: dict[int, ShardTelemetry],
             timestamps.update(point.t for point in series.window())
         for series in telemetry.histograms.values():
             timestamps.update(t for t, _ in series.window())
+    if start is not None:
+        timestamps = {t for t in timestamps if t >= start}
+    if end is not None:
+        timestamps = {t for t in timestamps if t <= end}
     statuses: list[SloStatus] = []
     for now in sorted(timestamps):
         marker = len(events.records)
@@ -303,4 +318,4 @@ def evaluate_recorded(rules, shards: dict[int, ShardTelemetry],
         for record in events.records[marker:]:
             record["at"] = now
     return SloBatchReport(statuses=statuses, events=list(events.records),
-                          timestamps=len(timestamps))
+                          timestamps=len(timestamps), scenario=scenario)

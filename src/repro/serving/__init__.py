@@ -6,44 +6,75 @@ counterpart (see docs/SERVING.md):
 
 * :class:`RoomSession` — one room advancing frame by frame, carrying
   the recommender's recurrent state, with mid-stream
-  suspend/resume.  Bit-identical per step to
+  suspend/resume and roster churn (:class:`RosterChange` — join/leave,
+  device handoff, merge/split seeds).  Bit-identical per step to
   :func:`~repro.core.evaluation.evaluate_episode`.
 * :class:`SessionEngine` — many concurrent rooms, cross-room
   micro-batched geometry
   (:meth:`~repro.geometry.batched.BatchedOcclusionConverter.convert_rooms`),
-  a bounded worker pool, and deterministic admission control that sheds
-  or degrades steps under overload.
+  a bounded worker pool, deterministic admission control that sheds
+  or degrades steps under overload, and queue-ordered roster mutation
+  (:meth:`~repro.serving.engine.SessionEngine.churn_session`,
+  ``merge_sessions``, ``split_session``).
 * :class:`ReplayDriver` — replays recorded trajectories as a live
-  multi-room workload (the serving bench's traffic generator).
+  multi-room workload (the serving bench's traffic generator), and
+  executes declarative :class:`~repro.serving.workload.WorkloadPlan`
+  schedules (:meth:`~repro.serving.replay.ReplayDriver.run_plan`).
 * :class:`Fleet` — a consistent-hash router over N worker processes,
   each running its own engine, with zero-copy frame transport
   (:class:`~repro.buffers.FrameShuttle`), per-shard admission control,
-  shard-tagged obs merging and live session migration
-  (:meth:`~repro.serving.fleet.Fleet.migrate`).
+  shard-tagged obs merging, live session migration
+  (:meth:`~repro.serving.fleet.Fleet.migrate`) and cross-shard room
+  merge/split.
+* :mod:`repro.serving.workload` — the declarative traffic DSL: specs
+  (arrival processes, churn, lifecycle) validated into
+  :class:`~repro.serving.workload.WorkloadSpec` and lowered by a seeded
+  :class:`~repro.serving.workload.WorkloadGenerator` into deterministic
+  event schedules (see docs/WORKLOADS.md).
 """
 
 from .engine import PendingStep, SessionEngine, StepTicket
 from .fleet import Fleet, FleetError, FleetStep, HashRing, ShardFailure
-from .replay import ReplayDriver
+from .replay import PlanOutcome, ReplayDriver
 from .session import (
     GreedyMWISFallback,
     RoomSession,
+    RosterChange,
+    SessionMerge,
     SessionSnapshot,
+    SessionSplit,
     SessionStep,
+    carried_seeds,
+    merge_change,
     stream_episode,
 )
 from .transport import ChannelClosed, PipeChannel, channel_pair
+from .workload import (
+    CANNED_SPECS,
+    WorkloadEvent,
+    WorkloadGenerator,
+    WorkloadPlan,
+    WorkloadSpec,
+    WorkloadSpecError,
+    canned_spec,
+)
 
 __all__ = [
     "RoomSession",
     "SessionStep",
     "SessionSnapshot",
+    "RosterChange",
+    "SessionMerge",
+    "SessionSplit",
     "GreedyMWISFallback",
     "stream_episode",
+    "carried_seeds",
+    "merge_change",
     "SessionEngine",
     "StepTicket",
     "PendingStep",
     "ReplayDriver",
+    "PlanOutcome",
     "Fleet",
     "FleetStep",
     "FleetError",
@@ -52,4 +83,11 @@ __all__ = [
     "PipeChannel",
     "ChannelClosed",
     "channel_pair",
+    "WorkloadSpec",
+    "WorkloadSpecError",
+    "WorkloadEvent",
+    "WorkloadGenerator",
+    "WorkloadPlan",
+    "CANNED_SPECS",
+    "canned_spec",
 ]

@@ -41,7 +41,8 @@ from ..core.scene import build_room_frames
 from ..geometry.batched import BatchedOcclusionConverter
 from ..geometry.visibility import resolve_rooms_visibility
 from ..obs import DEFAULT_COUNT_BOUNDARIES, EVENTS, PERF
-from .session import RoomSession, SessionSnapshot, SessionStep
+from .session import RoomSession, RosterChange, SessionMerge, \
+    SessionSnapshot, SessionSplit, SessionStep, carried_seeds, merge_change
 
 __all__ = ["StepTicket", "PendingStep", "SessionEngine"]
 
@@ -70,12 +71,19 @@ class PendingStep:
     off one engine's queue and re-enqueued on another —
     :meth:`SessionEngine.suspend_session` ships these across processes
     during a live migration — without re-running admission control.
+
+    A non-``None`` ``change`` makes the entry a *churn marker* instead
+    of a step: the roster mutation applies when the queue reaches it,
+    so frames submitted before the churn still run at their pre-churn
+    shape.  Markers carry no frame, are never shed, and are excluded
+    from the engine's queue-depth arithmetic.
     """
 
     positions: np.ndarray | None
     degraded: bool
     shed: bool
     submitted_at: float
+    change: RosterChange | None = None
 
 
 #: Backwards-compatible alias for the pre-migration private name.
@@ -119,6 +127,7 @@ class SessionEngine:
         self.events = events if events is not None else EVENTS
         self._sessions: dict[str, RoomSession] = {}
         self._queues: dict[str, deque[PendingStep]] = {}
+        self._tail_users: dict[str, int] = {}   # roster width at queue tail
         self._converters: dict[float, BatchedOcclusionConverter] = {}
         self._queued = 0          # pending steps across all sessions
         self._cursor = 0          # round-robin start for _collect_batch
@@ -172,6 +181,7 @@ class SessionEngine:
                 f"session {session.session_id!r} already open")
         self._sessions[session.session_id] = session
         self._queues[session.session_id] = deque()
+        self._tail_users[session.session_id] = problem.num_users
         self.events.emit("session.open", session_id=session.session_id,
                          room=problem.room.name, target=problem.target,
                          recommender=session.recommender.name,
@@ -181,21 +191,23 @@ class SessionEngine:
     def close_session(self, session_id: str) -> RoomSession:
         """Deregister a room (its queue must be drained) and return it.
 
-        Leading shed markers cost nothing to apply, so a queue holding
-        only shed steps — an overloaded room whose every remaining
-        submit was dropped — does not block the close: the markers are
-        applied here exactly as :meth:`_collect_batch` would have, and
-        only *runnable* steps left behind raise.
+        Leading shed and churn markers cost nothing to apply, so a
+        queue holding only markers — an overloaded room whose every
+        remaining submit was dropped, or a churn with no frames behind
+        it — does not block the close: the markers are applied here
+        exactly as :meth:`_collect_batch` would have, and only
+        *runnable* steps left behind raise.
         """
         queue = self._queues.get(session_id)
         if queue:
-            self._apply_leading_shed(self._sessions[session_id], queue)
+            self._apply_leading_markers(self._sessions[session_id], queue)
         if queue:
             raise RuntimeError(
                 f"session {session_id!r} still has queued steps; "
                 f"pump() or drain() first")
         session = self._sessions.pop(session_id)
         self._queues.pop(session_id, None)
+        self._tail_users.pop(session_id, None)
         self.events.emit("session.close", session_id=session_id,
                          steps=len(session.steps),
                          shed=session.shed_count,
@@ -219,7 +231,8 @@ class SessionEngine:
             raise KeyError(f"unknown session {session_id!r}")
         session = self._sessions.pop(session_id)
         pending = list(self._queues.pop(session_id))
-        self._queued -= len(pending)
+        self._tail_users.pop(session_id, None)
+        self._queued -= sum(1 for p in pending if p.change is None)
         snapshot = session.suspend()
         self.events.emit("session.suspend", session_id=session_id,
                          step=session.next_step, pending=len(pending))
@@ -238,8 +251,14 @@ class SessionEngine:
                 f"session {snapshot.session_id!r} already open")
         session = RoomSession.resume(snapshot)
         self._sessions[session.session_id] = session
-        self._queues[session.session_id] = deque(pending)
-        self._queued += len(self._queues[session.session_id])
+        queue = deque(pending)
+        self._queues[session.session_id] = queue
+        self._queued += sum(1 for p in queue if p.change is None)
+        width = session.num_users
+        for entry in queue:
+            if entry.change is not None:
+                width = entry.change.problem.num_users
+        self._tail_users[session.session_id] = width
         self.events.emit("session.adopt", session_id=session.session_id,
                          step=session.next_step,
                          pending=len(self._queues[session.session_id]))
@@ -268,7 +287,15 @@ class SessionEngine:
         if session_id not in self._sessions:
             raise KeyError(f"unknown session {session_id!r}")
         session = self._sessions[session_id]
-        t = session.next_step + len(self._queues[session_id])
+        frame_users = int(np.asarray(positions).shape[0])
+        expected = self._tail_users[session_id]
+        if frame_users != expected:
+            raise ValueError(
+                f"frame for session {session_id!r} has {frame_users} "
+                f"users but the roster at the queue tail has {expected}")
+        queue = self._queues[session_id]
+        t = session.next_step + sum(
+            1 for p in queue if p.change is None)
 
         if self._queued >= self.max_queue:
             self._queues[session_id].append(
@@ -297,15 +324,120 @@ class SessionEngine:
         return StepTicket(session_id, t, "queued")
 
     # ------------------------------------------------------------------
-    def _apply_leading_shed(self, session: RoomSession,
-                            queue: deque) -> list[SessionStep]:
-        """Apply a queue's leading shed markers; returns their records."""
+    def churn_session(self, session_id: str, change: RosterChange) -> None:
+        """Mutate a live session's roster, queue-ordered with its steps.
+
+        With an empty queue the change applies immediately; otherwise a
+        churn marker joins the queue so every frame submitted *before*
+        the churn is still served at its pre-churn shape.  Frames
+        submitted after must match the new roster — :meth:`submit`
+        validates against the width at the queue tail.  Markers do not
+        count toward :attr:`queue_depth`, so admission decisions are
+        unchanged by churn.
+        """
+        if session_id not in self._sessions:
+            raise KeyError(f"unknown session {session_id!r}")
+        queue = self._queues[session_id]
+        queued = bool(queue)
+        if queued:
+            queue.append(PendingStep(
+                positions=None, degraded=False, shed=False,
+                submitted_at=time.perf_counter(), change=change))
+        else:
+            self._sessions[session_id].apply_churn(change)
+        self._tail_users[session_id] = change.problem.num_users
+        PERF.count("serving.churns")
+        self.events.emit("session.churn", session_id=session_id,
+                         churn=change.kind,
+                         num_users=change.problem.num_users,
+                         queued=queued)
+
+    def merge_sessions(self, primary_id: str, secondary_id: str,
+                       merge: SessionMerge) -> RoomSession:
+        """Fuse two rooms: the secondary closes into the primary.
+
+        The secondary's queue must be drained (its users' final display
+        state seeds their joiner slots in the primary, so no steps may
+        still be in flight there); the primary may keep a backlog — its
+        merge rides the queue as an ordinary churn marker.  Returns the
+        closed secondary session so callers can collect its episode
+        result.
+        """
+        if primary_id not in self._sessions:
+            raise KeyError(f"unknown session {primary_id!r}")
+        if secondary_id not in self._sessions:
+            raise KeyError(f"unknown session {secondary_id!r}")
+        secondary = self._sessions[secondary_id]
+        self._apply_leading_markers(secondary, self._queues[secondary_id])
+        if self._queues[secondary_id]:
+            raise RuntimeError(
+                f"session {secondary_id!r} still has queued steps; "
+                f"pump() or drain() before merging")
+        change = merge_change(merge, secondary)
+        closed = self.close_session(secondary_id)
+        self.churn_session(primary_id, change)
+        self.events.emit("session.merge", primary=primary_id,
+                         secondary=secondary_id,
+                         num_users=merge.problem.num_users)
+        return closed
+
+    def split_session(self, session_id: str, split: SessionSplit,
+                      recommender: Recommender) -> RoomSession:
+        """Partition a room: part stays, part spawns a new session.
+
+        The source's queue must be drained (the departing users' seeds
+        read its carried display state, and the spawn starts at the
+        source's step clock).  The continuing part churns down via
+        ``split.retain``; the departing part opens as a fresh session —
+        new recommender, carried display seeds — under
+        ``split.session_id``.  Returns the spawned session.
+        """
+        if session_id not in self._sessions:
+            raise KeyError(f"unknown session {session_id!r}")
+        if split.session_id in self._sessions:
+            raise ValueError(
+                f"session {split.session_id!r} already open")
+        session = self._sessions[session_id]
+        self._apply_leading_markers(session, self._queues[session_id])
+        if self._queues[session_id]:
+            raise RuntimeError(
+                f"session {session_id!r} still has queued steps; "
+                f"pump() or drain() before splitting")
+        seed_visible, seed_rendered = carried_seeds(session, split.keep)
+        t_next = session.next_step
+        self.churn_session(session_id, split.retain)
+        spawn = RoomSession.seeded(
+            split.problem, recommender.session_clone(),
+            session_id=split.session_id, t_next=t_next,
+            visible_previous=seed_visible, rendered_previous=seed_rendered)
+        self._sessions[spawn.session_id] = spawn
+        self._queues[spawn.session_id] = deque()
+        self._tail_users[spawn.session_id] = spawn.num_users
+        self.events.emit("session.split", session_id=session_id,
+                         spawn=spawn.session_id,
+                         num_users=split.problem.num_users,
+                         retained=split.retain.problem.num_users)
+        return spawn
+
+    # ------------------------------------------------------------------
+    def _apply_leading_markers(self, session: RoomSession,
+                               queue: deque) -> list[SessionStep]:
+        """Apply a queue's leading shed/churn markers.
+
+        Shed markers produce frozen-display records (returned so
+        :meth:`pump` can report them); churn markers mutate the session
+        roster in place and produce nothing.  Both cost no batch slot.
+        """
         records: list[SessionStep] = []
-        while queue and queue[0].shed:
-            queue.popleft()
-            self._queued -= 1
-            records.append(session.shed_step())
-            PERF.count("serving.steps_shed")
+        while queue and (queue[0].shed or queue[0].change is not None):
+            pending = queue.popleft()
+            if pending.change is not None:
+                session.apply_churn(pending.change)
+                PERF.count("serving.churns_applied")
+            else:
+                self._queued -= 1
+                records.append(session.shed_step())
+                PERF.count("serving.steps_shed")
         return records
 
     def _collect_batch(self) -> tuple[list[tuple[RoomSession, PendingStep]],
@@ -337,7 +469,7 @@ class SessionEngine:
             session_id = session_ids[(start + offset) % len(session_ids)]
             queue = self._queues[session_id]
             session = self._sessions[session_id]
-            shed.extend(self._apply_leading_shed(session, queue))
+            shed.extend(self._apply_leading_markers(session, queue))
             if queue:
                 batch.append((session, queue.popleft()))
                 self._queued -= 1
@@ -363,8 +495,20 @@ class SessionEngine:
         counterpart, so the whole batch equals stepping each room alone.
         """
         groups: dict[tuple, list[int]] = {}
-        for index, (session, _) in enumerate(batch):
-            key = (session.num_users, session.problem.room.body_radius)
+        for index, (session, pending) in enumerate(batch):
+            # Key off the *frame's* width, not a cached session shape:
+            # churn can resize a room between submit and pump, and a
+            # stale key would land a mismatched room in a (B, N, N)
+            # geometry stack.  Queue-ordered churn markers guarantee
+            # the session has reached the frame's shape by now.
+            count = int(pending.positions.shape[0])
+            if count != session.num_users:
+                raise RuntimeError(
+                    f"session {session.session_id!r} is serving a "
+                    f"{count}-user frame at roster width "
+                    f"{session.num_users}; a roster change was applied "
+                    f"out of queue order")
+            key = (count, session.problem.room.body_radius)
             groups.setdefault(key, []).append(index)
 
         group_graphs: dict[tuple, list] = {}
@@ -468,5 +612,16 @@ class SessionEngine:
         return completed
 
     def drain(self) -> list[SessionStep]:
-        """Pump until every queue is empty."""
-        return self.pump(max_batches=None)
+        """Pump until every queue is empty.
+
+        Also applies trailing churn markers — entries that do not count
+        toward :attr:`queue_depth`, so the pump loop alone would leave
+        a roster change with no frames behind it pending.  After a
+        drain every session has reached its latest announced roster.
+        """
+        records = self.pump(max_batches=None)
+        for session_id, queue in self._queues.items():
+            if queue:
+                self._apply_leading_markers(
+                    self._sessions[session_id], queue)
+        return records

@@ -50,6 +50,8 @@ from ..core.problem import AfterProblem
 from ..core.recommender import Recommender
 from ..obs import EVENTS, PERF
 from .engine import StepTicket
+from .session import RoomSession, RosterChange, SessionMerge, \
+    SessionSplit, merge_change
 from .transport import ChannelClosed, PipeChannel, channel_pair
 
 __all__ = ["HashRing", "Fleet", "FleetStep", "FleetError", "ShardFailure"]
@@ -363,6 +365,87 @@ class Fleet:
         self._shuttle.drop(session_id)
         self.events.emit("fleet.close", session_id=session_id, shard=shard)
         return result
+
+    # ------------------------------------------------------------------
+    # Population churn and room lifecycle
+    # ------------------------------------------------------------------
+    def churn_session(self, session_id: str,
+                      change: RosterChange) -> None:
+        """Mutate a live room's roster on its shard, queue-ordered.
+
+        Forwards the self-contained :class:`RosterChange` to the owning
+        shard's engine; frames already queued there still run at their
+        pre-churn shape.  The session's shuttle block is dropped (the
+        frame width changed) and re-staged lazily on the next submit.
+        """
+        shard = self._sessions[session_id]
+        self._call(shard, "churn", session_id, change)
+        self._shuttle.drop(session_id)
+        self.events.emit("fleet.churn", session_id=session_id,
+                         shard=shard, churn=change.kind,
+                         num_users=change.problem.num_users)
+
+    def merge_sessions(self, primary_id: str, secondary_id: str,
+                       merge: SessionMerge):
+        """Fuse two rooms, possibly living on different shards.
+
+        The secondary is suspended off its shard (its queue must be
+        drained), its final episode result and carried display state
+        are recovered router-side from the snapshot, and the primary —
+        wherever it lives — grows by a merge churn whose seeds carry the
+        absorbed users' last on-screen state.  Returns the secondary's
+        final :class:`~repro.core.evaluation.EpisodeResult`.
+        """
+        primary = self._sessions[primary_id]
+        secondary = self._sessions[secondary_id]
+        snapshot, pending = self._call(secondary, "suspend", secondary_id)
+        if pending:
+            self._call(secondary, "adopt", snapshot, pending)
+            raise RuntimeError(
+                f"session {secondary_id!r} still has queued steps; "
+                f"drain() before merging")
+        del self._sessions[secondary_id]
+        self._shuttle.drop(secondary_id)
+        ghost = RoomSession.resume(snapshot)
+        change = merge_change(merge, ghost)
+        self._call(primary, "churn", primary_id, change)
+        self._shuttle.drop(primary_id)
+        self.events.emit("fleet.merge", primary=primary_id,
+                         secondary=secondary_id, shard=primary,
+                         num_users=merge.problem.num_users)
+        PERF.count("serving.merges")
+        return ghost.result()
+
+    def split_session(self, session_id: str, split: SessionSplit,
+                      recommender: Recommender, *,
+                      shard: int | None = None) -> str:
+        """Partition a room; the spun-off part lands on its ring shard.
+
+        The split itself runs on the source's shard (its queue must be
+        drained there): the continuing session churns down, the
+        departing users spawn as a fresh seeded session.  The spawn is
+        then migrated to ``shard`` (default: its ring placement), so
+        steady-state routing is indistinguishable from a room opened
+        there directly.  Returns the spawned session's id.
+        """
+        if split.session_id in self._sessions:
+            raise ValueError(
+                f"session {split.session_id!r} already open")
+        source = self._sessions[session_id]
+        if shard is None:
+            shard = self._ring.place(split.session_id)
+        elif not 0 <= shard < self.num_shards:
+            raise ValueError(f"no shard {shard}")
+        self._call(source, "split", session_id, split, recommender)
+        self._sessions[split.session_id] = source
+        self._shuttle.drop(session_id)
+        self.events.emit("fleet.split", session_id=session_id,
+                         spawn=split.session_id, shard=source,
+                         num_users=split.problem.num_users)
+        PERF.count("serving.splits")
+        if shard != source:
+            self.migrate(split.session_id, shard)
+        return split.session_id
 
     # ------------------------------------------------------------------
     # Rebalancing

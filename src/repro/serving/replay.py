@@ -8,18 +8,50 @@ open room to a :class:`~repro.serving.SessionEngine`, pumps the engine,
 and repeats until the longest trajectory is exhausted.  The serving
 bench (``benchmarks/perf_serving.py``) and the stress tests drive their
 workloads through this module.
+
+:meth:`ReplayDriver.run_plan` executes a lowered
+:class:`~repro.serving.workload.WorkloadPlan` instead of a fixed room
+set: rooms open and close on schedule, per-user churn rides the
+engine's queue-ordered roster changes, and merges/splits apply behind a
+pump-to-drain barrier (their seeds read the sessions' carried display
+state, so no steps may be in flight across a structural event).  The
+driven stack is duck-typed — an in-process
+:class:`~repro.serving.SessionEngine` and a forked
+:class:`~repro.serving.Fleet` expose the same serving surface, so one
+plan exercises both.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from ..core.problem import AfterProblem
 from ..core.recommender import Recommender
 from .engine import SessionEngine, StepTicket
 from .session import RoomSession
 
-__all__ = ["ReplayDriver"]
+__all__ = ["ReplayDriver", "PlanOutcome"]
+
+
+@dataclass
+class PlanOutcome:
+    """What a :meth:`ReplayDriver.run_plan` execution produced.
+
+    ``results`` maps every session that ever lived (closed mid-plan or
+    at the end) to its final
+    :class:`~repro.core.evaluation.EpisodeResult`; ``tickets`` the
+    per-session submit tickets in submit order.
+    """
+
+    results: dict = field(default_factory=dict)
+    tickets: dict = field(default_factory=dict)
+
+
+def _as_result(value):
+    """Normalise engine (session) vs fleet (result) return values."""
+    return value.result() if hasattr(value, "result") else value
 
 
 @dataclass
@@ -96,3 +128,130 @@ class ReplayDriver:
         """Per-session :meth:`~repro.serving.RoomSession.result` map."""
         return {feed.session.session_id: feed.session.result()
                 for feed in self._feeds}
+
+    # ------------------------------------------------------------------
+    # Declarative workload execution
+    # ------------------------------------------------------------------
+    def run_plan(self, plan, recommender: Recommender, *,
+                 sampler=None) -> PlanOutcome:
+        """Execute a lowered workload plan against the driven stack.
+
+        Tick by tick: this tick's lifecycle events apply first (opens,
+        closes, churn, merges, splits — structural events behind a
+        drain barrier), then one position frame per open room is
+        submitted from the plan's universe trajectory, then the stack
+        pumps every ``pump_interval`` ticks.  ``sampler`` (a
+        :class:`~repro.obs.TelemetrySampler`) is sampled once per tick
+        at ``now=tick``, so recorded telemetry timestamps are
+        tick-indexed and deterministic.
+
+        Execution is replay, not re-simulation: the plan's events carry
+        full rosters, so two runs of one plan — or the same plan on an
+        engine and a fleet — drive identical roster sequences.
+        """
+        from .workload import merge_spec, roster_change, split_spec
+
+        spec = plan.spec
+        universe = plan.universe
+        stack = self.engine
+        positions = universe.trajectory.positions
+        interfaces = universe.interfaces_mr.copy()
+        rooms: dict[str, dict] = {}   # name -> {"users": [...], "target"}
+        outcome = PlanOutcome()
+
+        def room_kwargs():
+            return {"beta": spec.beta, "max_render": spec.max_render,
+                    "interfaces": interfaces}
+
+        for tick in range(spec.ticks):
+            for event in plan.events_at(tick):
+                payload = event.payload
+                if event.kind == "open":
+                    users = list(payload["users"])
+                    name = payload["room"]
+                    roster = np.asarray(users, dtype=np.int64)
+                    problem = AfterProblem(
+                        room=universe.subset(
+                            roster, name=name,
+                            interfaces_mr=interfaces[roster]),
+                        target=users.index(payload["target"]),
+                        beta=spec.beta, max_render=spec.max_render)
+                    stack.open_session(problem, recommender,
+                                       session_id=name)
+                    rooms[name] = {"users": users,
+                                   "target": payload["target"]}
+                    outcome.tickets.setdefault(name, [])
+                elif event.kind == "close":
+                    stack.drain()
+                    name = payload["room"]
+                    outcome.results[name] = _as_result(
+                        stack.close_session(name))
+                    del rooms[name]
+                elif event.kind in ("join", "leave"):
+                    name = payload["room"]
+                    room = rooms[name]
+                    new_users = list(payload["users"])
+                    change = roster_change(
+                        universe, event.kind, room["users"], new_users,
+                        room["target"], name=name, **room_kwargs())
+                    stack.churn_session(name, change)
+                    room["users"] = new_users
+                elif event.kind == "handoff":
+                    name = payload["room"]
+                    room = rooms[name]
+                    interfaces[payload["user"]] = \
+                        ~interfaces[payload["user"]]
+                    change = roster_change(
+                        universe, "handoff", room["users"],
+                        room["users"], room["target"], name=name,
+                        **room_kwargs())
+                    stack.churn_session(name, change)
+                elif event.kind == "merge":
+                    stack.drain()
+                    primary = rooms[payload["primary"]]
+                    secondary = rooms[payload["secondary"]]
+                    merged = list(payload["users"])
+                    merge = merge_spec(
+                        universe, primary["users"], secondary["users"],
+                        merged, primary["target"],
+                        name=payload["primary"], **room_kwargs())
+                    outcome.results[payload["secondary"]] = _as_result(
+                        stack.merge_sessions(payload["primary"],
+                                             payload["secondary"],
+                                             merge))
+                    primary["users"] = merged
+                    del rooms[payload["secondary"]]
+                elif event.kind == "split":
+                    stack.drain()
+                    name = payload["room"]
+                    room = rooms[name]
+                    split = split_spec(
+                        universe, room["users"],
+                        list(payload["retained"]),
+                        list(payload["departed"]), room["target"],
+                        payload["spawn_target"], name=name,
+                        spawn_name=payload["spawn"],
+                        spawn_id=payload["spawn"], **room_kwargs())
+                    stack.split_session(name, split, recommender)
+                    room["users"] = list(payload["retained"])
+                    rooms[payload["spawn"]] = {
+                        "users": list(payload["departed"]),
+                        "target": payload["spawn_target"]}
+                    outcome.tickets.setdefault(payload["spawn"], [])
+                else:
+                    raise ValueError(
+                        f"unknown workload event kind {event.kind!r}")
+
+            for name, room in rooms.items():
+                roster = np.asarray(room["users"], dtype=np.int64)
+                ticket = stack.submit(name, positions[tick][roster])
+                outcome.tickets[name].append(ticket)
+            if (tick + 1) % self.pump_interval == 0:
+                stack.pump()
+            if sampler is not None:
+                sampler.sample(now=float(tick))
+
+        stack.drain()
+        for name in list(rooms):
+            outcome.results[name] = _as_result(stack.close_session(name))
+        return outcome

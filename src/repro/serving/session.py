@@ -39,7 +39,94 @@ from ..geometry.visibility import resolve_visibility_with_occlusion
 from ..mwis import solve_mwis_greedy
 
 __all__ = ["SessionStep", "SessionSnapshot", "RoomSession",
-           "GreedyMWISFallback", "stream_episode"]
+           "RosterChange", "SessionMerge", "SessionSplit",
+           "GreedyMWISFallback", "stream_episode", "carried_seeds",
+           "merge_change"]
+
+
+@dataclass
+class RosterChange:
+    """One membership mutation of a live room, fully self-contained.
+
+    ``problem`` is the post-churn :class:`~repro.core.problem.AfterProblem`
+    and ``keep`` maps every new-roster index to its old-roster index
+    (``-1`` for a user who just joined), which is all
+    :meth:`RoomSession.apply_churn` needs to project the carried state —
+    no reference back to how the change was computed.  Self-containment
+    matters operationally: a change can sit *queued* behind unprocessed
+    steps in a :class:`~repro.serving.SessionEngine`, travel across a
+    :meth:`~repro.serving.Fleet.migrate`, and still apply bit-identically.
+
+    ``seed_visible``/``seed_rendered`` optionally pre-load the carried
+    display state of *joining* users (new-width boolean arrays; only the
+    ``keep < 0`` slots are read) — how a room merge hands the absorbed
+    room's last display set over instead of pretending its users just
+    appeared.
+    """
+
+    kind: str
+    problem: AfterProblem
+    keep: np.ndarray
+    seed_visible: np.ndarray | None = None
+    seed_rendered: np.ndarray | None = None
+
+    def __post_init__(self):
+        """Normalise the mapping and check it against the new problem."""
+        self.keep = np.asarray(self.keep, dtype=np.int64)
+        if self.keep.shape != (self.problem.num_users,):
+            raise ValueError(
+                f"keep maps {self.keep.shape} slots but the post-churn "
+                f"roster has {self.problem.num_users} users")
+        kept = self.keep[self.keep >= 0]
+        if kept.size != np.unique(kept).size:
+            raise ValueError("keep maps two new slots to one old user")
+
+
+@dataclass
+class SessionMerge:
+    """Roster fusion spec for merging one room into another.
+
+    ``problem`` is the merged instance; ``keep`` maps merged-roster
+    indices to the *primary* session's indices and ``keep_secondary``
+    to the absorbed session's (``-1`` where a user is not from that
+    side).  The engines turn this into a :class:`RosterChange` whose
+    seeds carry the secondary's last display state.
+    """
+
+    problem: AfterProblem
+    keep: np.ndarray
+    keep_secondary: np.ndarray
+
+    def __post_init__(self):
+        """Normalise both mappings to int64 arrays."""
+        self.keep = np.asarray(self.keep, dtype=np.int64)
+        self.keep_secondary = np.asarray(self.keep_secondary,
+                                         dtype=np.int64)
+        if self.keep.shape != self.keep_secondary.shape:
+            raise ValueError("keep/keep_secondary length mismatch")
+
+
+@dataclass
+class SessionSplit:
+    """Partition spec for splitting one live room into two.
+
+    ``retain`` churns the continuing session down to the users who
+    stay; ``problem``/``keep``/``session_id`` describe the spun-off
+    room — ``keep`` maps spawn-roster indices back into the source
+    session (seeding the spawned room's carried display state), and the
+    spawn opens with a fresh recommender at the source's step clock.
+    """
+
+    retain: RosterChange
+    problem: AfterProblem
+    keep: np.ndarray
+    session_id: str
+
+    def __post_init__(self):
+        """Normalise the spawn mapping."""
+        self.keep = np.asarray(self.keep, dtype=np.int64)
+        if self.keep.shape != (self.problem.num_users,):
+            raise ValueError("spawn keep length mismatch")
 
 
 @dataclass
@@ -137,6 +224,7 @@ class RoomSession:
         self.steps: list[SessionStep] = []
         self.shed_count = 0
         self.degraded_count = 0
+        self.churn_count = 0
 
     # ------------------------------------------------------------------
     @property
@@ -256,6 +344,164 @@ class RoomSession:
         return record
 
     # ------------------------------------------------------------------
+    # Population churn
+    # ------------------------------------------------------------------
+    def apply_churn(self, change: RosterChange) -> None:
+        """Mutate the live roster, resizing every carried array.
+
+        The session continues mid-stream on ``change.problem``: carried
+        display state (previous visible/rendered), the recommender's
+        per-user state (via :meth:`~repro.core.recommender.Recommender.
+        reroster`) and the historical step records are all projected
+        along ``change.keep`` — kept users' values travel to their new
+        slots, joiners start blank (or from the change's seeds).  The
+        target must survive the change; the step clock and utility
+        totals are untouched.  The net effect is bit-identical to
+        opening a fresh session on the post-churn roster with the
+        projected state installed — ``tests/serving/
+        test_churn_parity.py`` pins that with Hypothesis.
+        """
+        if not self._started:
+            raise RuntimeError(
+                f"session {self.session_id!r} not started; call begin()")
+        keep = change.keep
+        old_count = self.num_users
+        if keep.max(initial=-1) >= old_count:
+            raise ValueError(
+                f"keep references old user {int(keep.max())} but the "
+                f"roster has {old_count}")
+        new_target = change.problem.target
+        if keep[new_target] != self.problem.target:
+            raise ValueError(
+                "churn must preserve the target user: new slot "
+                f"{new_target} maps to {int(keep[new_target])}, not "
+                f"{self.problem.target}")
+        kept = keep >= 0
+        sources = keep[kept]
+
+        def project(old: np.ndarray, seed: np.ndarray | None) -> np.ndarray:
+            new = np.zeros(keep.shape[0], dtype=bool)
+            if seed is not None:
+                joiners = ~kept
+                new[joiners] = np.asarray(seed, dtype=bool)[joiners]
+            new[kept] = old[sources]
+            return new
+
+        self._visible_previous = project(self._visible_previous,
+                                         change.seed_visible)
+        self._rendered_previous = project(self._rendered_previous,
+                                          change.seed_rendered)
+        for record in self.steps:
+            record.rendered = project(record.rendered, None)
+        self.recommender.reroster(change.problem, keep)
+        self.problem = change.problem
+        self._converter = OcclusionGraphConverter(
+            body_radius=change.problem.room.body_radius)
+        self.churn_count += 1
+
+    def retire_users(self, users) -> RosterChange:
+        """Drop ``users`` (current indices) from the live roster.
+
+        Builds the post-churn problem locally — the room shrinks to the
+        surviving users via :meth:`~repro.datasets.base.ConferenceRoom.
+        subset`, block/allow lists are remapped, the target re-indexed —
+        and applies it.  Returns the applied :class:`RosterChange` so
+        callers can log or forward it.
+        """
+        users = np.unique(np.asarray(users, dtype=np.int64))
+        if users.size and (users.min() < 0 or users.max()
+                           >= self.num_users):
+            raise IndexError("retired user out of range")
+        if self.problem.target in users:
+            raise ValueError("the target user cannot be retired")
+        kept = np.setdiff1d(np.arange(self.num_users), users)
+        position = {int(old): new for new, old in enumerate(kept)}
+        allowlist = self.problem.allowlist
+        change = RosterChange(
+            kind="leave",
+            problem=AfterProblem(
+                room=self.problem.room.subset(kept),
+                target=position[self.problem.target],
+                beta=self.problem.beta,
+                max_render=self.problem.max_render,
+                blocklist=[position[user] for user in self.problem.blocklist
+                           if user in position],
+                allowlist=None if allowlist is None
+                else [position[user] for user in allowlist
+                      if user in position]),
+            keep=kept)
+        self.apply_churn(change)
+        return change
+
+    def admit_users(self, problem: AfterProblem,
+                    keep: np.ndarray) -> RosterChange:
+        """Grow the roster to ``problem``, placing existing users.
+
+        ``keep`` maps every slot of the *new* roster to the user's
+        current index (``-1`` for each admitted newcomer); utilities
+        and trajectories for the newcomers come with ``problem`` — the
+        workload layer derives both from a shared universe room.
+        Returns the applied :class:`RosterChange`.
+        """
+        change = RosterChange(kind="join", problem=problem, keep=keep)
+        self.apply_churn(change)
+        return change
+
+    def handoff_users(self, users) -> RosterChange:
+        """Flip ``users`` between VR and MR devices mid-stream.
+
+        A device handoff keeps the roster but rebuilds the room with
+        the flipped ``interfaces_mr`` flags, which moves the affected
+        users across the forced-visibility partition (physically
+        present MR users can never be derendered) from the next frame
+        on.  Returns the applied :class:`RosterChange`.
+        """
+        users = np.unique(np.asarray(users, dtype=np.int64))
+        if users.size and (users.min() < 0 or users.max()
+                           >= self.num_users):
+            raise IndexError("handoff user out of range")
+        interfaces = self.problem.room.interfaces_mr.copy()
+        interfaces[users] = ~interfaces[users]
+        identity = np.arange(self.num_users)
+        change = RosterChange(
+            kind="handoff",
+            problem=AfterProblem(
+                room=self.problem.room.subset(identity,
+                                              interfaces_mr=interfaces),
+                target=self.problem.target,
+                beta=self.problem.beta,
+                max_render=self.problem.max_render,
+                blocklist=self.problem.blocklist,
+                allowlist=self.problem.allowlist),
+            keep=identity)
+        self.apply_churn(change)
+        return change
+
+    @classmethod
+    def seeded(cls, problem: AfterProblem, recommender: Recommender, *,
+               session_id: str | None = None, fallback=None,
+               t_next: int = 0, visible_previous=None,
+               rendered_previous=None) -> "RoomSession":
+        """A fresh, started session with carried display state installed.
+
+        The recommender starts from its initial state (this is *not*
+        :meth:`resume` — no history travels), but the step clock and
+        the previous visible/rendered masks can be pre-loaded: how a
+        room split spawns its departing half without pretending those
+        users were never on screen.
+        """
+        session = cls(problem, recommender, session_id=session_id,
+                      fallback=fallback).begin()
+        session._t_next = int(t_next)
+        if visible_previous is not None:
+            session._visible_previous = np.array(visible_previous,
+                                                 dtype=bool)
+        if rendered_previous is not None:
+            session._rendered_previous = np.array(rendered_previous,
+                                                  dtype=bool)
+        return session
+
+    # ------------------------------------------------------------------
     def result(self) -> EpisodeResult:
         """Episode metrics over the streamed steps so far.
 
@@ -305,6 +551,7 @@ class RoomSession:
             "steps": self.steps,
             "shed_count": self.shed_count,
             "degraded_count": self.degraded_count,
+            "churn_count": self.churn_count,
         })
         return SessionSnapshot(session_id=self.session_id,
                                problem=self.problem, state=state)
@@ -324,11 +571,45 @@ class RoomSession:
         session.steps = state["steps"]
         session.shed_count = state["shed_count"]
         session.degraded_count = state["degraded_count"]
+        session.churn_count = state.get("churn_count", 0)
         return session
 
     def __repr__(self) -> str:
         return (f"RoomSession({self.session_id!r}, t={self._t_next}, "
                 f"shed={self.shed_count})")
+
+
+def carried_seeds(session: "RoomSession",
+                  keep: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Project a session's carried display state along ``keep``.
+
+    Returns ``(visible_previous, rendered_previous)`` in the new index
+    space (``keep[i]`` = source index, ``-1`` = blank).  This is how a
+    merge or split hands the moving users' last on-screen state to the
+    receiving session instead of restarting them invisible.
+    """
+    keep = np.asarray(keep, dtype=np.int64)
+    mask = keep >= 0
+    visible = np.zeros(keep.shape[0], dtype=bool)
+    rendered = np.zeros(keep.shape[0], dtype=bool)
+    visible[mask] = session._visible_previous[keep[mask]]
+    rendered[mask] = session._rendered_previous[keep[mask]]
+    return visible, rendered
+
+
+def merge_change(merge: SessionMerge,
+                 secondary: "RoomSession") -> RosterChange:
+    """Lower a :class:`SessionMerge` into the primary's roster change.
+
+    The change grows the primary session to the merged roster; the
+    absorbed session's users arrive as joiners whose seeds carry their
+    last display state out of ``secondary``.
+    """
+    seed_visible, seed_rendered = carried_seeds(secondary,
+                                                merge.keep_secondary)
+    return RosterChange(kind="merge", problem=merge.problem,
+                        keep=merge.keep, seed_visible=seed_visible,
+                        seed_rendered=seed_rendered)
 
 
 def stream_episode(problem: AfterProblem,

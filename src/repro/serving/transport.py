@@ -191,6 +191,15 @@ def shard_main(channel: PipeChannel, shard: int, engine_kwargs: dict,
                 elif op == "suspend":
                     (session_id,) = args
                     reply = engine.suspend_session(session_id)
+                elif op == "churn":
+                    session_id, change = args
+                    engine.churn_session(session_id, change)
+                    reply = change.problem.num_users
+                elif op == "split":
+                    session_id, split, recommender = args
+                    session = engine.split_session(session_id, split,
+                                                   recommender)
+                    reply = session.session_id
                 elif op == "adopt":
                     snapshot, pending = args
                     session = engine.adopt_session(snapshot, pending)

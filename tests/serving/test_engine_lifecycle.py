@@ -170,3 +170,98 @@ class TestPumpReturnsShedRecords:
         session_records = engine.session("solo").steps
         assert [(r.t, r.shed) for r in records] \
             == [(r.t, r.shed) for r in session_records]
+
+
+class TestBatchGroupingUnderResize:
+    """A fourth pinned bug: ``_run_batch`` used to key its geometry
+    groups by ``session.num_users`` captured at collection time, which
+    assumed a session's roster width is immutable.  Queue-ordered churn
+    broke that assumption — a room resized mid-episode could land a
+    stale-width frame in a ``(B, N, N)`` stack shared with same-keyed
+    rooms.  Groups are now keyed by the *frame's* width, submits are
+    validated against the roster width at the queue tail, and a guard
+    refuses to serve a frame whose width disagrees with the session."""
+
+    def _leave_change(self, room, victim):
+        """A RosterChange dropping universe user ``victim`` from a
+        full-roster room (target stays at index 0)."""
+        from repro.serving.workload import roster_change
+        old = list(range(room.num_users))
+        new = [u for u in old if u != victim]
+        return roster_change(room, "leave", old, new, 0,
+                             name=f"{room.name}/resized", beta=0.5,
+                             max_render=10,
+                             interfaces=room.interfaces_mr)
+
+    def test_resize_never_lands_stale_width_frame_in_a_batch(self):
+        """Two same-shape rooms batch together; after one shrinks, the
+        mixed-width pump must split the groups and keep both rooms
+        advancing with correct per-step widths."""
+        with SessionEngine(max_batch=8) as engine:
+            rooms = open_rooms(engine, 2, num_steps=6, num_users=8)
+            for t in range(2):
+                for sid, room in rooms:
+                    engine.submit(sid, room.trajectory.positions[t])
+                engine.pump()
+            room0 = rooms[0][1]
+            change = self._leave_change(room0, victim=5)
+            engine.churn_session("room0", change)
+            gather = [u for u in range(8) if u != 5]
+            for t in range(2, 6):
+                engine.submit("room0",
+                              room0.trajectory.positions[t][gather])
+                engine.submit("room1",
+                              rooms[1][1].trajectory.positions[t])
+                records = engine.pump()
+                assert {record.t for record in records} == {t}
+            widths = [step.rendered.shape[0]
+                      for step in engine.session("room0").steps]
+            assert widths == [7] * 6  # churn re-projects history too
+            assert engine.session("room0").num_users == 7
+            assert engine.session("room1").num_users == 8
+
+    def test_submit_width_is_validated_against_queue_tail(self):
+        """After a churn marker is queued, a frame at the *old* width
+        is rejected at submit time — not discovered as a shape error
+        deep in the geometry stack."""
+        with SessionEngine(max_batch=4) as engine:
+            (sid, room), = open_rooms(engine, 1, num_steps=6,
+                                      num_users=8)
+            positions = room.trajectory.positions
+            engine.submit(sid, positions[0])   # pending pre-churn frame
+            engine.churn_session(sid, self._leave_change(room, victim=3))
+            with pytest.raises(ValueError, match="queue tail has 7"):
+                engine.submit(sid, positions[1])
+            gather = [u for u in range(8) if u != 3]
+            engine.submit(sid, positions[1][gather])
+            engine.drain()
+            assert engine.session(sid).num_users == 7
+            assert len(engine.session(sid).steps) == 2
+
+    def test_eager_resize_also_updates_submit_validation(self):
+        """With an empty queue the churn applies eagerly; the very next
+        submit must already be held to the new width."""
+        with SessionEngine(max_batch=4) as engine:
+            (sid, room), = open_rooms(engine, 1, num_steps=6,
+                                      num_users=8)
+            engine.churn_session(sid, self._leave_change(room, victim=6))
+            assert engine.session(sid).churn_count == 1
+            with pytest.raises(ValueError, match="queue tail has 7"):
+                engine.submit(sid, room.trajectory.positions[0])
+
+    def test_stale_width_frame_is_refused_by_the_batch_guard(self):
+        """Defence in depth: if a mismatched frame ever reaches the
+        batch (here forged by bypassing submit validation), the pump
+        refuses to serve it instead of corrupting the (B, N, N) stack."""
+        from repro.serving import PendingStep
+
+        with SessionEngine(max_batch=4) as engine:
+            (sid, room), = open_rooms(engine, 1, num_steps=6,
+                                      num_users=8)
+            engine._queues[sid].append(PendingStep(
+                positions=room.trajectory.positions[0][:5], shed=False,
+                degraded=False, submitted_at=0.0))
+            engine._queued += 1
+            with pytest.raises(RuntimeError,
+                               match="out of queue order"):
+                engine.pump()

@@ -47,7 +47,8 @@ def test_public_api_documented(module_name):
     "repro.training.batched", "repro.training.storage",
     "repro.runtime", "repro.obs",
     "repro.serving", "repro.serving.session", "repro.serving.engine",
-    "repro.serving.replay", "repro.buffers", "repro.buffers.arena",
+    "repro.serving.replay", "repro.serving.workload",
+    "repro.buffers", "repro.buffers.arena",
     "repro.buffers.backend", "repro.buffers.heap", "repro.buffers.shm",
 ])
 def test_public_methods_documented(module_name):
